@@ -1,0 +1,530 @@
+package whatsupersay_test
+
+// The benchmark harness: one benchmark per table and figure of the paper
+// (E1-E6, F1-F6 in DESIGN.md) plus the ablations and extensions
+// (A1-A12: filter baselines and accuracy, adaptive thresholds, tupling,
+// spatial discovery, job impact, template mining, predictor
+// auto-selection, correlation-aware filtering, threshold sweep). Each
+// benchmark regenerates its experiment from a cached synthetic study and
+// reports the experiment's headline quantity via b.ReportMetric, so
+// `go test -bench=. -benchmem` both times the pipeline and reprints the
+// paper-shaped results.
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"whatsupersay/internal/anonymize"
+	"whatsupersay/internal/catalog"
+	"whatsupersay/internal/core"
+	"whatsupersay/internal/filter"
+	"whatsupersay/internal/ingest"
+	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/mining"
+	"whatsupersay/internal/predict"
+	"whatsupersay/internal/simulate"
+	"whatsupersay/internal/tag"
+)
+
+// benchScale keeps the full harness to roughly a minute; raise it for
+// higher-fidelity runs.
+const benchScale = 0.0002
+
+var (
+	benchMu      sync.Mutex
+	benchStudies map[logrec.System]*core.Study
+)
+
+// studies generates (once) and returns the five benchmark studies.
+func studies(b *testing.B) map[logrec.System]*core.Study {
+	b.Helper()
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if benchStudies != nil {
+		return benchStudies
+	}
+	benchStudies = make(map[logrec.System]*core.Study, 5)
+	for _, sys := range logrec.Systems() {
+		s, err := core.New(simulate.Config{System: sys, Scale: benchScale, Seed: 2007})
+		if err != nil {
+			b.Fatalf("study %v: %v", sys, err)
+		}
+		benchStudies[sys] = s
+	}
+	return benchStudies
+}
+
+func allStudies(b *testing.B) []*core.Study {
+	m := studies(b)
+	out := make([]*core.Study, 0, len(m))
+	for _, sys := range logrec.Systems() {
+		out = append(out, m[sys])
+	}
+	return out
+}
+
+// BenchmarkGenerate times the synthetic-log generator per system (the
+// substrate for every experiment).
+func BenchmarkGenerate(b *testing.B) {
+	for _, sys := range logrec.Systems() {
+		b.Run(sys.ShortName(), func(b *testing.B) {
+			var lines int
+			for i := 0; i < b.N; i++ {
+				out, err := simulate.Generate(simulate.Config{System: sys, Scale: 0.00005, Seed: int64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				lines = len(out.Lines)
+			}
+			b.ReportMetric(float64(lines), "lines")
+		})
+	}
+}
+
+// BenchmarkTagging times the expert-rule tagger over each system's
+// records (the Section 3.2 identification step).
+func BenchmarkTagging(b *testing.B) {
+	for _, sys := range logrec.Systems() {
+		s := studies(b)[sys]
+		b.Run(sys.ShortName(), func(b *testing.B) {
+			tg := tag.NewTagger(sys)
+			var alerts int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				alerts = len(tg.TagAll(s.Records))
+			}
+			b.ReportMetric(float64(alerts), "alerts")
+			b.ReportMetric(float64(len(s.Records))/b.Elapsed().Seconds()*float64(b.N)/float64(b.N), "records/s")
+		})
+	}
+}
+
+// BenchmarkTable1 regenerates the system-characteristics table (E1).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if core.Table1() == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the log-characteristics table including
+// gzip compression (E2).
+func BenchmarkTable2(b *testing.B) {
+	ss := allStudies(b)
+	b.ResetTimer()
+	var rows []core.Table2Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = core.Table2Data(ss)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	total := 0
+	for _, r := range rows {
+		total += r.Alerts
+	}
+	b.ReportMetric(float64(total), "alerts")
+}
+
+// BenchmarkTable3 regenerates the alert-type distribution (E3). The
+// reported metric is the filtered software share (paper: 64.01%).
+func BenchmarkTable3(b *testing.B) {
+	ss := allStudies(b)
+	b.ResetTimer()
+	var d core.Table3Data
+	for i := 0; i < b.N; i++ {
+		d = core.Table3Compute(ss)
+	}
+	tot := d.Filtered[catalog.Hardware] + d.Filtered[catalog.Software] + d.Filtered[catalog.Indeterminate]
+	b.ReportMetric(100*float64(d.Filtered[catalog.Software])/float64(tot), "sw-filt-%")
+}
+
+// BenchmarkTable4 regenerates the per-category table for every system
+// (E4).
+func BenchmarkTable4(b *testing.B) {
+	ss := allStudies(b)
+	b.ResetTimer()
+	rows := 0
+	for i := 0; i < b.N; i++ {
+		rows = 0
+		for _, s := range ss {
+			rows += len(core.Table4Data(s))
+		}
+	}
+	b.ReportMetric(float64(rows), "categories")
+}
+
+// BenchmarkTable5 regenerates the BG/L severity table and baseline
+// confusion (E5). Metric: the severity baseline's false positive
+// percentage (paper: 59.34).
+func BenchmarkTable5(b *testing.B) {
+	bgl := studies(b)[logrec.BlueGeneL]
+	b.ResetTimer()
+	var conf tag.Confusion
+	for i := 0; i < b.N; i++ {
+		core.Table5Data(bgl)
+		conf = core.Table5Baseline(bgl)
+	}
+	b.ReportMetric(100*conf.FalsePositiveRate(), "fp-%")
+}
+
+// BenchmarkTable6 regenerates the Red Storm severity table (E6).
+// Metric: CRIT alerts as a share of CRIT messages (paper: ~99.8%).
+func BenchmarkTable6(b *testing.B) {
+	rs := studies(b)[logrec.RedStorm]
+	b.ResetTimer()
+	var rows []core.SeverityRow
+	for i := 0; i < b.N; i++ {
+		rows = core.Table6Data(rs)
+	}
+	for _, r := range rows {
+		if r.Severity == logrec.SevCrit && r.Messages > 0 {
+			b.ReportMetric(100*float64(r.Alerts)/float64(r.Messages), "crit-alert-%")
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates the operational-context summary (F1).
+func BenchmarkFigure1(b *testing.B) {
+	bgl := studies(b)[logrec.BlueGeneL]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.RenderFigure1(io.Discard, bgl)
+	}
+}
+
+// BenchmarkFigure2a regenerates the hourly series and change points
+// (F2a). Metric: detected regime shifts.
+func BenchmarkFigure2a(b *testing.B) {
+	lib := studies(b)[logrec.Liberty]
+	b.ResetTimer()
+	var d core.Figure2aData
+	for i := 0; i < b.N; i++ {
+		d = core.Figure2a(lib)
+	}
+	b.ReportMetric(float64(len(d.ChangePoints)), "shifts")
+}
+
+// BenchmarkFigure2b regenerates the per-source ranking (F2b). Metric:
+// sources with corrupted attribution.
+func BenchmarkFigure2b(b *testing.B) {
+	lib := studies(b)[logrec.Liberty]
+	b.ResetTimer()
+	var d core.Figure2bData
+	for i := 0; i < b.N; i++ {
+		d = core.Figure2b(lib)
+	}
+	b.ReportMetric(float64(d.CorruptedSources), "corrupted-sources")
+}
+
+// BenchmarkFigure3 regenerates the GM_PAR/GM_LANAI correlation (F3).
+func BenchmarkFigure3(b *testing.B) {
+	lib := studies(b)[logrec.Liberty]
+	b.ResetTimer()
+	var d core.Figure3Data
+	for i := 0; i < b.N; i++ {
+		d = core.Figure3(lib, "GM_PAR", "GM_LANAI")
+	}
+	b.ReportMetric(d.Correlation, "daily-r")
+}
+
+// BenchmarkFigure4 regenerates the categorized filtered-alert timeline
+// (F4).
+func BenchmarkFigure4(b *testing.B) {
+	lib := studies(b)[logrec.Liberty]
+	b.ResetTimer()
+	var d core.Figure4Data
+	for i := 0; i < b.N; i++ {
+		d = core.Figure4(lib)
+	}
+	b.ReportMetric(float64(len(d.Points)), "filtered-alerts")
+}
+
+// BenchmarkFigure5 regenerates the ECC interarrival fits (F5). Metric:
+// the exponential KS statistic (small = exponential, as the paper finds).
+func BenchmarkFigure5(b *testing.B) {
+	tb := studies(b)[logrec.Thunderbird]
+	b.ResetTimer()
+	var d core.Figure5Data
+	for i := 0; i < b.N; i++ {
+		var err error
+		d, err = core.Figure5(tb, "ECC")
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(d.ExpKS.D, "ks-D")
+}
+
+// BenchmarkFigure6 regenerates the filtered interarrival log histograms
+// (F6). Metrics: BG/L modes (paper: 2, bimodal) and Spirit modes (1).
+func BenchmarkFigure6(b *testing.B) {
+	bgl := studies(b)[logrec.BlueGeneL]
+	spirit := studies(b)[logrec.Spirit]
+	b.ResetTimer()
+	var db, ds core.Figure6Data
+	for i := 0; i < b.N; i++ {
+		db = core.Figure6(bgl)
+		ds = core.Figure6(spirit)
+	}
+	b.ReportMetric(float64(db.Modes), "bgl-modes")
+	b.ReportMetric(float64(ds.Modes), "spirit-modes")
+}
+
+// benchFilter times one algorithm over Spirit's alert stream — the A1
+// ablation ("16% faster on the Spirit logs").
+func benchFilter(b *testing.B, alg filter.Algorithm) {
+	spirit := studies(b)[logrec.Spirit]
+	b.ResetTimer()
+	var kept int
+	for i := 0; i < b.N; i++ {
+		kept = len(alg.Filter(spirit.Alerts))
+	}
+	b.ReportMetric(float64(kept), "kept")
+	b.ReportMetric(float64(len(spirit.Alerts)), "input")
+}
+
+func BenchmarkFilterSimultaneous(b *testing.B) {
+	benchFilter(b, filter.Simultaneous{T: filter.DefaultThreshold})
+}
+
+func BenchmarkFilterSerial(b *testing.B) {
+	benchFilter(b, filter.Serial{T: filter.DefaultThreshold})
+}
+
+func BenchmarkFilterTemporal(b *testing.B) {
+	benchFilter(b, filter.Temporal{T: filter.DefaultThreshold})
+}
+
+func BenchmarkFilterSpatial(b *testing.B) {
+	benchFilter(b, filter.Spatial{T: filter.DefaultThreshold})
+}
+
+// BenchmarkFilterTuple is the historical tupling baseline (Tsao; Buckley
+// & Siewiorek) Algorithm 3.1 improves on. The extra metric is category
+// collisions — tuples merging unrelated categories.
+func BenchmarkFilterTuple(b *testing.B) {
+	spirit := studies(b)[logrec.Spirit]
+	alg := filter.Tuple{T: filter.DefaultThreshold}
+	b.ResetTimer()
+	var st filter.TupleStats
+	for i := 0; i < b.N; i++ {
+		st = alg.AnalyzeTuples(spirit.Alerts)
+	}
+	b.ReportMetric(float64(st.Tuples), "tuples")
+	b.ReportMetric(float64(st.Collisions), "collisions")
+}
+
+// BenchmarkDiscoverSpatial is the Section 4 discovery procedure: rank
+// categories by cross-node clustering. Metric: Thunderbird CPU's
+// multi-source index (near 1 = the SMP clock bug signal).
+func BenchmarkDiscoverSpatial(b *testing.B) {
+	tb := studies(b)[logrec.Thunderbird]
+	b.ResetTimer()
+	var scores []core.CategorySpatialScore
+	for i := 0; i < b.N; i++ {
+		scores = core.DiscoverSpatialCorrelation(tb, 30*time.Second, 20)
+	}
+	for _, sc := range scores {
+		if sc.Category == "CPU" {
+			b.ReportMetric(sc.Score.Index(), "cpu-index")
+		}
+	}
+}
+
+// BenchmarkJobImpact is the workload-overlay experiment: killed jobs and
+// lost node-hours from the Liberty PBS bug.
+func BenchmarkJobImpact(b *testing.B) {
+	lib := studies(b)[logrec.Liberty]
+	b.ResetTimer()
+	var imp core.JobImpactReport
+	for i := 0; i < b.N; i++ {
+		imp = core.JobImpact(lib, "PBS_CHK", 7, time.Hour)
+	}
+	b.ReportMetric(float64(imp.EstimatedKilled), "est-killed")
+	b.ReportMetric(imp.LostNodeHours, "node-hours-lost")
+}
+
+// BenchmarkAdaptiveFilter is the A3 ablation: per-category thresholds
+// (the Section 4 recommendation).
+func BenchmarkAdaptiveFilter(b *testing.B) {
+	spirit := studies(b)[logrec.Spirit]
+	th := core.AdaptiveThresholds(spirit)
+	alg := filter.Adaptive{Thresholds: th, Default: filter.DefaultThreshold}
+	b.ResetTimer()
+	var kept int
+	for i := 0; i < b.N; i++ {
+		kept = len(alg.Filter(spirit.Alerts))
+	}
+	b.ReportMetric(float64(kept), "kept")
+}
+
+// BenchmarkFilterAccuracy is the A2 ablation: ground-truth accuracy of
+// simultaneous vs serial. Metrics: incidents missed by each (paper: the
+// simultaneous filter loses at most one true positive per machine while
+// removing the redundant alerts serial keeps).
+func BenchmarkFilterAccuracy(b *testing.B) {
+	spirit := studies(b)[logrec.Spirit]
+	b.ResetTimer()
+	var results []core.FilterComparison
+	for i := 0; i < b.N; i++ {
+		results = core.CompareFilters(spirit,
+			filter.Simultaneous{T: filter.DefaultThreshold},
+			filter.Serial{T: filter.DefaultThreshold})
+	}
+	b.ReportMetric(float64(results[0].Accuracy.MissedIncidents), "sim-missed")
+	b.ReportMetric(float64(results[1].Accuracy.MissedIncidents), "ser-missed")
+	b.ReportMetric(float64(results[1].Accuracy.RedundantKept), "ser-redundant")
+}
+
+// BenchmarkCompression times the Table 2 gzip measurement on the largest
+// log.
+func BenchmarkCompression(b *testing.B) {
+	spirit := studies(b)[logrec.Spirit]
+	b.SetBytes(spirit.TotalBytes())
+	b.ResetTimer()
+	var comp int64
+	for i := 0; i < b.N; i++ {
+		var err error
+		comp, err = spirit.CompressedBytes()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(spirit.TotalBytes())/float64(comp), "ratio")
+}
+
+// BenchmarkThresholdSweep is the T-sensitivity ablation around the
+// paper's 5 s operating point. Metric: alerts/failure at T=1s (high,
+// redundancy survives) — at 5 s it is ~1.0 by construction.
+func BenchmarkThresholdSweep(b *testing.B) {
+	spirit := studies(b)[logrec.Spirit]
+	b.ResetTimer()
+	var rows []core.SweepRow
+	for i := 0; i < b.N; i++ {
+		rows = core.ThresholdSweep(spirit, core.DefaultSweepThresholds())
+	}
+	for _, r := range rows {
+		if r.T == time.Second {
+			b.ReportMetric(r.AlertsPerFailure, "apf@1s")
+		}
+		if r.T == 5*time.Second {
+			b.ReportMetric(r.AlertsPerFailure, "apf@5s")
+		}
+	}
+}
+
+// BenchmarkFilterCorrelationAware is the Section 5 future-work filter
+// (learn + filter). Metric: learned multi-category groups on BG/L and
+// the resulting survivor count.
+func BenchmarkFilterCorrelationAware(b *testing.B) {
+	bgl := studies(b)[logrec.BlueGeneL]
+	alg := filter.CorrelationAware{T: filter.DefaultThreshold}
+	b.ResetTimer()
+	var kept int
+	for i := 0; i < b.N; i++ {
+		kept = len(alg.Filter(bgl.Alerts))
+	}
+	groups := alg.Learn(bgl.Alerts)
+	b.ReportMetric(float64(len(groups.Groups())), "groups")
+	b.ReportMetric(float64(kept), "kept")
+}
+
+// BenchmarkStreamFilter times the online form of Algorithm 3.1, one
+// Offer per alert (the deployment path).
+func BenchmarkStreamFilter(b *testing.B) {
+	spirit := studies(b)[logrec.Spirit]
+	b.ResetTimer()
+	kept := 0
+	for i := 0; i < b.N; i++ {
+		s := filter.NewStream(filter.DefaultThreshold)
+		kept = 0
+		for _, a := range spirit.Alerts {
+			if s.Offer(a) {
+				kept++
+			}
+		}
+	}
+	b.ReportMetric(float64(kept), "kept")
+}
+
+// BenchmarkIngest times the streaming text reader over a rendered
+// Liberty log.
+func BenchmarkIngest(b *testing.B) {
+	lib := studies(b)[logrec.Liberty]
+	text := strings.Join(lib.Lines, "\n") + "\n"
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs, _, err := ingest.ReadAll(strings.NewReader(text), logrec.Liberty, lib.Source.Start)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(recs) != len(lib.Lines) {
+			b.Fatal("short read")
+		}
+	}
+}
+
+// BenchmarkAnonymize times keyed pseudonymization of a Liberty log.
+func BenchmarkAnonymize(b *testing.B) {
+	lib := studies(b)[logrec.Liberty]
+	b.SetBytes(lib.TotalBytes())
+	an := anonymize.New("bench-key")
+	b.ResetTimer()
+	changed := 0
+	for i := 0; i < b.N; i++ {
+		lines := make([]string, len(lib.Lines))
+		copy(lines, lib.Lines)
+		changed = an.Lines(lines)
+	}
+	b.ReportMetric(float64(changed), "rewritten")
+}
+
+// BenchmarkMining times SLCT-style template discovery over Liberty's
+// bodies. Metric: cluster purity against the expert tags (1.0 = the
+// miner recovers the categories).
+func BenchmarkMining(b *testing.B) {
+	lib := studies(b)[logrec.Liberty]
+	b.ResetTimer()
+	var rep core.MiningReport
+	for i := 0; i < b.N; i++ {
+		rep = core.MineTemplates(lib, mining.Config{Support: 20}, 50000)
+	}
+	b.ReportMetric(float64(len(rep.Templates)), "templates")
+	b.ReportMetric(rep.AlertPurity, "purity")
+}
+
+// BenchmarkAutoEnsemble times per-category predictor selection with
+// holdout evaluation.
+func BenchmarkAutoEnsemble(b *testing.B) {
+	lib := studies(b)[logrec.Liberty]
+	cands := predict.DefaultCandidates([]string{"GM_PAR", "PBS_CHK"})
+	b.ResetTimer()
+	var sels []predict.Selection
+	for i := 0; i < b.N; i++ {
+		sels = predict.AutoSelect(lib.Alerts, []string{"GM_LANAI", "PBS_BFD"}, cands,
+			0.6, 30*time.Second, 2*time.Hour, 0.05)
+	}
+	b.ReportMetric(float64(len(sels)), "selected")
+}
+
+// BenchmarkPrediction times the Section 5 predictor ensemble on Liberty.
+func BenchmarkPrediction(b *testing.B) {
+	lib := studies(b)[logrec.Liberty]
+	ens := predict.Ensemble{ByCategory: map[string]predict.Predictor{
+		"GM_LANAI": predict.Precursor{PrecursorCategory: "GM_PAR", Cooldown: time.Hour},
+		"PBS_BFD":  predict.Precursor{PrecursorCategory: "PBS_CHK", Cooldown: 10 * time.Minute},
+	}}
+	b.ResetTimer()
+	var warnings []predict.Warning
+	for i := 0; i < b.N; i++ {
+		warnings = ens.Predict(lib.Alerts)
+	}
+	b.ReportMetric(float64(len(warnings)), "warnings")
+}

@@ -1,0 +1,13 @@
+// Package whatsupersay is a reproduction of "What Supercomputers Say: A
+// Study of Five System Logs" (Oliner & Stearley, DSN 2007) as a Go
+// library: calibrated synthetic log generators for the five machines
+// (Blue Gene/L, Thunderbird, Red Storm, Spirit, Liberty), parsers for the
+// three log dialects, the expert-rule alert tagger, the simultaneous
+// spatio-temporal filter of Algorithm 3.1 with its baselines, and the
+// statistical analyses behind every table and figure in the paper.
+//
+// Start with internal/core.Study for the end-to-end pipeline, or run
+// cmd/logstudy to print the paper's tables and figures. The repository's
+// DESIGN.md maps every experiment to the module and benchmark that
+// regenerates it; EXPERIMENTS.md records measured-vs-paper results.
+package whatsupersay

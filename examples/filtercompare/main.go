@@ -1,0 +1,70 @@
+// Filtercompare: the Section 3.3.2 experiment. Runs the paper's
+// simultaneous spatio-temporal filter and the serial
+// temporal-then-spatial baseline over the same Spirit alert stream, and
+// scores both against the generator's ground truth.
+//
+// The paper's claims, all checked here:
+//   - the simultaneous filter is at least as fast ("16% faster on the
+//     Spirit logs") and conceptually simpler;
+//   - its survivors are a subset of the serial filter's;
+//   - it removes redundant shared-resource alerts serial keeps (false
+//     positives), at the cost of at most one true incident (sn325's disk
+//     failure, which hid inside sn373's storm).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"whatsupersay/internal/core"
+	"whatsupersay/internal/filter"
+	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/report"
+	"whatsupersay/internal/simulate"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	study, err := core.New(simulate.Config{System: logrec.Spirit, Scale: 0.001, Seed: 11})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Spirit: %s raw alerts across %d ground-truth incidents\n\n",
+		report.Comma(int64(len(study.Alerts))), len(study.Source.Truth.Incidents))
+
+	results := core.CompareFilters(study,
+		filter.Simultaneous{T: filter.DefaultThreshold},
+		filter.Serial{T: filter.DefaultThreshold},
+	)
+	t := report.NewTable("simultaneous (Algorithm 3.1) vs serial [Liang et al.]",
+		"Algorithm", "Kept", "Missed Incidents", "Redundant Kept", "Alerts/Failure", "Elapsed")
+	for _, r := range results {
+		t.AddRow(r.Algorithm, r.Stats.Output, r.Accuracy.MissedIncidents,
+			r.Accuracy.RedundantKept, fmt.Sprintf("%.3f", r.Accuracy.AlertsPerFailure()), r.Elapsed.String())
+	}
+	t.Render(os.Stdout)
+
+	// Where do the two disagree? The paper: extra survivors under serial
+	// "tend to indicate failures in shared resources", most commonly PBS.
+	diff := core.SurvivorDiff(study,
+		filter.Serial{T: filter.DefaultThreshold},
+		filter.Simultaneous{T: filter.DefaultThreshold})
+	fmt.Println("\nkept by serial, removed by simultaneous (redundant cross-node reports):")
+	for cat, n := range diff {
+		fmt.Printf("  %-12s %d\n", cat, n)
+	}
+
+	// The one true positive the simultaneous filter erroneously removes:
+	// sn325's independent disk failure during sn373's storm.
+	sim := results[0].Accuracy
+	ser := results[1].Accuracy
+	fmt.Printf("\nsimultaneous missed %d incident(s); serial missed %d (paper: at most one per machine)\n",
+		sim.MissedIncidents, ser.MissedIncidents)
+	return nil
+}

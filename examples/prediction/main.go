@@ -1,0 +1,102 @@
+// Prediction: the Section 5 "ensemble of predictors" recommendation,
+// demonstrated on Liberty. Different failure categories have different
+// predictive signatures, so the ensemble assigns each category the
+// predictor that matches its behavior:
+//
+//   - GM_LANAI is preceded by GM_PAR (the Figure 3 correlation), so a
+//     precursor predictor fits;
+//   - PBS_CHK arrives in job-killing storms, so a rate-threshold
+//     predictor warns once a storm begins;
+//   - a periodic predictor is scored on the same categories as a
+//     baseline, to show what naive warning schedules cost in precision.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"whatsupersay/internal/core"
+	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/predict"
+	"whatsupersay/internal/report"
+	"whatsupersay/internal/simulate"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	study, err := core.New(simulate.Config{
+		System:     logrec.Liberty,
+		Scale:      0.001,
+		AlertScale: 1,
+		Seed:       13,
+	})
+	if err != nil {
+		return err
+	}
+
+	const (
+		minLead = 30 * time.Second
+		horizon = 2 * time.Hour
+	)
+
+	targets := []struct {
+		category  string
+		predictor predict.Predictor
+	}{
+		{"GM_LANAI", predict.Precursor{PrecursorCategory: "GM_PAR", Cooldown: time.Hour}},
+		// PBS_BFD follows a run of PBS_CHK task_check messages (the
+		// correlated siblings of Figure 4): a rate threshold on PBS_CHK
+		// traffic is the natural precursor signal.
+		{"PBS_BFD", predict.Precursor{PrecursorCategory: "PBS_CHK", Cooldown: 10 * time.Minute}},
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("Per-category predictors on %s (lead>=%v, horizon %v)", study.System, minLead, horizon),
+		"Category", "Predictor", "Warnings", "Precision", "Recall")
+	for _, tc := range targets {
+		events := core.AlertTimes(core.AlertsOfCategory(study.Filtered, tc.category))
+		warnings := tc.predictor.Predict(study.Alerts, tc.category)
+		ev := predict.Evaluate(warnings, events, minLead, horizon)
+		t.AddRow(tc.category, tc.predictor.Name(), len(warnings),
+			fmt.Sprintf("%.2f", ev.Precision()), fmt.Sprintf("%.2f", ev.Recall()))
+
+		// Baseline: warn every 6 hours, no signal at all.
+		base := predict.Periodic{Interval: 6 * time.Hour}
+		bw := base.Predict(study.Alerts, tc.category)
+		bev := predict.Evaluate(bw, events, minLead, horizon)
+		t.AddRow(tc.category, base.Name()+" [baseline]", len(bw),
+			fmt.Sprintf("%.2f", bev.Precision()), fmt.Sprintf("%.2f", bev.Recall()))
+	}
+	t.Render(os.Stdout)
+
+	// The automated version: train every candidate on the first 60% of
+	// the stream, keep the best per category, score on the held-out 40%.
+	var cats []string
+	for name := range map[string]bool{"GM_PAR": true, "PBS_CHK": true, "PBS_CON": true} {
+		cats = append(cats, name)
+	}
+	sels := predict.AutoSelect(study.Alerts,
+		[]string{"GM_LANAI", "PBS_BFD"},
+		predict.DefaultCandidates(cats),
+		0.6, minLead, horizon, 0.05)
+	auto := report.NewTable("\nAuto-selected ensemble (train 60% / holdout 40%)",
+		"Category", "Selected", "Train P/R", "Holdout P/R")
+	for _, s := range sels {
+		auto.AddRow(s.Category, s.Label,
+			fmt.Sprintf("%.2f/%.2f", s.Train.Precision(), s.Train.Recall()),
+			fmt.Sprintf("%.2f/%.2f", s.Holdout.Precision(), s.Holdout.Recall()))
+	}
+	auto.Render(os.Stdout)
+
+	fmt.Println("\nAs the paper argues, no single feature predicts every failure type:")
+	fmt.Println("the precursor signal exists only where categories are implicitly")
+	fmt.Println("correlated, and rate thresholds only help for storm-like failures.")
+	return nil
+}

@@ -1,0 +1,3 @@
+module whatsupersay
+
+go 1.22

@@ -1,0 +1,180 @@
+package catalog
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+
+	"whatsupersay/internal/logrec"
+)
+
+// bglCategories returns the 41 Blue Gene/L alert categories. Table 4
+// lists the ten most common; the remaining 31 ("I/31 Others", 7,186 raw /
+// 519 filtered in aggregate) are reconstructed here with names and bodies
+// consistent with the published BG/L failure-log literature, and with
+// per-category counts allocated to sum exactly to the paper's aggregate.
+//
+// BG/L alerts are overwhelmingly FATAL-severity (Table 5: 348,398 of
+// 348,460) with the remaining 62 carrying FAILURE — modeled here as the
+// BGLMASTER abnormal-termination category.
+func bglCategories() []*Category {
+	sys := logrec.BlueGeneL
+	cats := []*Category{
+		{
+			System: sys, Name: "KERNDTLB", Type: Hardware,
+			Raw: 152734, Filtered: 37,
+			Pattern: `data TLB error interrupt`, Facility: "KERNEL",
+			Severity: logrec.SevFatal,
+			Example:  "data TLB error interrupt",
+			Gen:      func(*rand.Rand) string { return "data TLB error interrupt" },
+		},
+		{
+			System: sys, Name: "KERNSTOR", Type: Hardware,
+			Raw: 63491, Filtered: 8,
+			Pattern: `data storage interrupt`, Facility: "KERNEL",
+			Severity: logrec.SevFatal,
+			Example:  "data storage interrupt",
+			Gen:      func(*rand.Rand) string { return "data storage interrupt" },
+		},
+		{
+			System: sys, Name: "APPSEV", Type: Software,
+			Raw: 49651, Filtered: 138,
+			Pattern: `ciod: Error reading message prefix after LOGIN_MESSAGE on CioStream`, Facility: "APP",
+			Severity: logrec.SevFatal,
+			Example:  "ciod: Error reading message prefix after LOGIN_MESSAGE on CioStream []",
+			Gen: func(rng *rand.Rand) string {
+				return fmt.Sprintf("ciod: Error reading message prefix after LOGIN_MESSAGE on CioStream socket to 172.16.96.%d:%d", rng.Intn(255), 30000+rng.Intn(5000))
+			},
+		},
+		{
+			System: sys, Name: "KERNMNTF", Type: Software,
+			Raw: 31531, Filtered: 105,
+			Pattern: `Lustre mount FAILED`, Facility: "KERNEL",
+			Severity: logrec.SevFatal,
+			Example:  "Lustre mount FAILED : bglio11 : block_id : location",
+			Gen: func(rng *rand.Rand) string {
+				return fmt.Sprintf("Lustre mount FAILED : bglio%d : block_id : location", 10+rng.Intn(4))
+			},
+		},
+		{
+			System: sys, Name: "KERNTERM", Type: Software,
+			Raw: 23338, Filtered: 99,
+			Pattern: `rts: kernel terminated for reason`, Facility: "KERNEL",
+			Severity: logrec.SevFatal,
+			Example:  "rts: kernel terminated for reason 1004rts: bad message header: []",
+			Gen: func(rng *rand.Rand) string {
+				return fmt.Sprintf("rts: kernel terminated for reason %drts: bad message header: %s", 1000+rng.Intn(10), hex8(rng))
+			},
+		},
+		{
+			System: sys, Name: "KERNREC", Type: Software,
+			Raw: 6145, Filtered: 9,
+			Pattern: `Error receiving packet on tree network`, Facility: "KERNEL",
+			Severity: logrec.SevFatal,
+			Example:  "Error receiving packet on tree network, expecting type 57 instead of []",
+			Gen: func(rng *rand.Rand) string {
+				return fmt.Sprintf("Error receiving packet on tree network, expecting type 57 instead of type %d (softheader=%s)", rng.Intn(64), hex8(rng))
+			},
+		},
+		{
+			System: sys, Name: "APPREAD", Type: Software,
+			Raw: 5983, Filtered: 11,
+			Pattern: `ciod: failed to read message prefix on control stream`, Facility: "APP",
+			Severity: logrec.SevFatal,
+			Example:  "ciod: failed to read message prefix on control stream []",
+			Gen: func(rng *rand.Rand) string {
+				return fmt.Sprintf("ciod: failed to read message prefix on control stream (CioStream socket to 172.16.96.%d:%d)", rng.Intn(255), 30000+rng.Intn(5000))
+			},
+		},
+		{
+			System: sys, Name: "KERNRTSP", Type: Software,
+			Raw: 3983, Filtered: 260,
+			Pattern: `rts panic! - stopping execution`, Facility: "KERNEL",
+			Severity: logrec.SevFatal,
+			Example:  "rts panic! - stopping execution",
+			Gen:      func(*rand.Rand) string { return "rts panic! - stopping execution" },
+		},
+		{
+			System: sys, Name: "APPRES", Type: Software,
+			Raw: 2370, Filtered: 13,
+			Pattern: `ciod: Error reading message prefix after LOAD_MESSAGE on CioStream`, Facility: "APP",
+			Severity: logrec.SevFatal,
+			Example:  "ciod: Error reading message prefix after LOAD_MESSAGE on CioStream []",
+			Gen: func(rng *rand.Rand) string {
+				return fmt.Sprintf("ciod: Error reading message prefix after LOAD_MESSAGE on CioStream socket to 172.16.96.%d:%d", rng.Intn(255), 30000+rng.Intn(5000))
+			},
+		},
+		{
+			System: sys, Name: "APPUNAV", Type: Indeterminate,
+			Raw: 2048, Filtered: 3,
+			Pattern: `ciod: Error creating node map from file`, Facility: "APP",
+			Severity: logrec.SevFatal,
+			Example:  "ciod: Error creating node map from file []",
+			Gen: func(rng *rand.Rand) string {
+				return fmt.Sprintf("ciod: Error creating node map from file /p/gb1/job%d.map", jobID(rng))
+			},
+		},
+	}
+	return append(cats, bglOtherCategories()...)
+}
+
+// bglOther is the compact spec for one of the 31 minor BG/L categories.
+type bglOther struct {
+	name          string
+	raw, filtered int
+	facility      string
+	severity      logrec.Severity
+	body          string // fixed body; also the pattern (quoted)
+}
+
+// bglOtherCategories reconstructs the long tail. All are type
+// Indeterminate per Table 4's "I/31 Others" row; raw counts sum to 7,186
+// and filtered counts to 519.
+func bglOtherCategories() []*Category {
+	specs := []bglOther{
+		{"KERNMC", 2253, 103, "KERNEL", logrec.SevFatal, "machine check interrupt"},
+		{"KERNPAN", 1020, 53, "KERNEL", logrec.SevFatal, "kernel panic"},
+		{"KERNEXT", 650, 35, "KERNEL", logrec.SevFatal, "external input interrupt"},
+		{"KERNRTSA", 510, 31, "KERNEL", logrec.SevFatal, "rts assertion failed"},
+		{"KERNSOCK", 430, 28, "KERNEL", logrec.SevFatal, "socket closed unexpectedly on control stream"},
+		{"KERNPOW", 370, 25, "KERNEL", logrec.SevFatal, "power module reported failure state"},
+		{"KERNPROM", 310, 23, "KERNEL", logrec.SevFatal, "jtag prom read failure"},
+		{"KERNTLBE", 260, 20, "KERNEL", logrec.SevFatal, "instruction TLB error interrupt"},
+		{"KERNBIT", 220, 18, "KERNEL", logrec.SevFatal, "bit steering failed on symbol correction"},
+		{"KERNCON", 180, 16, "KERNEL", logrec.SevFatal, "lost contact with node card"},
+		{"KERNDB", 150, 15, "KERNEL", logrec.SevFatal, "debug interrupt raised unexpectedly"},
+		{"KERNFSHD", 120, 13, "KERNEL", logrec.SevFatal, "filesystem shutdown forced by io node"},
+		{"KERNMICE", 100, 12, "KERNEL", logrec.SevFatal, "microloader checksum error"},
+		{"KERNNOETH", 85, 11, "KERNEL", logrec.SevFatal, "no ethernet link detected on io node"},
+		{"KERNSERV", 70, 10, "KERNEL", logrec.SevFatal, "service action required for node card"},
+		{"APPALLOC", 60, 9, "APP", logrec.SevFatal, "ciod: cannot allocate memory for tool message"},
+		{"APPBUSY", 52, 9, "APP", logrec.SevFatal, "ciod: duplicate load job request while busy"},
+		{"APPCHILD", 45, 8, "APP", logrec.SevFatal, "ciod: child process exited abnormally"},
+		{"APPOUT", 38, 8, "APP", logrec.SevFatal, "ciod: failed to write output message"},
+		{"APPTO", 32, 7, "APP", logrec.SevFatal, "ciod: timeout waiting for compute node response"},
+		{"APPTORUS", 28, 7, "APP", logrec.SevFatal, "torus receiver z+ input pin failed on sync"},
+		{"MONILL", 24, 6, "MONITOR", logrec.SevFatal, "monitor caught illegal instruction"},
+		{"MONNULL", 20, 6, "MONITOR", logrec.SevFatal, "monitor read null attribute from card"},
+		{"MONPOW", 17, 5, "MONITOR", logrec.SevFatal, "monitor power supply voltage out of range"},
+		{"MASABNORM", 62, 5, "BGLMASTER", logrec.SevFailure, "BGLMASTER FAILURE ciodb exited abnormally"},
+		{"MASNORM", 13, 4, "BGLMASTER", logrec.SevFatal, "ciodb exited normally with exit code 0"},
+		{"LINKBLL", 12, 4, "LINKCARD", logrec.SevFatal, "link card bll clock status error"},
+		{"LINKDISC", 10, 3, "LINKCARD", logrec.SevFatal, "link card port disconnected"},
+		{"LINKIAP", 9, 3, "LINKCARD", logrec.SevFatal, "link card iap parity error"},
+		{"LINKPAP", 8, 2, "LINKCARD", logrec.SevFatal, "link card pap receiver error"},
+		{"DISCWARN", 28, 20, "DISCOVERY", logrec.SevFatal, "discovery found missing node card during sweep"},
+	}
+	out := make([]*Category, 0, len(specs))
+	for _, s := range specs {
+		body := s.body
+		out = append(out, &Category{
+			System: logrec.BlueGeneL, Name: s.name, Type: Indeterminate,
+			Raw: s.raw, Filtered: s.filtered,
+			Pattern: regexp.QuoteMeta(body), Facility: s.facility,
+			Severity: s.severity,
+			Example:  body,
+			Gen:      func(*rand.Rand) string { return body },
+		})
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package catalog
+
+import (
+	"fmt"
+	"math/rand"
+
+	"whatsupersay/internal/logrec"
+)
+
+// libertyCategories returns the 6 Liberty alert categories of Table 4.
+// Liberty's alert log is tiny (2,452 raw alerts) but structurally rich:
+// the PBS_CHK/PBS_BFD pair is the manifestation of the job-killing PBS bug
+// of Section 3.3.1 (Figure 4), and GM_PAR/GM_LANAI are the implicitly
+// correlated Myrinet categories of Figure 3. Liberty's syslog
+// configuration recorded no severities.
+func libertyCategories() []*Category {
+	sys := logrec.Liberty
+	return []*Category{
+		{
+			System: sys, Name: "PBS_CHK", Type: Software,
+			Raw: 2231, Filtered: 920,
+			Pattern: `task_check, cannot tm_reply`, Program: "pbs_mom",
+			Example: "pbs_mom: task_check, cannot tm_reply to [job] task 1",
+			Gen: func(rng *rand.Rand) string {
+				return fmt.Sprintf("task_check, cannot tm_reply to %d.ladmin2 task 1", jobID(rng))
+			},
+		},
+		{
+			System: sys, Name: "PBS_BFD", Type: Software,
+			Raw: 115, Filtered: 94,
+			Pattern: `Bad file descriptor \(9\) in tm_request`, Program: "pbs_mom",
+			Example: "pbs.mom: Bad file descriptor (9) in tm.request, job[job] not running",
+			Gen: func(rng *rand.Rand) string {
+				return fmt.Sprintf("Bad file descriptor (9) in tm_request, job %d.ladmin2 not running", jobID(rng))
+			},
+		},
+		{
+			System: sys, Name: "PBS_CON", Type: Software,
+			Raw: 47, Filtered: 5,
+			Pattern: `Connection refused \(111\) in open_demux`, Program: "pbs_mom",
+			Example: "pbs_mom: Connection refused (111) in open_demux, open_demux: connect [IP:port]",
+			Gen: func(rng *rand.Rand) string {
+				return fmt.Sprintf("Connection refused (111) in open_demux, open_demux: connect 10.%d.%d.%d:%d", rng.Intn(255), rng.Intn(255), rng.Intn(255), 15000+rng.Intn(3000))
+			},
+		},
+		{
+			System: sys, Name: "GM_PAR", Type: Hardware,
+			Raw: 44, Filtered: 19,
+			Pattern: `GM: LANAI\[0\]: PANIC: .*gm_parity\.c`, Program: "kernel",
+			Example: "kernel: GM: LANAI[0]: PANIC: [path]/gm_parity.c:115:parity_int():firmware",
+			Gen: func(rng *rand.Rand) string {
+				return "GM: LANAI[0]: PANIC: /usr/src/gm/firmware/gm_parity.c:115:parity_int():firmware"
+			},
+		},
+		{
+			System: sys, Name: "GM_LANAI", Type: Software,
+			Raw: 13, Filtered: 10,
+			Pattern: `GM: LANai is not running`, Program: "kernel",
+			Example: "kernel: GM: LANai is not running. Allowing port=0 open for debugging",
+			Gen:     func(*rand.Rand) string { return "GM: LANai is not running. Allowing port=0 open for debugging" },
+		},
+		{
+			System: sys, Name: "GM_MAP", Type: Software,
+			Raw: 2, Filtered: 2,
+			Pattern: `assertion failed\. .*mi\.c`, Program: "gm_mapper",
+			Example: "gm_mapper[736]: assertion failed. [path]/mi.c:541 (r == GM_SUCCESS)",
+			Gen: func(rng *rand.Rand) string {
+				return "assertion failed. /usr/src/gm/mapper/mi.c:541 (r == GM_SUCCESS)"
+			},
+		},
+	}
+}

@@ -1,0 +1,89 @@
+package catalog
+
+import (
+	"fmt"
+	"math/rand"
+
+	"whatsupersay/internal/logrec"
+)
+
+// spiritCategories returns the 8 Spirit alert categories of Table 4.
+// Spirit's logs were the largest of the study despite the system being the
+// second smallest, "due almost entirely to disk-related alert messages
+// which were repeated millions of times" — the EXT_CCISS and EXT_FS
+// categories here, concentrated on a handful of chronically failing nodes
+// (sn373 alone logged 89,632,571 of them). Spirit's syslog configuration
+// recorded no severities.
+func spiritCategories() []*Category {
+	sys := logrec.Spirit
+	return []*Category{
+		{
+			System: sys, Name: "EXT_CCISS", Type: Hardware,
+			Raw: 103818910, Filtered: 29,
+			Pattern: `cciss: cmd \w+ has CHECK CONDITION`, Program: "kernel",
+			Example: "kernel: cciss: cmd 0000010000a60000 has CHECK CONDITION, sense key = 0x3",
+			Gen: func(rng *rand.Rand) string {
+				return fmt.Sprintf("cciss: cmd %s has CHECK CONDITION, sense key = 0x3", hex16(rng))
+			},
+		},
+		{
+			System: sys, Name: "EXT_FS", Type: Hardware,
+			Raw: 68986084, Filtered: 14,
+			Pattern: `EXT3-fs error`, Program: "kernel",
+			Example: "kernel: EXT3-fs error (device[device]) in ext3_reserve_inode_write: IO failure",
+			Gen: func(rng *rand.Rand) string {
+				return fmt.Sprintf("EXT3-fs error (device cciss/c0d%dp%d) in ext3_reserve_inode_write: IO failure", rng.Intn(2), 1+rng.Intn(5))
+			},
+		},
+		{
+			System: sys, Name: "PBS_CHK", Type: Software,
+			Raw: 8388, Filtered: 4119,
+			Pattern: `task_check, cannot tm_reply`, Program: "pbs_mom",
+			Example: "pbs_mom: task_check, cannot tm_reply to [job] task 1",
+			Gen: func(rng *rand.Rand) string {
+				return fmt.Sprintf("task_check, cannot tm_reply to %d.sadmin2 task 1", jobID(rng))
+			},
+		},
+		{
+			System: sys, Name: "GM_LANAI", Type: Software,
+			Raw: 1256, Filtered: 117,
+			Pattern: `GM: LANai is not running`, Program: "kernel",
+			Example: "kernel: GM: LANai is not running. Allowing port=0 open for debugging",
+			Gen:     func(*rand.Rand) string { return "GM: LANai is not running. Allowing port=0 open for debugging" },
+		},
+		{
+			System: sys, Name: "PBS_CON", Type: Software,
+			Raw: 817, Filtered: 25,
+			Pattern: `Connection refused \(111\) in open_demux`, Program: "pbs_mom",
+			Example: "pbs_mom: Connection refused (111) in open_demux, open_demux: connect [IP:port]",
+			Gen: func(rng *rand.Rand) string {
+				return fmt.Sprintf("Connection refused (111) in open_demux, open_demux: connect 10.%d.%d.%d:%d", rng.Intn(255), rng.Intn(255), rng.Intn(255), 15000+rng.Intn(3000))
+			},
+		},
+		{
+			System: sys, Name: "GM_MAP", Type: Software,
+			Raw: 596, Filtered: 180,
+			Pattern: `assertion failed\. .*lx_mapper\.c`, Program: "gm_mapper",
+			Example: "gm_mapper[[#]]: assertion failed. [path]/lx_mapper.c:2112 (m->root)",
+			Gen: func(rng *rand.Rand) string {
+				return fmt.Sprintf("assertion failed. /usr/src/gm/mapper/lx_mapper.c:2112 (m->root)")
+			},
+		},
+		{
+			System: sys, Name: "PBS_BFD", Type: Software,
+			Raw: 346, Filtered: 296,
+			Pattern: `Bad file descriptor \(9\) in tm_request`, Program: "pbs_mom",
+			Example: "pbs_mom: Bad file descriptor (9) in tm_request, job [job] not running",
+			Gen: func(rng *rand.Rand) string {
+				return fmt.Sprintf("Bad file descriptor (9) in tm_request, job %d.sadmin2 not running", jobID(rng))
+			},
+		},
+		{
+			System: sys, Name: "GM_PAR", Type: Hardware,
+			Raw: 166, Filtered: 95,
+			Pattern: `GM: The NIC ISR is reporting an SRAM parity error`, Program: "kernel",
+			Example: "kernel: GM: The NIC ISR is reporting an SRAM parity error.",
+			Gen:     func(*rand.Rand) string { return "GM: The NIC ISR is reporting an SRAM parity error." },
+		},
+	}
+}

@@ -1,0 +1,104 @@
+package catalog
+
+import (
+	"fmt"
+	"math/rand"
+
+	"whatsupersay/internal/logrec"
+)
+
+// thunderbirdCategories returns the 10 Thunderbird alert categories of
+// Table 4. Thunderbird's syslog configuration did not record severities,
+// so every category carries SeverityUnknown — which is itself one of the
+// paper's findings about commodity logging.
+func thunderbirdCategories() []*Category {
+	sys := logrec.Thunderbird
+	return []*Category{
+		{
+			System: sys, Name: "VAPI", Type: Indeterminate,
+			Raw: 3229194, Filtered: 276,
+			Pattern: `Local Catastrophic Error`, Program: "kernel",
+			Example: "kernel: [KERNEL_IB][] (Fatal error (Local Catastrophic Error))",
+			Gen: func(rng *rand.Rand) string {
+				return fmt.Sprintf("[KERNEL_IB][ib_mt25218.c:%d] (Fatal error (Local Catastrophic Error))", 1000+rng.Intn(900))
+			},
+		},
+		{
+			System: sys, Name: "PBS_CON", Type: Software,
+			Raw: 5318, Filtered: 16,
+			Pattern: `Connection refused \(111\) in open_demux`, Program: "pbs_mom",
+			Example: "pbs_mom: Connection refused (111) in open_demux, open_demux: cannot []",
+			Gen: func(rng *rand.Rand) string {
+				return fmt.Sprintf("Connection refused (111) in open_demux, open_demux: cannot connect to %d.%d.%d.%d:%d", 10, rng.Intn(255), rng.Intn(255), rng.Intn(255), 15000+rng.Intn(3000))
+			},
+		},
+		{
+			System: sys, Name: "MPT", Type: Indeterminate,
+			Raw: 4583, Filtered: 157,
+			Pattern: `mptscsih: ioc\d+: attempting task abort!`, Program: "kernel",
+			Example: "kernel: mptscsih: ioc0: attempting task abort! (sc=00000101bddee480)",
+			Gen: func(rng *rand.Rand) string {
+				return fmt.Sprintf("mptscsih: ioc%d: attempting task abort! (sc=%s)", rng.Intn(2), hex16(rng))
+			},
+		},
+		{
+			System: sys, Name: "EXT_FS", Type: Hardware,
+			Raw: 4022, Filtered: 778,
+			Pattern: `EXT3-fs error`, Program: "kernel",
+			Example: "kernel: EXT3-fs error (device sda5): [] Detected aborted journal",
+			Gen: func(rng *rand.Rand) string {
+				return fmt.Sprintf("EXT3-fs error (device sda%d): ext3_journal_start_sb: Detected aborted journal", 1+rng.Intn(6))
+			},
+		},
+		{
+			System: sys, Name: "CPU", Type: Software,
+			Raw: 2741, Filtered: 367,
+			Pattern: `Losing some ticks checking if CPU frequency changed`, Program: "kernel",
+			Example: "kernel: Losing some ticks checking if CPU frequency changed.",
+			Gen:     func(*rand.Rand) string { return "Losing some ticks checking if CPU frequency changed." },
+		},
+		{
+			System: sys, Name: "SCSI", Type: Hardware,
+			Raw: 2186, Filtered: 317,
+			Pattern: `rejecting I/O to offline device`, Program: "kernel",
+			Example: "kernel: scsi0 (0:0): rejecting I/O to offline device",
+			Gen: func(rng *rand.Rand) string {
+				return fmt.Sprintf("scsi%d (0:%d): rejecting I/O to offline device", rng.Intn(2), rng.Intn(8))
+			},
+		},
+		{
+			System: sys, Name: "ECC", Type: Hardware,
+			Raw: 146, Filtered: 143,
+			Pattern: `EventID: 1404`,
+			Example: "Server Administrator: Instrumentation Service EventID: 1404 Memory device []",
+			Gen: func(rng *rand.Rand) string {
+				return fmt.Sprintf("Server Administrator: Instrumentation Service EventID: 1404 Memory device status is critical Memory device location: DIMM%d_A", 1+rng.Intn(8))
+			},
+		},
+		{
+			System: sys, Name: "PBS_BFD", Type: Software,
+			Raw: 28, Filtered: 28,
+			Pattern: `Bad file descriptor \(9\) in tm_request`, Program: "pbs_mom",
+			Example: "pbs_mom: Bad file descriptor (9) in tm_request, job[job] not running",
+			Gen: func(rng *rand.Rand) string {
+				return fmt.Sprintf("Bad file descriptor (9) in tm_request, job %d.tbird-admin1 not running", jobID(rng))
+			},
+		},
+		{
+			System: sys, Name: "CHK_DSK", Type: Hardware,
+			Raw: 13, Filtered: 2,
+			Pattern: `Fault Status assert`, Program: "check-disks",
+			Example: "check-disks: [node:time], Fault Status assert []",
+			Gen: func(rng *rand.Rand) string {
+				return fmt.Sprintf("[tn%d:%d], Fault Status assert on enclosure %d", 1+rng.Intn(240), rng.Intn(86400), rng.Intn(4))
+			},
+		},
+		{
+			System: sys, Name: "NMI", Type: Indeterminate,
+			Raw: 8, Filtered: 4,
+			Pattern: `NMI received\. Dazed and confused`, Program: "kernel",
+			Example: "kernel: Uhhuh. NMI received. Dazed and confused, but trying to continue",
+			Gen:     func(*rand.Rand) string { return "Uhhuh. NMI received. Dazed and confused, but trying to continue" },
+		},
+	}
+}

@@ -1,0 +1,297 @@
+// Package cluster models the five supercomputers of the study as node
+// topologies: node counts, node naming schemes, node roles, and the static
+// characteristics reported in Table 1 of the paper. The simulator (package
+// simulate) draws reporting sources from these models, which is what gives
+// the synthetic logs the per-source structure of Figure 2(b): a small set
+// of chatty administrative nodes, a long tail of compute nodes, and
+// role-dependent message mixes.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"whatsupersay/internal/logrec"
+)
+
+// Role classifies a node by its function in the machine. The paper notes
+// that "nodes generate differing logs according to their function"; the
+// generator uses the role to weight message volume and category mix.
+type Role int
+
+// Node roles, roughly ordered by expected chattiness.
+const (
+	RoleAdmin   Role = iota + 1 // logging / management servers (chattiest)
+	RoleLogin                   // interactive login nodes
+	RoleIO                      // I/O and filesystem (Lustre) nodes
+	RoleService                 // BG/L service nodes, Red Storm SMW
+	RoleCompute                 // compute nodes (most numerous)
+	RoleRAID                    // DDN disk controllers (Red Storm)
+)
+
+// String returns a short role name.
+func (r Role) String() string {
+	switch r {
+	case RoleAdmin:
+		return "admin"
+	case RoleLogin:
+		return "login"
+	case RoleIO:
+		return "io"
+	case RoleService:
+		return "service"
+	case RoleCompute:
+		return "compute"
+	case RoleRAID:
+		return "raid"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// Node is one log-producing component.
+type Node struct {
+	// Name is the node's log source string (hostname or BG/L location).
+	Name string
+	// Role is the node's function.
+	Role Role
+	// Index is the node's ordinal within its role group.
+	Index int
+}
+
+// Machine is the static description of one system, combining the Table 1
+// characteristics with a concrete node inventory.
+type Machine struct {
+	System       logrec.System
+	Owner        string // LLNL or SNL
+	Vendor       string
+	Top500Rank   int
+	Processors   int
+	MemoryGB     int
+	Interconnect string
+
+	// LogStart and LogDays delimit the paper's collection window
+	// (Table 2): generators place synthetic activity inside it.
+	LogStart time.Time
+	LogDays  int
+
+	// Nodes is the full node inventory. It is generated deterministically
+	// from the system identity; the slice is shared, so callers must not
+	// mutate it.
+	Nodes []Node
+}
+
+// NodesByRole returns the subset of nodes with the given role, in inventory
+// order. The returned slice aliases the machine's inventory.
+func (m *Machine) NodesByRole(role Role) []Node {
+	var out []Node
+	for _, n := range m.Nodes {
+		if n.Role == role {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Node returns the inventory entry with the given name.
+func (m *Machine) Node(name string) (Node, bool) {
+	for _, n := range m.Nodes {
+		if n.Name == name {
+			return n, true
+		}
+	}
+	return Node{}, false
+}
+
+// RandomNode draws a node uniformly from the inventory.
+func (m *Machine) RandomNode(rng *rand.Rand) Node {
+	return m.Nodes[rng.Intn(len(m.Nodes))]
+}
+
+// RandomNodeByRole draws a node uniformly from one role group. It falls
+// back to the whole inventory if the machine has no node in that role.
+func (m *Machine) RandomNodeByRole(rng *rand.Rand, role Role) Node {
+	group := m.NodesByRole(role)
+	if len(group) == 0 {
+		return m.RandomNode(rng)
+	}
+	return group[rng.Intn(len(group))]
+}
+
+// LogEnd returns the end of the collection window.
+func (m *Machine) LogEnd() time.Time {
+	return m.LogStart.AddDate(0, 0, m.LogDays)
+}
+
+func date(y int, mo time.Month, d int) time.Time {
+	return time.Date(y, mo, d, 0, 0, 0, 0, time.UTC)
+}
+
+// New constructs the machine model for a system. Node inventories are
+// scaled-down but structurally faithful: the ratio of admin/login/IO to
+// compute nodes matches the narrative in the paper, and the special nodes
+// the paper names (tbird-admin1, sadmin2, ladmin2, sn373) are present.
+func New(sys logrec.System) (*Machine, error) {
+	switch sys {
+	case logrec.BlueGeneL:
+		return newBGL(), nil
+	case logrec.Thunderbird:
+		return newThunderbird(), nil
+	case logrec.RedStorm:
+		return newRedStorm(), nil
+	case logrec.Spirit:
+		return newSpirit(), nil
+	case logrec.Liberty:
+		return newLiberty(), nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown system %v", sys)
+	}
+}
+
+// All returns machine models for all five systems in paper order.
+func All() []*Machine {
+	systems := logrec.Systems()
+	out := make([]*Machine, 0, len(systems))
+	for _, s := range systems {
+		m, err := New(s)
+		if err != nil {
+			// New cannot fail for the enumerated systems.
+			panic(err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func newBGL() *Machine {
+	m := &Machine{
+		System:       logrec.BlueGeneL,
+		Owner:        "LLNL",
+		Vendor:       "IBM",
+		Top500Rank:   1,
+		Processors:   131072,
+		MemoryGB:     32768,
+		Interconnect: "Custom",
+		LogStart:     date(2005, time.June, 3),
+		LogDays:      215,
+	}
+	// BG/L locations: R<rack>-M<midplane>-N<node card>. 64 racks; the
+	// inventory samples cards across racks plus the per-rack service
+	// nodes that run MMCS.
+	for r := 0; r < 16; r++ {
+		for c := 0; c < 8; c++ {
+			m.Nodes = append(m.Nodes, Node{
+				Name:  fmt.Sprintf("R%02d-M%d-N%d", r, c%2, c),
+				Role:  RoleCompute,
+				Index: r*8 + c,
+			})
+		}
+	}
+	for r := 0; r < 8; r++ {
+		m.Nodes = append(m.Nodes, Node{Name: fmt.Sprintf("bglsn%d", r), Role: RoleService, Index: r})
+	}
+	for i := 0; i < 4; i++ {
+		m.Nodes = append(m.Nodes, Node{Name: fmt.Sprintf("bglio%d", 10+i), Role: RoleIO, Index: i})
+	}
+	return m
+}
+
+func newThunderbird() *Machine {
+	m := &Machine{
+		System:       logrec.Thunderbird,
+		Owner:        "SNL",
+		Vendor:       "Dell",
+		Top500Rank:   6,
+		Processors:   9024,
+		MemoryGB:     27072,
+		Interconnect: "Infiniband",
+		LogStart:     date(2005, time.November, 9),
+		LogDays:      244,
+	}
+	m.Nodes = append(m.Nodes, Node{Name: "tbird-admin1", Role: RoleAdmin, Index: 0})
+	m.Nodes = append(m.Nodes, Node{Name: "tbird-sm1", Role: RoleAdmin, Index: 1})
+	for i := 1; i <= 4; i++ {
+		m.Nodes = append(m.Nodes, Node{Name: fmt.Sprintf("tbird-login%d", i), Role: RoleLogin, Index: i - 1})
+	}
+	for i := 1; i <= 240; i++ {
+		m.Nodes = append(m.Nodes, Node{Name: fmt.Sprintf("tn%d", i), Role: RoleCompute, Index: i - 1})
+	}
+	return m
+}
+
+func newRedStorm() *Machine {
+	m := &Machine{
+		System:       logrec.RedStorm,
+		Owner:        "SNL",
+		Vendor:       "Cray",
+		Top500Rank:   9,
+		Processors:   10880,
+		MemoryGB:     32640,
+		Interconnect: "Custom",
+		LogStart:     date(2006, time.March, 19),
+		LogDays:      104,
+	}
+	m.Nodes = append(m.Nodes, Node{Name: "smw0", Role: RoleService, Index: 0})
+	for i := 0; i < 4; i++ {
+		m.Nodes = append(m.Nodes, Node{Name: fmt.Sprintf("rslogin%d", i+1), Role: RoleLogin, Index: i})
+	}
+	for i := 0; i < 16; i++ {
+		m.Nodes = append(m.Nodes, Node{Name: fmt.Sprintf("rsio%02d", i), Role: RoleIO, Index: i})
+	}
+	for i := 0; i < 8; i++ {
+		m.Nodes = append(m.Nodes, Node{Name: fmt.Sprintf("ddn%d", i), Role: RoleRAID, Index: i})
+	}
+	for i := 0; i < 200; i++ {
+		m.Nodes = append(m.Nodes, Node{Name: fmt.Sprintf("c%d-%dc%ds%d", i/64, (i/16)%4, (i/4)%4, i%4), Role: RoleCompute, Index: i})
+	}
+	return m
+}
+
+func newSpirit() *Machine {
+	m := &Machine{
+		System:       logrec.Spirit,
+		Owner:        "SNL",
+		Vendor:       "HP",
+		Top500Rank:   202,
+		Processors:   1028,
+		MemoryGB:     1024,
+		Interconnect: "GigEthernet",
+		LogStart:     date(2005, time.January, 1),
+		LogDays:      558,
+	}
+	m.Nodes = append(m.Nodes, Node{Name: "sadmin2", Role: RoleAdmin, Index: 0})
+	for i := 1; i <= 2; i++ {
+		m.Nodes = append(m.Nodes, Node{Name: fmt.Sprintf("slogin%d", i), Role: RoleLogin, Index: i - 1})
+	}
+	// sn373 is the chronically failing node the paper calls out (more
+	// than half of all Spirit alerts); sn325 has the coincident
+	// independent disk failure of Section 3.3.2.
+	for i := 1; i <= 256; i++ {
+		m.Nodes = append(m.Nodes, Node{Name: fmt.Sprintf("sn%d", i+256), Role: RoleCompute, Index: i - 1})
+	}
+	return m
+}
+
+func newLiberty() *Machine {
+	m := &Machine{
+		System:       logrec.Liberty,
+		Owner:        "SNL",
+		Vendor:       "HP",
+		Top500Rank:   445,
+		Processors:   512,
+		MemoryGB:     944,
+		Interconnect: "Myrinet",
+		LogStart:     date(2004, time.December, 12),
+		LogDays:      315,
+	}
+	m.Nodes = append(m.Nodes, Node{Name: "ladmin2", Role: RoleAdmin, Index: 0})
+	m.Nodes = append(m.Nodes, Node{Name: "ladmin1", Role: RoleAdmin, Index: 1})
+	for i := 1; i <= 2; i++ {
+		m.Nodes = append(m.Nodes, Node{Name: fmt.Sprintf("llogin%d", i), Role: RoleLogin, Index: i - 1})
+	}
+	for i := 1; i <= 128; i++ {
+		m.Nodes = append(m.Nodes, Node{Name: fmt.Sprintf("ln%d", i), Role: RoleCompute, Index: i - 1})
+	}
+	return m
+}

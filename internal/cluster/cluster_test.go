@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"whatsupersay/internal/logrec"
+)
+
+// table1 is the paper's Table 1, verbatim.
+var table1 = []struct {
+	sys          logrec.System
+	owner        string
+	vendor       string
+	rank         int
+	procs        int
+	memGB        int
+	interconnect string
+}{
+	{logrec.BlueGeneL, "LLNL", "IBM", 1, 131072, 32768, "Custom"},
+	{logrec.Thunderbird, "SNL", "Dell", 6, 9024, 27072, "Infiniband"},
+	{logrec.RedStorm, "SNL", "Cray", 9, 10880, 32640, "Custom"},
+	{logrec.Spirit, "SNL", "HP", 202, 1028, 1024, "GigEthernet"},
+	{logrec.Liberty, "SNL", "HP", 445, 512, 944, "Myrinet"},
+}
+
+func TestTable1Characteristics(t *testing.T) {
+	for _, row := range table1 {
+		m, err := New(row.sys)
+		if err != nil {
+			t.Fatalf("New(%v): %v", row.sys, err)
+		}
+		if m.Owner != row.owner || m.Vendor != row.vendor || m.Top500Rank != row.rank ||
+			m.Processors != row.procs || m.MemoryGB != row.memGB || m.Interconnect != row.interconnect {
+			t.Errorf("%v characteristics = %s/%s/#%d/%d procs/%d GB/%s, want %s/%s/#%d/%d/%d/%s",
+				row.sys, m.Owner, m.Vendor, m.Top500Rank, m.Processors, m.MemoryGB, m.Interconnect,
+				row.owner, row.vendor, row.rank, row.procs, row.memGB, row.interconnect)
+		}
+	}
+}
+
+// table2Windows is the paper's Table 2 collection windows.
+func TestTable2Windows(t *testing.T) {
+	want := map[logrec.System]struct {
+		start string
+		days  int
+	}{
+		logrec.BlueGeneL:   {"2005-06-03", 215},
+		logrec.Thunderbird: {"2005-11-09", 244},
+		logrec.RedStorm:    {"2006-03-19", 104},
+		logrec.Spirit:      {"2005-01-01", 558},
+		logrec.Liberty:     {"2004-12-12", 315},
+	}
+	for sys, w := range want {
+		m, err := New(sys)
+		if err != nil {
+			t.Fatalf("New(%v): %v", sys, err)
+		}
+		if got := m.LogStart.Format("2006-01-02"); got != w.start {
+			t.Errorf("%v LogStart = %s, want %s", sys, got, w.start)
+		}
+		if m.LogDays != w.days {
+			t.Errorf("%v LogDays = %d, want %d", sys, m.LogDays, w.days)
+		}
+		if !m.LogEnd().After(m.LogStart) {
+			t.Errorf("%v LogEnd not after LogStart", sys)
+		}
+	}
+}
+
+func TestNewUnknownSystem(t *testing.T) {
+	if _, err := New(logrec.System(42)); err == nil {
+		t.Error("expected error for unknown system")
+	}
+}
+
+func TestAllReturnsFiveMachines(t *testing.T) {
+	ms := All()
+	if len(ms) != 5 {
+		t.Fatalf("All() returned %d machines, want 5", len(ms))
+	}
+	for i, sys := range logrec.Systems() {
+		if ms[i].System != sys {
+			t.Errorf("All()[%d] = %v, want %v", i, ms[i].System, sys)
+		}
+	}
+}
+
+// TestSpecialNodesPresent checks the nodes the paper names.
+func TestSpecialNodesPresent(t *testing.T) {
+	cases := []struct {
+		sys  logrec.System
+		node string
+		role Role
+	}{
+		{logrec.Thunderbird, "tbird-admin1", RoleAdmin},
+		{logrec.Spirit, "sadmin2", RoleAdmin},
+		{logrec.Spirit, "sn373", RoleCompute},
+		{logrec.Spirit, "sn325", RoleCompute},
+		{logrec.Liberty, "ladmin2", RoleAdmin},
+		{logrec.RedStorm, "smw0", RoleService},
+	}
+	for _, tc := range cases {
+		m, err := New(tc.sys)
+		if err != nil {
+			t.Fatalf("New(%v): %v", tc.sys, err)
+		}
+		n, ok := m.Node(tc.node)
+		if !ok {
+			t.Errorf("%v missing node %q", tc.sys, tc.node)
+			continue
+		}
+		if n.Role != tc.role {
+			t.Errorf("%v node %q role = %v, want %v", tc.sys, tc.node, n.Role, tc.role)
+		}
+	}
+}
+
+func TestNodeNamesUnique(t *testing.T) {
+	for _, m := range All() {
+		seen := make(map[string]bool, len(m.Nodes))
+		for _, n := range m.Nodes {
+			if seen[n.Name] {
+				t.Errorf("%v has duplicate node name %q", m.System, n.Name)
+			}
+			seen[n.Name] = true
+		}
+		if len(m.Nodes) < 50 {
+			t.Errorf("%v inventory suspiciously small: %d nodes", m.System, len(m.Nodes))
+		}
+	}
+}
+
+func TestNodesByRole(t *testing.T) {
+	m, err := New(logrec.RedStorm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raid := m.NodesByRole(RoleRAID)
+	if len(raid) != 8 {
+		t.Errorf("Red Storm RAID nodes = %d, want 8 DDN controllers", len(raid))
+	}
+	for _, n := range raid {
+		if n.Role != RoleRAID {
+			t.Errorf("NodesByRole returned %v node %q", n.Role, n.Name)
+		}
+	}
+}
+
+func TestRandomNodeByRoleFallback(t *testing.T) {
+	m, err := New(logrec.Liberty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	// Liberty has no RAID nodes; the fall back must still return a node.
+	n := m.RandomNodeByRole(rng, RoleRAID)
+	if _, ok := m.Node(n.Name); !ok {
+		t.Errorf("fallback returned node %q not in inventory", n.Name)
+	}
+	// Drawing many compute nodes must stay within the role.
+	for i := 0; i < 100; i++ {
+		n := m.RandomNodeByRole(rng, RoleCompute)
+		if n.Role != RoleCompute {
+			t.Fatalf("RandomNodeByRole(compute) returned %v", n.Role)
+		}
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	roles := []Role{RoleAdmin, RoleLogin, RoleIO, RoleService, RoleCompute, RoleRAID}
+	seen := make(map[string]bool)
+	for _, r := range roles {
+		s := r.String()
+		if seen[s] {
+			t.Errorf("duplicate role name %q", s)
+		}
+		seen[s] = true
+	}
+	if Role(0).String() != "Role(0)" {
+		t.Error("zero role should stringify as Role(0)")
+	}
+}

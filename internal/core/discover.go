@@ -1,0 +1,68 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"whatsupersay/internal/stats"
+)
+
+// CategorySpatialScore pairs a category with its spatial-correlation
+// score.
+type CategorySpatialScore struct {
+	Category string
+	Score    stats.SpatialScore
+}
+
+// DiscoverSpatialCorrelation reproduces the Section 4 discovery
+// procedure that exposed the SMP clock bug: rank every category by how
+// often its alerts cluster across distinct nodes within a short window.
+// Job-coupled bugs (Thunderbird CPU) rank high; independent physical
+// processes (ECC) rank near zero. Only categories with at least
+// minEvents raw alerts are scored. Results are sorted by descending
+// index.
+func DiscoverSpatialCorrelation(s *Study, window time.Duration, minEvents int) []CategorySpatialScore {
+	byCat := make(map[string][]stats.SpatialEvent)
+	for _, a := range s.Alerts {
+		byCat[a.Category.Name] = append(byCat[a.Category.Name], stats.SpatialEvent{
+			Time:   a.Record.Time,
+			Source: a.Record.Source,
+		})
+	}
+	var out []CategorySpatialScore
+	for cat, events := range byCat {
+		if len(events) < minEvents {
+			continue
+		}
+		out = append(out, CategorySpatialScore{
+			Category: cat,
+			Score:    stats.SpatialCorrelation(events, window),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score.Index() != out[j].Score.Index() {
+			return out[i].Score.Index() > out[j].Score.Index()
+		}
+		return out[i].Category < out[j].Category
+	})
+	return out
+}
+
+// BurstinessByCategory computes the Fano factor (variance-to-mean of
+// hourly counts) per category — 1 for Poisson-like processes, large for
+// the storm categories that make filtering necessary.
+func BurstinessByCategory(s *Study, minEvents int) map[string]float64 {
+	start, end := s.Window()
+	byCat := make(map[string][]time.Time)
+	for _, a := range s.Alerts {
+		byCat[a.Category.Name] = append(byCat[a.Category.Name], a.Record.Time)
+	}
+	out := make(map[string]float64)
+	for cat, times := range byCat {
+		if len(times) < minEvents {
+			continue
+		}
+		out[cat] = stats.FanoFactor(times, start, end, time.Hour)
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"whatsupersay/internal/opcontext"
+)
+
+// RenderFigure1 prints the operational-context state machine of Figure 1
+// (states and legal transitions) and, when the study carries a generated
+// timeline, its transition log and time-in-state summary — "the current
+// basis of Red Storm RAS metrics".
+func RenderFigure1(w io.Writer, s *Study) {
+	fmt.Fprintln(w, "Figure 1. Operational context: states and legal transitions")
+	states := opcontext.States()
+	for _, from := range states {
+		fmt.Fprintf(w, "  %-21s ->", from)
+		for _, to := range states {
+			if opcontext.CanTransition(from, to) {
+				fmt.Fprintf(w, " %s", to)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	if s == nil || s.Source == nil || s.Source.Timeline == nil {
+		return
+	}
+	tl := s.Source.Timeline
+	fmt.Fprintf(w, "\n%s transition log (%d transitions):\n", s.System, len(tl.Transitions()))
+	for i, tr := range tl.Transitions() {
+		if i >= 8 {
+			fmt.Fprintf(w, "  ... %d more\n", len(tl.Transitions())-8)
+			break
+		}
+		fmt.Fprintf(w, "  %s -> %-20s %s\n", tr.Time.Format("2006-01-02 15:04"), tr.To, tr.Cause)
+	}
+	start, end := s.Window()
+	fmt.Fprintln(w, "time in state:")
+	for _, st := range states {
+		if d, ok := tl.TimeIn(start, end)[st]; ok {
+			fmt.Fprintf(w, "  %-21s %v\n", st, d)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"whatsupersay/internal/jobs"
+	"whatsupersay/internal/opcontext"
+)
+
+// RASReport is the "Quantify RAS" experiment: the recommended state-based
+// metrics side by side with the log-derived MTBF the paper warns against.
+type RASReport struct {
+	Metrics opcontext.RASMetrics
+	// LogMTBF is the naive window/filtered-alerts figure — "a strong
+	// function of the specific system and logging configuration".
+	LogMTBF time.Duration
+	// FilteredAlerts is the denominator behind LogMTBF.
+	FilteredAlerts int
+}
+
+// RAS computes the report for a study with a generated timeline.
+func RAS(s *Study) RASReport {
+	start, end := s.Window()
+	var m opcontext.RASMetrics
+	if s.Source != nil && s.Source.Timeline != nil {
+		m = opcontext.Metrics(s.Source.Timeline, start, end, len(s.Source.Machine.Nodes))
+	}
+	return RASReport{
+		Metrics:        m,
+		LogMTBF:        opcontext.LogDerivedMTBF(s.Filtered, end.Sub(start)),
+		FilteredAlerts: len(s.Filtered),
+	}
+}
+
+// JobImpactReport quantifies failure impact on the batch workload — the
+// Section 3.3.1 analysis ("this bug killed as many as 1336 jobs") plus
+// the checkpointing sensitivity the paper's cooperative-checkpointing
+// references study.
+type JobImpactReport struct {
+	// Jobs is the workload size.
+	Jobs int
+	// GroundTruthKilled is the number of jobs the failure overlay killed.
+	GroundTruthKilled int
+	// EstimatedKilled is the alert-only estimate (per-node alert
+	// clustering), comparable against ground truth.
+	EstimatedKilled int
+	// LostNodeHours is work destroyed without checkpointing.
+	LostNodeHours float64
+	// LostNodeHoursCheckpointed is work destroyed with the given
+	// checkpoint interval.
+	LostNodeHoursCheckpointed float64
+	// CheckpointInterval is the interval used for the checkpointed
+	// figure.
+	CheckpointInterval time.Duration
+}
+
+// JobImpact runs the workload-overlay experiment on a study with
+// synthetic ground truth: generate a batch schedule over the study
+// window, kill jobs at the ground-truth incidents of the given job-fatal
+// category, and compare the alert-only killed-job estimate against the
+// overlay's ground truth.
+func JobImpact(s *Study, category string, seed int64, checkpoint time.Duration) JobImpactReport {
+	rep := JobImpactReport{CheckpointInterval: checkpoint}
+	if s.Source == nil {
+		return rep
+	}
+	start, end := s.Window()
+	rng := rand.New(rand.NewSource(seed))
+	schedule := jobs.DefaultWorkload().Generate(rng, s.Source.Machine, start, end)
+	rep.Jobs = len(schedule)
+
+	var failures []jobs.Failure
+	for _, inc := range s.Source.Truth.Incidents {
+		if inc.Category != category || len(inc.Nodes) == 0 {
+			continue
+		}
+		failures = append(failures, jobs.Failure{Time: inc.Time, Node: inc.Nodes[0], Incident: inc.ID})
+	}
+
+	plain := make([]jobs.Job, len(schedule))
+	copy(plain, schedule)
+	imp := jobs.ApplyFailures(plain, failures, 0)
+	rep.GroundTruthKilled = imp.JobsKilled
+	rep.LostNodeHours = imp.NodeHoursLost
+
+	ckpt := make([]jobs.Job, len(schedule))
+	copy(ckpt, schedule)
+	impC := jobs.ApplyFailures(ckpt, failures, checkpoint)
+	rep.LostNodeHoursCheckpointed = impC.NodeHoursLost
+
+	rep.EstimatedKilled = jobs.EstimateKilledJobs(s.Alerts, category, time.Hour)
+	return rep
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"time"
+
+	"whatsupersay/internal/filter"
+)
+
+// The paper adopts T = 5 s "in correspondence with previous work" without
+// a sensitivity analysis. ThresholdSweep supplies one: it runs Algorithm
+// 3.1 across a range of thresholds and scores each against ground truth,
+// exposing the trade-off curve (small T leaves redundancy; large T
+// swallows distinct failures).
+
+// SweepRow is one threshold's outcome.
+type SweepRow struct {
+	T                time.Duration
+	Kept             int
+	Missed           int
+	Redundant        int
+	AlertsPerFailure float64
+}
+
+// DefaultSweepThresholds is the ablation grid around the paper's 5 s.
+func DefaultSweepThresholds() []time.Duration {
+	return []time.Duration{
+		1 * time.Second, 2 * time.Second, 5 * time.Second,
+		10 * time.Second, 30 * time.Second, 60 * time.Second,
+		5 * time.Minute,
+	}
+}
+
+// ThresholdSweep evaluates Algorithm 3.1 at each threshold.
+func ThresholdSweep(s *Study, thresholds []time.Duration) []SweepRow {
+	incident := s.IncidentFn()
+	out := make([]SweepRow, 0, len(thresholds))
+	for _, t := range thresholds {
+		kept := filter.Simultaneous{T: t}.Filter(s.Alerts)
+		acc := filter.Evaluate(s.Alerts, kept, incident)
+		out = append(out, SweepRow{
+			T:                t,
+			Kept:             len(kept),
+			Missed:           acc.MissedIncidents,
+			Redundant:        acc.RedundantKept,
+			AlertsPerFailure: acc.AlertsPerFailure(),
+		})
+	}
+	return out
+}

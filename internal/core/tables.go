@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+
+	"whatsupersay/internal/catalog"
+	"whatsupersay/internal/cluster"
+	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/report"
+	"whatsupersay/internal/tag"
+)
+
+// Table1 reproduces the system-characteristics table from the machine
+// models.
+func Table1() *report.Table {
+	t := report.NewTable("Table 1. System characteristics",
+		"System", "Owner", "Vendor", "Top500 Rank", "Procs", "Memory (GB)", "Interconnect")
+	for _, m := range cluster.All() {
+		t.AddRow(m.System.String(), m.Owner, m.Vendor, m.Top500Rank, m.Processors, m.MemoryGB, m.Interconnect)
+	}
+	return t
+}
+
+// Table2Row is the measured log-characteristics row for one system.
+type Table2Row struct {
+	System      logrec.System
+	StartDate   string
+	Days        int
+	Bytes       int64
+	Compressed  int64
+	BytesPerSec float64
+	Messages    int
+	Alerts      int
+	Categories  int
+}
+
+// Table2Data measures each study.
+func Table2Data(studies []*Study) ([]Table2Row, error) {
+	rows := make([]Table2Row, 0, len(studies))
+	for _, s := range studies {
+		start, end := s.Window()
+		days := int(end.Sub(start).Hours() / 24)
+		comp, err := s.CompressedBytes()
+		if err != nil {
+			return nil, fmt.Errorf("table 2 for %v: %w", s.System, err)
+		}
+		size := s.TotalBytes()
+		rows = append(rows, Table2Row{
+			System:      s.System,
+			StartDate:   start.Format("2006-01-02"),
+			Days:        days,
+			Bytes:       size,
+			Compressed:  comp,
+			BytesPerSec: float64(size) / end.Sub(start).Seconds(),
+			Messages:    len(s.Records),
+			Alerts:      len(s.Alerts),
+			Categories:  tag.CategoriesObserved(s.Alerts),
+		})
+	}
+	return rows, nil
+}
+
+// Table2 renders the measured log characteristics.
+func Table2(studies []*Study) (*report.Table, error) {
+	rows, err := Table2Data(studies)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Table 2. Log characteristics (synthetic, scaled)",
+		"System", "Start Date", "Days", "Size (MB)", "Compressed", "Rate (B/s)", "Messages", "Alerts", "Categories")
+	for _, r := range rows {
+		t.AddRow(r.System.String(), r.StartDate, r.Days,
+			fmt.Sprintf("%.3f", float64(r.Bytes)/1e6),
+			fmt.Sprintf("%.3f", float64(r.Compressed)/1e6),
+			fmt.Sprintf("%.3f", r.BytesPerSec),
+			report.Comma(int64(r.Messages)), report.Comma(int64(r.Alerts)), r.Categories)
+	}
+	return t, nil
+}
+
+// Table3Data tallies alert types before and after filtering across all
+// studies.
+type Table3Data struct {
+	Raw, Filtered map[catalog.Type]int
+}
+
+// Table3Compute aggregates the H/S/I distribution.
+func Table3Compute(studies []*Study) Table3Data {
+	d := Table3Data{Raw: make(map[catalog.Type]int), Filtered: make(map[catalog.Type]int)}
+	for _, s := range studies {
+		for k, v := range tag.CountByType(s.Alerts) {
+			d.Raw[k] += v
+		}
+		for k, v := range tag.CountByType(s.Filtered) {
+			d.Filtered[k] += v
+		}
+	}
+	return d
+}
+
+// Table3 renders the type distribution, raw vs filtered.
+func Table3(studies []*Study) *report.Table {
+	d := Table3Compute(studies)
+	rawTotal, filtTotal := 0, 0
+	for _, ty := range catalog.Types() {
+		rawTotal += d.Raw[ty]
+		filtTotal += d.Filtered[ty]
+	}
+	t := report.NewTable("Table 3. Alert type distribution, raw vs filtered",
+		"Type", "Raw Count", "Raw %", "Filtered Count", "Filtered %")
+	for _, ty := range catalog.Types() {
+		t.AddRow(ty.String(),
+			report.Comma(int64(d.Raw[ty])), report.Pct(d.Raw[ty], rawTotal),
+			report.Comma(int64(d.Filtered[ty])), report.Pct(d.Filtered[ty], filtTotal))
+	}
+	return t
+}
+
+// Table4Row is one category's measured counts.
+type Table4Row struct {
+	Category *catalog.Category
+	Raw      int
+	Filtered int
+}
+
+// Table4Data measures per-category counts for one study, in Table 4 order
+// (descending paper raw count). Categories with zero observed alerts are
+// included, since their absence is informative.
+func Table4Data(s *Study) []Table4Row {
+	raw := tag.CountByCategory(s.Alerts)
+	filt := tag.CountByCategory(s.Filtered)
+	cats := catalog.BySystem(s.System)
+	rows := make([]Table4Row, 0, len(cats))
+	for _, c := range cats {
+		rows = append(rows, Table4Row{Category: c, Raw: raw[c.Name], Filtered: filt[c.Name]})
+	}
+	return rows
+}
+
+// Table4 renders one system's category table with paper targets alongside
+// measured values.
+func Table4(s *Study) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Table 4 (%s). Alerts by category: measured vs paper", s.System),
+		"Type/Cat.", "Raw", "Raw(paper)", "Filtered", "Filt(paper)", "Example")
+	for _, r := range Table4Data(s) {
+		ex := r.Category.Example
+		if len(ex) > 46 {
+			ex = ex[:43] + "..."
+		}
+		t.AddRow(
+			r.Category.Type.Code()+" / "+r.Category.Name,
+			report.Comma(int64(r.Raw)), report.Comma(int64(r.Category.Raw)),
+			report.Comma(int64(r.Filtered)), report.Comma(int64(r.Category.Filtered)),
+			ex)
+	}
+	return t
+}
+
+// SeverityRow is one row of Table 5 or 6.
+type SeverityRow struct {
+	Severity logrec.Severity
+	Messages int
+	Alerts   int
+}
+
+// severityData computes the severity breakdown for a study on a given
+// scale.
+func severityData(s *Study, severities []logrec.Severity) []SeverityRow {
+	b := tag.BreakdownBySeverity(s.Records, s.Tagger)
+	rows := make([]SeverityRow, 0, len(severities))
+	for _, sev := range severities {
+		rows = append(rows, SeverityRow{Severity: sev, Messages: b.Messages[sev], Alerts: b.Alerts[sev]})
+	}
+	return rows
+}
+
+// Table5Data computes the BG/L severity distribution (messages vs expert
+// alerts).
+func Table5Data(bgl *Study) []SeverityRow {
+	return severityData(bgl, logrec.BGLSeverities())
+}
+
+// Table5 renders the BG/L severity table and the baseline's false
+// positive rate.
+func Table5(bgl *Study) *report.Table {
+	rows := Table5Data(bgl)
+	totalMsg, totalAl := 0, 0
+	for _, r := range rows {
+		totalMsg += r.Messages
+		totalAl += r.Alerts
+	}
+	t := report.NewTable("Table 5. BG/L severity distribution (messages vs expert alerts)",
+		"Severity", "Messages", "Msg %", "Alerts", "Alert %")
+	for _, r := range rows {
+		t.AddRow(r.Severity.String(),
+			report.Comma(int64(r.Messages)), report.Pct(r.Messages, totalMsg),
+			report.Comma(int64(r.Alerts)), report.Pct(r.Alerts, totalAl))
+	}
+	return t
+}
+
+// Table5Baseline evaluates FATAL/FAILURE-as-alert tagging against the
+// expert rules: the paper reports FP 59.34%, FN 0%.
+func Table5Baseline(bgl *Study) tag.Confusion {
+	return tag.CompareSeverityBaseline(bgl.Records, bgl.Tagger, tag.NewBGLSeverityTagger())
+}
+
+// Table6Data computes the Red Storm syslog-severity distribution.
+// Records without a severity (the TCP event path) are excluded, matching
+// the paper's "Red Storm syslogs" framing.
+func Table6Data(rs *Study) []SeverityRow {
+	syslogOnly := make([]logrec.Record, 0, len(rs.Records))
+	for _, r := range rs.Records {
+		if r.Severity.IsSyslog() {
+			syslogOnly = append(syslogOnly, r)
+		}
+	}
+	b := tag.BreakdownBySeverity(syslogOnly, rs.Tagger)
+	sevs := logrec.SyslogSeverities()
+	rows := make([]SeverityRow, 0, len(sevs))
+	for _, sev := range sevs {
+		rows = append(rows, SeverityRow{Severity: sev, Messages: b.Messages[sev], Alerts: b.Alerts[sev]})
+	}
+	return rows
+}
+
+// Table6 renders the Red Storm severity table.
+func Table6(rs *Study) *report.Table {
+	rows := Table6Data(rs)
+	totalMsg, totalAl := 0, 0
+	for _, r := range rows {
+		totalMsg += r.Messages
+		totalAl += r.Alerts
+	}
+	t := report.NewTable("Table 6. Red Storm syslog severity distribution (messages vs expert alerts)",
+		"Severity", "Messages", "Msg %", "Alerts", "Alert %")
+	for _, r := range rows {
+		t.AddRow(r.Severity.String(),
+			report.Comma(int64(r.Messages)), report.Pct(r.Messages, totalMsg),
+			report.Comma(int64(r.Alerts)), report.Pct(r.Alerts, totalAl))
+	}
+	return t
+}

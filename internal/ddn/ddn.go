@@ -1,0 +1,131 @@
+// Package ddn implements Red Storm's non-syslog logging dialects and
+// paths. Red Storm logs arrive three ways (Section 3.1):
+//
+//   - disk and RAID controller messages from the DDN subsystem (bodies
+//     beginning "DMT_..."), relayed over a 100 Mb network to a DDN-specific
+//     RAS machine running syslog-ng;
+//   - Linux-node syslog (login, Lustre I/O, management nodes), handled by
+//     package syslogng with severities stored;
+//   - event-router messages from compute nodes, SeaStar NICs, and the
+//     management hierarchy (bodies beginning "ec_..."), carried over the
+//     reliable TCP RAS network to the System Management Workstation (SMW).
+//     This path is not syslog and has no severity analog.
+//
+// This package renders and parses the SMW event format and provides
+// constructors for the DMT_* and ec_* message bodies of Table 4.
+package ddn
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"whatsupersay/internal/logrec"
+)
+
+// EventTimeLayout is the SMW event log timestamp (one-second granularity).
+const EventTimeLayout = "2006-01-02 15:04:05"
+
+// RenderEvent produces the SMW event-log wire form:
+//
+//	2006-03-19 04:11:02 c0-0c1s2 ec_heartbeat_stop src:::c0-0c1s2 ...
+func RenderEvent(r logrec.Record) string {
+	return fmt.Sprintf("%s %s %s", r.Time.Format(EventTimeLayout), r.Source, r.Body)
+}
+
+// ParseError describes an unparseable SMW event line.
+type ParseError struct {
+	Line   string
+	Reason string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("ddn: parse %q: %s", e.Line, e.Reason)
+}
+
+// ParseEvent parses one SMW event line. Malformed lines come back as
+// Corrupted records with the raw text preserved.
+func ParseEvent(line string) (logrec.Record, *ParseError) {
+	rec := logrec.Record{System: logrec.RedStorm, Raw: line}
+	if len(line) < len(EventTimeLayout)+1 {
+		rec.Corrupted = true
+		return rec, &ParseError{Line: line, Reason: "line shorter than timestamp"}
+	}
+	ts, err := time.Parse(EventTimeLayout, line[:len(EventTimeLayout)])
+	if err != nil {
+		rec.Corrupted = true
+		return rec, &ParseError{Line: line, Reason: "bad timestamp: " + err.Error()}
+	}
+	rec.Time = ts.UTC()
+	rest := line[len(EventTimeLayout):]
+	if !strings.HasPrefix(rest, " ") {
+		rec.Corrupted = true
+		return rec, &ParseError{Line: line, Reason: "missing separator"}
+	}
+	rest = rest[1:]
+	sp := strings.IndexByte(rest, ' ')
+	if sp <= 0 {
+		rec.Corrupted = true
+		return rec, &ParseError{Line: line, Reason: "missing source field"}
+	}
+	rec.Source = rest[:sp]
+	rec.Body = rest[sp+1:]
+	return rec, nil
+}
+
+// ParseEventStream parses many SMW lines in order.
+func ParseEventStream(lines []string) (recs []logrec.Record, parseErrs int) {
+	recs = make([]logrec.Record, 0, len(lines))
+	for i, ln := range lines {
+		rec, perr := ParseEvent(ln)
+		rec.Seq = uint64(i)
+		if perr != nil {
+			parseErrs++
+		}
+		recs = append(recs, rec)
+	}
+	return recs, parseErrs
+}
+
+// The DDN subsystem "generates a great variety of alert patterns that all
+// mean 'disk failure'" (Section 3.2.1). These constructors produce the
+// Table 4 DMT_* body shapes; the variety is deliberate.
+
+// BusParityBody is the DMT_HINT host-bus parity warning (H/BUS_PAR).
+func BusParityBody(host, code string, tier, lun int) string {
+	return fmt.Sprintf("DMT_HINT Warning: Verify Host %s bus parity error: %s Tier:%d LUN:%d", host, code, tier, lun)
+}
+
+// AddrErrBody is the DMT_102 address error (H/ADDR_ERR).
+func AddrErrBody(lun, command int, address string, length int) string {
+	return fmt.Sprintf("DMT_102 Address error LUN:%d command:%d address:%s length:%d Anonymous", lun, command, address, length)
+}
+
+// CmdAbortBody is the DMT_310 command abort (H/CMD_ABORT).
+func CmdAbortBody(cmd string, lun, lane, t int) string {
+	return fmt.Sprintf("DMT_310 Command Aborted: SCSI cmd:%s LUN %d DMT_310 Lane:%d T:%d", cmd, lun, lane, t)
+}
+
+// DiskFailBody is the DMT_DINT failing-disk notice (H/DSK_FAIL).
+func DiskFailBody(channel string) string {
+	return fmt.Sprintf("DMT_DINT Failing Disk %s", channel)
+}
+
+// HeartbeatStopBody is the ec_heartbeat_stop event (I/HBEAT).
+func HeartbeatStopBody(src, svc string) string {
+	return fmt.Sprintf("ec_heartbeat_stop src:::%s svc:::%s warn node heartbeat_fault", src, svc)
+}
+
+// ToastedBody is the ec_console_log PANIC event (I/TOAST).
+func ToastedBody(src, svc string) string {
+	return fmt.Sprintf("ec_console_log src:::%s svc:::%s PANIC_SP WE ARE TOASTED!", src, svc)
+}
+
+// TCPPath is the reliable SMW collection path: unlike the UDP relay it
+// never drops messages, which is why the paper's RAS-network logs are
+// complete while the syslog paths lose messages under contention.
+type TCPPath struct{}
+
+// Deliver returns the stream unchanged (reliable transport).
+func (TCPPath) Deliver(recs []logrec.Record) []logrec.Record { return recs }

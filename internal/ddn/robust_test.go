@@ -1,0 +1,19 @@
+package ddn
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestParseEventNeverPanicsProperty: arbitrary bytes must not panic the
+// SMW event parser, and the raw line must be preserved.
+func TestParseEventNeverPanicsProperty(t *testing.T) {
+	f := func(junk []byte) bool {
+		line := string(junk)
+		rec, _ := ParseEvent(line)
+		return rec.Raw == line
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

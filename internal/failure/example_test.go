@@ -1,0 +1,48 @@
+package failure_test
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"whatsupersay/internal/failure"
+)
+
+// ExampleBurst shows storm reporting: a handful of root failures expand
+// into heavily redundant message streams — the structure that makes
+// filtering necessary (Section 3.3).
+func ExampleBurst() {
+	rng := rand.New(rand.NewSource(1))
+	start := time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC)
+	end := start.AddDate(0, 0, 30)
+	b := failure.Burst{RootRatePerHour: 0.02, MeanSize: 500, MeanGap: time.Second}
+	events := b.Events(rng, start, end)
+	roots := failure.Poisson{RatePerHour: 0.02}.Events(rand.New(rand.NewSource(1)), start, end)
+	fmt.Printf("roots: %d, messages: >100x more: %v\n", len(roots), len(events) > 100*len(roots))
+	// Output:
+	// roots: 24, messages: >100x more: true
+}
+
+// ExampleRegimeShift realizes the Figure 2(a) step change.
+func ExampleRegimeShift() {
+	rng := rand.New(rand.NewSource(2))
+	start := time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC)
+	shift := start.AddDate(0, 0, 15)
+	end := start.AddDate(0, 0, 30)
+	p := failure.RegimeShift{Steps: []failure.Step{
+		{From: start, RatePerHour: 10},
+		{From: shift, RatePerHour: 40},
+	}}
+	events := p.Events(rng, start, end)
+	var before, after int
+	for _, e := range events {
+		if e.Before(shift) {
+			before++
+		} else {
+			after++
+		}
+	}
+	fmt.Printf("rate roughly quadruples: %v\n", after > 3*before && after < 5*before)
+	// Output:
+	// rate roughly quadruples: true
+}

@@ -1,0 +1,330 @@
+package failure
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var (
+	winStart = time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC)
+	winEnd   = winStart.AddDate(0, 0, 30)
+)
+
+func sortedInWindow(t *testing.T, events []time.Time, start, end time.Time) {
+	t.Helper()
+	for i, ev := range events {
+		if ev.Before(start) || !ev.Before(end) {
+			t.Fatalf("event %d at %v outside window [%v, %v)", i, ev, start, end)
+		}
+		if i > 0 && ev.Before(events[i-1]) {
+			t.Fatalf("events out of order at %d: %v < %v", i, ev, events[i-1])
+		}
+	}
+}
+
+func TestPoissonRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := Poisson{RatePerHour: 10}
+	events := p.Events(rng, winStart, winEnd)
+	sortedInWindow(t, events, winStart, winEnd)
+	expected := 10.0 * winEnd.Sub(winStart).Hours()
+	got := float64(len(events))
+	// Poisson(7200): 4 sigma is ~340.
+	if math.Abs(got-expected) > 4*math.Sqrt(expected) {
+		t.Errorf("Poisson produced %v events, expected ~%v", got, expected)
+	}
+}
+
+func TestPoissonEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if ev := (Poisson{RatePerHour: 0}).Events(rng, winStart, winEnd); ev != nil {
+		t.Error("zero rate must produce no events")
+	}
+	if ev := (Poisson{RatePerHour: 5}).Events(rng, winEnd, winStart); ev != nil {
+		t.Error("inverted window must produce no events")
+	}
+}
+
+func TestPoissonInterarrivalsExponential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := Poisson{RatePerHour: 60} // mean gap one minute
+	events := p.Events(rng, winStart, winEnd)
+	if len(events) < 1000 {
+		t.Fatalf("need a large sample, got %d", len(events))
+	}
+	var sum float64
+	for i := 1; i < len(events); i++ {
+		sum += events[i].Sub(events[i-1]).Seconds()
+	}
+	mean := sum / float64(len(events)-1)
+	if math.Abs(mean-60) > 6 {
+		t.Errorf("mean interarrival %.1f s, want ~60 s", mean)
+	}
+}
+
+func TestNonHomogeneousRespectsRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	halfway := winStart.Add(winEnd.Sub(winStart) / 2)
+	p := NonHomogeneous{
+		Rate: func(t time.Time) float64 {
+			if t.Before(halfway) {
+				return 2
+			}
+			return 20
+		},
+		MaxRatePerHour: 20,
+	}
+	events := p.Events(rng, winStart, winEnd)
+	sortedInWindow(t, events, winStart, winEnd)
+	var before, after int
+	for _, ev := range events {
+		if ev.Before(halfway) {
+			before++
+		} else {
+			after++
+		}
+	}
+	if before == 0 || after == 0 {
+		t.Fatal("both halves should have events")
+	}
+	ratio := float64(after) / float64(before)
+	if ratio < 5 || ratio > 20 {
+		t.Errorf("rate ratio %.1f, want ~10", ratio)
+	}
+}
+
+func TestStepRate(t *testing.T) {
+	steps := []Step{
+		{From: winStart, RatePerHour: 1},
+		{From: winStart.AddDate(0, 0, 10), RatePerHour: 5},
+	}
+	fn, maxRate := StepRate(steps)
+	if maxRate != 5 {
+		t.Errorf("max rate = %v, want 5", maxRate)
+	}
+	if got := fn(winStart.Add(time.Hour)); got != 1 {
+		t.Errorf("rate in first step = %v, want 1", got)
+	}
+	if got := fn(winStart.AddDate(0, 0, 20)); got != 5 {
+		t.Errorf("rate in second step = %v, want 5", got)
+	}
+	if got := fn(winStart.Add(-time.Hour)); got != 1 {
+		t.Errorf("rate before first step = %v, want first step's 1", got)
+	}
+}
+
+func TestRegimeShiftStepChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	shift := winStart.AddDate(0, 0, 15)
+	p := RegimeShift{Steps: []Step{
+		{From: winStart, RatePerHour: 5},
+		{From: shift, RatePerHour: 50},
+	}}
+	events := p.Events(rng, winStart, winEnd)
+	sortedInWindow(t, events, winStart, winEnd)
+	var before, after int
+	for _, ev := range events {
+		if ev.Before(shift) {
+			before++
+		} else {
+			after++
+		}
+	}
+	// Equal durations: after/before should be ~10x.
+	ratio := float64(after) / float64(before)
+	if ratio < 6 || ratio > 16 {
+		t.Errorf("regime ratio %.1f, want ~10", ratio)
+	}
+}
+
+func TestLognormalGaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := Lognormal{Mu: math.Log(120), Sigma: 0.5}
+	events := p.Events(rng, winStart, winEnd)
+	sortedInWindow(t, events, winStart, winEnd)
+	if len(events) < 1000 {
+		t.Fatalf("expected many events, got %d", len(events))
+	}
+	// Median gap should be close to exp(mu) = 120 s.
+	gaps := make([]float64, 0, len(events)-1)
+	for i := 1; i < len(events); i++ {
+		gaps = append(gaps, events[i].Sub(events[i-1]).Seconds())
+	}
+	var logSum float64
+	for _, gp := range gaps {
+		logSum += math.Log(gp)
+	}
+	if med := math.Exp(logSum / float64(len(gaps))); math.Abs(med-120) > 15 {
+		t.Errorf("geometric mean gap %.1f s, want ~120 s", med)
+	}
+}
+
+func TestBurstExpand(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	b := Burst{RootRatePerHour: 1, MeanSize: 50, MeanGap: time.Second}
+	root := winStart
+	events := b.Expand(rng, root, winEnd)
+	if len(events) == 0 || !events[0].Equal(root) {
+		t.Fatal("burst must include its root as the first event")
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Before(events[i-1]) {
+			t.Fatal("burst events must be ordered")
+		}
+	}
+}
+
+func TestBurstMeanSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	b := Burst{RootRatePerHour: 2, MeanSize: 30, MeanGap: 200 * time.Millisecond}
+	events := b.Events(rng, winStart, winEnd)
+	sortedInWindow(t, events, winStart, winEnd)
+	roots := Poisson{RatePerHour: 2}.Events(rand.New(rand.NewSource(6)), winStart, winEnd)
+	// Events per root should be near MeanSize (loose bound; geometric).
+	perRoot := float64(len(events)) / float64(len(roots))
+	if perRoot < 15 || perRoot > 60 {
+		t.Errorf("mean burst size %.1f, want ~30", perRoot)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const mean = 12.0
+	var sum int
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += geometric(rng, mean)
+	}
+	got := float64(sum) / n
+	if math.Abs(got-mean) > 0.5 {
+		t.Errorf("geometric mean %.2f, want ~%.1f", got, mean)
+	}
+	if geometric(rng, 0.5) != 1 {
+		t.Error("mean <= 1 must return exactly 1")
+	}
+}
+
+func TestCascadeCorrelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c := Cascade{
+		Primary:        Poisson{RatePerHour: 0.5},
+		TriggerProb:    0.8,
+		MeanLag:        5 * time.Minute,
+		SecondaryBurst: Burst{MeanSize: 3, MeanGap: time.Second},
+	}
+	ev := c.Events(rng, winStart, winEnd)
+	if len(ev.Primary) == 0 {
+		t.Fatal("expected primaries")
+	}
+	if len(ev.Secondary) == 0 {
+		t.Fatal("expected triggered secondaries")
+	}
+	// Most secondaries should fall within an hour after some primary.
+	near := 0
+	for _, s := range ev.Secondary {
+		for _, p := range ev.Primary {
+			d := s.Sub(p)
+			if d >= 0 && d < time.Hour {
+				near++
+				break
+			}
+		}
+	}
+	if frac := float64(near) / float64(len(ev.Secondary)); frac < 0.9 {
+		t.Errorf("only %.0f%% of secondaries near a primary, want >90%%", 100*frac)
+	}
+}
+
+func TestCascadeSpontaneous(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	c := Cascade{
+		Primary:                Poisson{RatePerHour: 0}, // no primaries at all
+		TriggerProb:            1,
+		MeanLag:                time.Minute,
+		SecondaryBurst:         Burst{MeanSize: 2, MeanGap: time.Second},
+		SpontaneousRatePerHour: 1,
+	}
+	ev := c.Events(rng, winStart, winEnd)
+	if len(ev.Primary) != 0 {
+		t.Fatal("expected no primaries")
+	}
+	if len(ev.Secondary) == 0 {
+		t.Error("spontaneous secondaries must still occur")
+	}
+	sortedInWindow(t, ev.Secondary, winStart, winEnd)
+}
+
+func TestChronicClipping(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := Chronic{
+		Onset:            winStart.AddDate(0, 0, -5), // before window
+		Resolved:         winStart.AddDate(0, 0, 5),
+		StormRatePerHour: 100,
+	}
+	events := p.Events(rng, winStart, winEnd)
+	sortedInWindow(t, events, winStart, winStart.AddDate(0, 0, 5))
+	if len(events) == 0 {
+		t.Fatal("chronic storm inside window must produce events")
+	}
+	// Entirely outside the window: nothing.
+	outside := Chronic{Onset: winEnd, Resolved: winEnd.AddDate(0, 0, 3), StormRatePerHour: 100}
+	if ev := outside.Events(rng, winStart, winEnd); len(ev) != 0 {
+		t.Error("storm outside window must be empty")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := []time.Time{winStart, winStart.Add(3 * time.Second)}
+	b := []time.Time{winStart.Add(time.Second), winStart.Add(5 * time.Second)}
+	m := Merge(a, b)
+	if len(m) != 4 {
+		t.Fatalf("merged %d events, want 4", len(m))
+	}
+	for i := 1; i < len(m); i++ {
+		if m[i].Before(m[i-1]) {
+			t.Fatal("merge must be sorted")
+		}
+	}
+	if got := Merge(); len(got) != 0 {
+		t.Error("empty merge must be empty")
+	}
+}
+
+func TestProcessesDeterministic(t *testing.T) {
+	run := func(seed int64) []time.Time {
+		rng := rand.New(rand.NewSource(seed))
+		return Burst{RootRatePerHour: 3, MeanSize: 10, MeanGap: time.Second}.Events(rng, winStart, winEnd)
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("same seed produced %d vs %d events", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("same seed diverged at event %d", i)
+		}
+	}
+}
+
+func TestPoissonPropertySortedWithinWindow(t *testing.T) {
+	f := func(seed int64, rate uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Poisson{RatePerHour: float64(rate%50) + 0.1}
+		events := p.Events(rng, winStart, winStart.AddDate(0, 0, 2))
+		for i, ev := range events {
+			if ev.Before(winStart) || !ev.Before(winStart.AddDate(0, 0, 2)) {
+				return false
+			}
+			if i > 0 && ev.Before(events[i-1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,224 @@
+package filter
+
+import (
+	"sort"
+	"time"
+
+	"whatsupersay/internal/tag"
+)
+
+// The paper's "Attribute Root Causes" recommendation: "we advise that
+// future work investigate filters that are aware of correlations among
+// messages and characteristics of different failure classes, rather than
+// a catch-all threshold" (Section 5). CorrelationAware implements that
+// future work: it learns which categories co-occur (Liberty's
+// PBS_CHK/PBS_BFD, GM_PAR/GM_LANAI — Figures 3 and 4 — and BG/L's
+// episode-coupled kernel categories), then filters with the learned
+// groups so that one failure reported under several labels yields one
+// alert. This is what removes the first mode of Figure 6(a), which
+// per-category thresholds cannot (the paper's filtering weakness (1)).
+
+// CorrelationGroups is a learned partition of categories into correlated
+// groups.
+type CorrelationGroups struct {
+	groupOf map[string]int
+}
+
+// GroupOf returns the group id for a category; singleton categories get
+// their own group. ok is false for categories never seen in training.
+func (g *CorrelationGroups) GroupOf(category string) (int, bool) {
+	id, ok := g.groupOf[category]
+	return id, ok
+}
+
+// Groups returns the learned groups as sorted category lists, largest
+// first, singletons omitted.
+func (g *CorrelationGroups) Groups() [][]string {
+	byID := make(map[int][]string)
+	for cat, id := range g.groupOf {
+		byID[id] = append(byID[id], cat)
+	}
+	var out [][]string
+	for _, cats := range byID {
+		if len(cats) < 2 {
+			continue
+		}
+		sort.Strings(cats)
+		out = append(out, cats)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return out[i][0] < out[j][0]
+	})
+	return out
+}
+
+// CorrelationAware is a two-stage filter: Algorithm 3.1 with threshold T,
+// then collapse of surviving alerts whose categories belong to the same
+// learned correlation group within GroupWindow.
+type CorrelationAware struct {
+	// T is the base redundancy window (DefaultThreshold when zero).
+	T time.Duration
+	// GroupWindow is the cross-category collapse window; correlated
+	// categories report the same failure minutes apart (default 10m).
+	GroupWindow time.Duration
+	// MinScore is the co-occurrence score above which two categories
+	// merge (default 0.4): the fraction of the rarer category's
+	// occurrences that fall in a shared cluster with the other.
+	MinScore float64
+}
+
+// Name implements Algorithm.
+func (f CorrelationAware) Name() string { return "correlation-aware" }
+
+func (f CorrelationAware) groupWindow() time.Duration {
+	if f.GroupWindow > 0 {
+		return f.GroupWindow
+	}
+	return 10 * time.Minute
+}
+
+func (f CorrelationAware) minScore() float64 {
+	if f.MinScore > 0 {
+		return f.MinScore
+	}
+	return 0.4
+}
+
+// Learn derives correlation groups from a time-sorted alert stream: the
+// stream is pre-filtered (so storms count once), clustered with the
+// GroupWindow, and every category pair sharing clusters often enough is
+// merged (union-find).
+func (f CorrelationAware) Learn(alerts []tag.Alert) *CorrelationGroups {
+	base := Simultaneous{T: f.T}.Filter(alerts)
+	clusters := Tuple{T: f.groupWindow()}.Tuples(base)
+
+	catCount := make(map[string]int)
+	pairCount := make(map[[2]string]int)
+	for _, cl := range clusters {
+		seen := map[string]bool{}
+		for _, a := range cl {
+			seen[a.Category.Name] = true
+		}
+		cats := make([]string, 0, len(seen))
+		for c := range seen {
+			cats = append(cats, c)
+		}
+		sort.Strings(cats)
+		for _, c := range cats {
+			catCount[c]++
+		}
+		for i := 0; i < len(cats); i++ {
+			for j := i + 1; j < len(cats); j++ {
+				pairCount[[2]string{cats[i], cats[j]}]++
+			}
+		}
+	}
+
+	uf := newUnionFind()
+	for c := range catCount {
+		uf.add(c)
+	}
+	for pair, n := range pairCount {
+		a, b := pair[0], pair[1]
+		rarer := catCount[a]
+		if catCount[b] < rarer {
+			rarer = catCount[b]
+		}
+		if rarer == 0 {
+			continue
+		}
+		if float64(n)/float64(rarer) >= f.minScore() {
+			uf.union(a, b)
+		}
+	}
+
+	groups := &CorrelationGroups{groupOf: make(map[string]int, len(catCount))}
+	ids := make(map[string]int)
+	next := 0
+	for c := range catCount {
+		root := uf.find(c)
+		id, ok := ids[root]
+		if !ok {
+			id = next
+			next++
+			ids[root] = id
+		}
+		groups.groupOf[c] = id
+	}
+	return groups
+}
+
+// FilterWith applies the two stages using pre-learned groups. Categories
+// absent from the groups filter as singletons.
+func (f CorrelationAware) FilterWith(groups *CorrelationGroups, alerts []tag.Alert) []tag.Alert {
+	base := Simultaneous{T: f.T}.Filter(alerts)
+	window := f.groupWindow()
+	lastByGroup := make(map[int]time.Time)
+	// Singleton ids for unseen categories start above the learned ids.
+	extra := make(map[string]int)
+	nextExtra := len(groups.groupOf) + 1
+	var out []tag.Alert
+	for _, a := range base {
+		id, ok := groups.GroupOf(a.Category.Name)
+		if !ok {
+			id, ok = extra[a.Category.Name]
+			if !ok {
+				id = nextExtra
+				nextExtra++
+				extra[a.Category.Name] = id
+			}
+			id = -id // keep unseen-category ids disjoint from learned ids
+		}
+		ti := a.Record.Time
+		if prev, seen := lastByGroup[id]; seen && ti.Sub(prev) < window {
+			lastByGroup[id] = ti
+			continue
+		}
+		lastByGroup[id] = ti
+		out = append(out, a)
+	}
+	return out
+}
+
+// Filter implements Algorithm: learn on the stream, then filter it. For
+// online deployments, Learn on history and FilterWith on live traffic.
+func (f CorrelationAware) Filter(alerts []tag.Alert) []tag.Alert {
+	return f.FilterWith(f.Learn(alerts), alerts)
+}
+
+// unionFind is a tiny string union-find.
+type unionFind struct {
+	parent map[string]string
+}
+
+func newUnionFind() *unionFind { return &unionFind{parent: make(map[string]string)} }
+
+func (u *unionFind) add(x string) {
+	if _, ok := u.parent[x]; !ok {
+		u.parent[x] = x
+	}
+}
+
+func (u *unionFind) find(x string) string {
+	u.add(x)
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b string) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		// Deterministic root choice keeps group ids stable.
+		if ra < rb {
+			u.parent[rb] = ra
+		} else {
+			u.parent[ra] = rb
+		}
+	}
+}

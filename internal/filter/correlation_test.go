@@ -1,0 +1,124 @@
+package filter
+
+import (
+	"testing"
+	"time"
+
+	"whatsupersay/internal/catalog"
+	"whatsupersay/internal/tag"
+)
+
+// buildCorrelatedStream: PBS_CHK incidents each followed by a PBS_BFD
+// burst two minutes later (the Figure 4 pairing), plus independent
+// GM_MAP incidents.
+func buildCorrelatedStream(t *testing.T) []tag.Alert {
+	chk := cat(t, "PBS_CHK")
+	bfd := cat(t, "PBS_BFD")
+	gm := cat(t, "GM_MAP")
+	var in []tag.Alert
+	seq := uint64(0)
+	add := func(c *catCategory, offsetSec float64) {
+		in = append(in, mk(c, "n1", offsetSec, seq))
+		seq++
+	}
+	for i := 0; i < 30; i++ {
+		base := float64(i) * 7200 // one incident pair every 2 hours
+		add(chk, base)
+		add(chk, base+2)
+		add(bfd, base+120)
+		add(bfd, base+123)
+	}
+	for i := 0; i < 10; i++ {
+		add(gm, float64(i)*9000+3000)
+	}
+	return in
+}
+
+// catCategory aliases the catalog type used by the test helpers.
+type catCategory = catalog.Category
+
+func TestCorrelationLearnGroupsPairs(t *testing.T) {
+	in := buildCorrelatedStream(t)
+	f := CorrelationAware{T: 5 * time.Second}
+	groups := f.Learn(in)
+	chkID, ok1 := groups.GroupOf("PBS_CHK")
+	bfdID, ok2 := groups.GroupOf("PBS_BFD")
+	gmID, ok3 := groups.GroupOf("GM_MAP")
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatal("categories missing from learned groups")
+	}
+	if chkID != bfdID {
+		t.Error("PBS_CHK and PBS_BFD must merge (Figure 4's correlated siblings)")
+	}
+	if gmID == chkID {
+		t.Error("GM_MAP must stay independent")
+	}
+	gs := groups.Groups()
+	if len(gs) != 1 || len(gs[0]) != 2 {
+		t.Errorf("groups = %v", gs)
+	}
+}
+
+func TestCorrelationFilterCollapsesPairs(t *testing.T) {
+	in := buildCorrelatedStream(t)
+	plain := Simultaneous{T: 5 * time.Second}.Filter(in)
+	aware := CorrelationAware{T: 5 * time.Second}.Filter(in)
+	// Plain: 30 CHK + 30 BFD + 10 GM = 70 survivors. Aware: the BFD
+	// repeats of each incident collapse into the CHK alert: 30 + 10.
+	if len(plain) != 70 {
+		t.Fatalf("plain survivors = %d, want 70", len(plain))
+	}
+	if len(aware) != 40 {
+		t.Fatalf("aware survivors = %d, want 40", len(aware))
+	}
+	// Every surviving pair alert is the *first* report (the CHK).
+	for _, a := range aware {
+		if a.Category.Name == "PBS_BFD" {
+			t.Error("the correlated follower survived; the first report should win")
+			break
+		}
+	}
+}
+
+func TestCorrelationFilterIndependentUnaffected(t *testing.T) {
+	gm := cat(t, "GM_MAP")
+	par := cat(t, "GM_PAR")
+	// Two categories never co-occurring: correlation-aware must behave
+	// exactly like the plain filter.
+	var in []tag.Alert
+	for i := 0; i < 20; i++ {
+		in = append(in, mk(gm, "a", float64(i)*4000, uint64(2*i)))
+		in = append(in, mk(par, "b", float64(i)*4000+1800, uint64(2*i+1)))
+	}
+	plain := Simultaneous{T: 5 * time.Second}.Filter(in)
+	aware := CorrelationAware{T: 5 * time.Second}.Filter(in)
+	if len(plain) != len(aware) {
+		t.Errorf("independent categories affected: %d vs %d", len(plain), len(aware))
+	}
+}
+
+func TestCorrelationFilterUnseenCategory(t *testing.T) {
+	in := buildCorrelatedStream(t)
+	f := CorrelationAware{T: 5 * time.Second}
+	groups := f.Learn(in)
+	// Filter a stream containing a category absent from training.
+	con := cat(t, "PBS_CON")
+	live := append([]tag.Alert{}, in...)
+	live = append(live, mk(con, "z", 999999, 9999))
+	out := f.FilterWith(groups, live)
+	found := false
+	for _, a := range out {
+		if a.Category.Name == "PBS_CON" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("unseen category must pass through as its own group")
+	}
+}
+
+func TestCorrelationAwareName(t *testing.T) {
+	if (CorrelationAware{}).Name() != "correlation-aware" {
+		t.Error("name")
+	}
+}

@@ -1,0 +1,76 @@
+package filter
+
+import "whatsupersay/internal/tag"
+
+// IncidentFn maps an alert to its ground-truth incident (failure)
+// identifier. The synthetic generator supplies this; on real logs it
+// would come from a remedy database. ok is false for alerts with no known
+// incident (e.g. corrupted attribution).
+type IncidentFn func(a tag.Alert) (id int64, ok bool)
+
+// Accuracy evaluates a filtering run against ground truth, quantifying
+// the trade-off of Section 3.3.2: a good filter keeps exactly one alert
+// per failure; removing *all* alerts of a failure is a missed failure (a
+// "true positive removed"), while keeping extra alerts of an
+// already-reported failure leaves false positives in place.
+type Accuracy struct {
+	// Incidents is the number of distinct ground-truth failures with at
+	// least one alert in the unfiltered input.
+	Incidents int
+	// Detected is the number of incidents with at least one surviving
+	// alert after filtering.
+	Detected int
+	// MissedIncidents counts incidents whose every alert was removed
+	// (the paper's "true positive was removed"; it observed at most one
+	// per machine for the simultaneous filter).
+	MissedIncidents int
+	// RedundantKept counts surviving alerts beyond the first for each
+	// incident — redundancy the filter failed to remove ("false
+	// positives" in the paper's fault-detection framing).
+	RedundantKept int
+	// Survivors is the filtered alert count.
+	Survivors int
+}
+
+// AlertsPerFailure returns the post-filter ratio the paper wants "nearly
+// one": surviving alerts per detected incident.
+func (a Accuracy) AlertsPerFailure() float64 {
+	if a.Detected == 0 {
+		return 0
+	}
+	return float64(a.Survivors) / float64(a.Detected)
+}
+
+// Evaluate scores the output of a filter against ground truth. in is the
+// unfiltered alert stream; out is the filter's survivors. Alerts without
+// a known incident are ignored for incident accounting but still counted
+// as survivors.
+func Evaluate(in, out []tag.Alert, incident IncidentFn) Accuracy {
+	acc := Accuracy{Survivors: len(out)}
+	inIncidents := make(map[int64]bool)
+	for _, a := range in {
+		if id, ok := incident(a); ok {
+			inIncidents[id] = true
+		}
+	}
+	acc.Incidents = len(inIncidents)
+
+	outCounts := make(map[int64]int)
+	for _, a := range out {
+		if id, ok := incident(a); ok {
+			outCounts[id]++
+		}
+	}
+	acc.Detected = len(outCounts)
+	for id := range inIncidents {
+		if outCounts[id] == 0 {
+			acc.MissedIncidents++
+		}
+	}
+	for _, n := range outCounts {
+		if n > 1 {
+			acc.RedundantKept += n - 1
+		}
+	}
+	return acc
+}

@@ -1,0 +1,95 @@
+package filter
+
+import (
+	"testing"
+	"time"
+
+	"whatsupersay/internal/catalog"
+	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/tag"
+)
+
+// mkInc builds an alert whose Seq encodes its ground-truth incident.
+func mkInc(c *catalog.Category, incident int64, offsetSec float64, seq uint64) tag.Alert {
+	return tag.Alert{
+		Record: logrec.Record{
+			Time:   t0.Add(time.Duration(offsetSec * float64(time.Second))),
+			Source: "n",
+			Seq:    seq,
+		},
+		Category: c,
+	}
+}
+
+func TestEvaluatePerfectFilter(t *testing.T) {
+	c := cat(t, "PBS_CHK")
+	incidents := map[uint64]int64{0: 1, 1: 1, 2: 2}
+	in := []tag.Alert{
+		mkInc(c, 1, 0, 0), mkInc(c, 1, 2, 1), mkInc(c, 2, 100, 2),
+	}
+	out := []tag.Alert{in[0], in[2]} // one survivor per incident
+	fn := func(a tag.Alert) (int64, bool) {
+		id, ok := incidents[a.Record.Seq]
+		return id, ok
+	}
+	acc := Evaluate(in, out, fn)
+	if acc.Incidents != 2 || acc.Detected != 2 || acc.MissedIncidents != 0 || acc.RedundantKept != 0 {
+		t.Errorf("accuracy = %+v", acc)
+	}
+	if acc.AlertsPerFailure() != 1 {
+		t.Errorf("alerts/failure = %v, want 1", acc.AlertsPerFailure())
+	}
+}
+
+func TestEvaluateMissedIncident(t *testing.T) {
+	c := cat(t, "PBS_CHK")
+	incidents := map[uint64]int64{0: 1, 1: 2}
+	in := []tag.Alert{mkInc(c, 1, 0, 0), mkInc(c, 2, 1, 1)}
+	out := []tag.Alert{in[0]} // incident 2 entirely removed
+	fn := func(a tag.Alert) (int64, bool) {
+		id, ok := incidents[a.Record.Seq]
+		return id, ok
+	}
+	acc := Evaluate(in, out, fn)
+	if acc.MissedIncidents != 1 {
+		t.Errorf("missed = %d, want 1 (the sn325 case)", acc.MissedIncidents)
+	}
+	if acc.Detected != 1 {
+		t.Errorf("detected = %d, want 1", acc.Detected)
+	}
+}
+
+func TestEvaluateRedundantKept(t *testing.T) {
+	c := cat(t, "PBS_CHK")
+	incidents := map[uint64]int64{0: 1, 1: 1, 2: 1}
+	in := []tag.Alert{mkInc(c, 1, 0, 0), mkInc(c, 1, 10, 1), mkInc(c, 1, 20, 2)}
+	out := in // nothing filtered
+	fn := func(a tag.Alert) (int64, bool) {
+		id, ok := incidents[a.Record.Seq]
+		return id, ok
+	}
+	acc := Evaluate(in, out, fn)
+	if acc.RedundantKept != 2 {
+		t.Errorf("redundant kept = %d, want 2", acc.RedundantKept)
+	}
+	if apf := acc.AlertsPerFailure(); apf != 3 {
+		t.Errorf("alerts/failure = %v, want 3", apf)
+	}
+}
+
+func TestEvaluateUnknownIncidentsIgnored(t *testing.T) {
+	c := cat(t, "PBS_CHK")
+	in := []tag.Alert{mkInc(c, 0, 0, 0)}
+	out := in
+	fn := func(tag.Alert) (int64, bool) { return 0, false }
+	acc := Evaluate(in, out, fn)
+	if acc.Incidents != 0 || acc.Detected != 0 || acc.MissedIncidents != 0 {
+		t.Errorf("unknown incidents must not be counted: %+v", acc)
+	}
+	if acc.Survivors != 1 {
+		t.Error("survivors still counted")
+	}
+	if acc.AlertsPerFailure() != 0 {
+		t.Error("alerts/failure with zero detected must be 0")
+	}
+}

@@ -1,0 +1,55 @@
+package filter_test
+
+import (
+	"fmt"
+	"time"
+
+	"whatsupersay/internal/catalog"
+	"whatsupersay/internal/filter"
+	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/tag"
+)
+
+// ExampleSimultaneous demonstrates Algorithm 3.1: a storm of redundant
+// reports from several nodes collapses to one alert per failure.
+func ExampleSimultaneous() {
+	chk, _ := catalog.Lookup(logrec.Liberty, "PBS_CHK")
+	t0 := time.Date(2005, 3, 7, 12, 0, 0, 0, time.UTC)
+	mk := func(node string, offset time.Duration, seq uint64) tag.Alert {
+		return tag.Alert{
+			Record:   logrec.Record{Time: t0.Add(offset), Source: node, Seq: seq},
+			Category: chk,
+		}
+	}
+	alerts := []tag.Alert{
+		mk("ln1", 0, 0),                            // failure 1, first report
+		mk("ln1", 2*time.Second, 1),                // redundant (same node)
+		mk("ln2", 4*time.Second, 2),                // redundant (another node saw it)
+		mk("ln1", 10*time.Minute, 3),               // failure 2
+		mk("ln3", 10*time.Minute+3*time.Second, 4), // redundant
+	}
+	kept := filter.Simultaneous{T: filter.DefaultThreshold}.Filter(alerts)
+	for _, a := range kept {
+		fmt.Printf("%s %s\n", a.Record.Time.Format("15:04:05"), a.Record.Source)
+	}
+	// Output:
+	// 12:00:00 ln1
+	// 12:10:00 ln1
+}
+
+// ExampleTuple shows the historical tupling baseline over-coalescing two
+// unrelated categories that happen to be close in time.
+func ExampleTuple() {
+	chk, _ := catalog.Lookup(logrec.Liberty, "PBS_CHK")
+	par, _ := catalog.Lookup(logrec.Liberty, "GM_PAR")
+	t0 := time.Date(2005, 3, 7, 12, 0, 0, 0, time.UTC)
+	alerts := []tag.Alert{
+		{Record: logrec.Record{Time: t0, Source: "ln1", Seq: 0}, Category: chk},
+		{Record: logrec.Record{Time: t0.Add(2 * time.Second), Source: "ln9", Seq: 1}, Category: par},
+	}
+	fmt.Println("tuple keeps:", len(filter.Tuple{T: filter.DefaultThreshold}.Filter(alerts)))
+	fmt.Println("simultaneous keeps:", len(filter.Simultaneous{T: filter.DefaultThreshold}.Filter(alerts)))
+	// Output:
+	// tuple keeps: 1
+	// simultaneous keeps: 2
+}

@@ -1,0 +1,252 @@
+// Package filter implements the redundancy-removal algorithms of Section
+// 3.3: the paper's simultaneous spatio-temporal filter (Algorithm 3.1),
+// the serial temporal-then-spatial baseline from prior BG/L work [Liang et
+// al.], the individual temporal and spatial passes, and the per-category
+// adaptive-threshold variant Section 4 recommends.
+//
+// "Filtering is used to reduce a related set of alerts to a single initial
+// alert per failure; that is, to make the ratio of alerts to failures
+// nearly one."
+package filter
+
+import (
+	"time"
+
+	"whatsupersay/internal/tag"
+)
+
+// DefaultThreshold is the T = 5 s used throughout the paper, "in
+// correspondence with previous work".
+const DefaultThreshold = 5 * time.Second
+
+// Algorithm filters a time-sorted alert stream, returning the survivors
+// in order.
+type Algorithm interface {
+	// Name identifies the algorithm in reports and benches.
+	Name() string
+	// Filter returns the surviving alerts. The input must be sorted by
+	// record time; the output preserves order. Implementations must not
+	// mutate the input slice.
+	Filter(alerts []tag.Alert) []tag.Alert
+}
+
+// categoryKey identifies an alert category within a system. Category
+// names are unique per system, and streams are per-system, so the name
+// suffices.
+func categoryKey(a tag.Alert) string { return a.Category.Name }
+
+// Simultaneous is Algorithm 3.1: an alert is redundant if *any* source,
+// including its own, reported the same category within the last T
+// seconds. The table X of last-report times is cleared wholesale whenever
+// the stream goes quiet for more than T (the paper's incremental
+// optimization, which keeps X small and the filter fast).
+type Simultaneous struct {
+	// T is the redundancy window.
+	T time.Duration
+}
+
+// Name implements Algorithm.
+func (f Simultaneous) Name() string { return "simultaneous" }
+
+// Filter implements Algorithm 3.1 verbatim.
+func (f Simultaneous) Filter(alerts []tag.Alert) []tag.Alert {
+	t := f.T
+	if t <= 0 {
+		t = DefaultThreshold
+	}
+	x := make(map[string]time.Time) // last report time per category
+	var out []tag.Alert
+	var last time.Time
+	for _, a := range alerts {
+		ti := a.Record.Time
+		if !last.IsZero() && ti.Sub(last) > t {
+			clear(x)
+		}
+		last = ti
+		ci := categoryKey(a)
+		if prev, ok := x[ci]; ok && ti.Sub(prev) < t {
+			x[ci] = ti
+			continue
+		}
+		x[ci] = ti
+		out = append(out, a)
+	}
+	return out
+}
+
+// Temporal is the per-source temporal pass of the serial baseline: an
+// alert is redundant if the *same* source reported the same category
+// within T.
+type Temporal struct {
+	T time.Duration
+}
+
+// Name implements Algorithm.
+func (f Temporal) Name() string { return "temporal" }
+
+type srcCat struct {
+	src, cat string
+}
+
+// Filter keeps the first report in each same-source run.
+func (f Temporal) Filter(alerts []tag.Alert) []tag.Alert {
+	t := f.T
+	if t <= 0 {
+		t = DefaultThreshold
+	}
+	x := make(map[srcCat]time.Time)
+	var out []tag.Alert
+	for _, a := range alerts {
+		k := srcCat{src: a.Record.Source, cat: categoryKey(a)}
+		ti := a.Record.Time
+		if prev, ok := x[k]; ok && ti.Sub(prev) < t {
+			x[k] = ti
+			continue
+		}
+		x[k] = ti
+		out = append(out, a)
+	}
+	return out
+}
+
+// Spatial is the cross-source pass of the serial baseline: an alert from
+// source s is redundant if some *other* source reported the same category
+// within T.
+type Spatial struct {
+	T time.Duration
+}
+
+// Name implements Algorithm.
+func (f Spatial) Name() string { return "spatial" }
+
+// spatialState tracks, per category, the most recent report and the most
+// recent report from a different source than that one — enough to answer
+// "did any source other than s report within T?".
+type spatialState struct {
+	lastTime  time.Time
+	lastSrc   string
+	otherTime time.Time // most recent report from a source != lastSrc
+}
+
+// Filter removes cross-source repeats.
+func (f Spatial) Filter(alerts []tag.Alert) []tag.Alert {
+	t := f.T
+	if t <= 0 {
+		t = DefaultThreshold
+	}
+	x := make(map[string]*spatialState)
+	var out []tag.Alert
+	for _, a := range alerts {
+		ci := categoryKey(a)
+		ti := a.Record.Time
+		src := a.Record.Source
+		st := x[ci]
+		redundant := false
+		if st != nil {
+			// Another source reported recently if the latest report came
+			// from a different source, or the latest same-source report
+			// is shadowed by a recent other-source report.
+			if st.lastSrc != src && ti.Sub(st.lastTime) < t {
+				redundant = true
+			} else if st.lastSrc == src && !st.otherTime.IsZero() && ti.Sub(st.otherTime) < t {
+				redundant = true
+			}
+		}
+		if st == nil {
+			st = &spatialState{}
+			x[ci] = st
+		}
+		if st.lastSrc != src {
+			st.otherTime = st.lastTime
+		}
+		st.lastTime = ti
+		st.lastSrc = src
+		if !redundant {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Serial is the prior-work baseline: temporal filtering followed by
+// spatial filtering, applied serially [Liang et al. 2005, 2006]. Section
+// 3.3.2 describes its failure mode: "the temporal filter removes messages
+// that the spatial filter would have used as cues that the failure had
+// already been reported by another source."
+type Serial struct {
+	T time.Duration
+}
+
+// Name implements Algorithm.
+func (f Serial) Name() string { return "serial" }
+
+// Filter runs the two passes in sequence.
+func (f Serial) Filter(alerts []tag.Alert) []tag.Alert {
+	return Spatial{T: f.T}.Filter(Temporal{T: f.T}.Filter(alerts))
+}
+
+// Adaptive is the Section 4 recommendation: "each alert category may
+// require a different threshold". It runs the simultaneous filter with a
+// per-category window, falling back to Default for unlisted categories.
+type Adaptive struct {
+	// Thresholds maps category name to its window.
+	Thresholds map[string]time.Duration
+	// Default applies to categories not in Thresholds.
+	Default time.Duration
+}
+
+// Name implements Algorithm.
+func (f Adaptive) Name() string { return "adaptive" }
+
+// window returns the effective threshold for a category.
+func (f Adaptive) window(cat string) time.Duration {
+	if t, ok := f.Thresholds[cat]; ok && t > 0 {
+		return t
+	}
+	if f.Default > 0 {
+		return f.Default
+	}
+	return DefaultThreshold
+}
+
+// Filter is Algorithm 3.1 with per-category windows. The wholesale-clear
+// optimization only applies when the stream goes quiet for longer than the
+// largest window.
+func (f Adaptive) Filter(alerts []tag.Alert) []tag.Alert {
+	maxT := f.window("")
+	for _, t := range f.Thresholds {
+		if t > maxT {
+			maxT = t
+		}
+	}
+	x := make(map[string]time.Time)
+	var out []tag.Alert
+	var last time.Time
+	for _, a := range alerts {
+		ti := a.Record.Time
+		if !last.IsZero() && ti.Sub(last) > maxT {
+			clear(x)
+		}
+		last = ti
+		ci := categoryKey(a)
+		t := f.window(ci)
+		if prev, ok := x[ci]; ok && ti.Sub(prev) < t {
+			x[ci] = ti
+			continue
+		}
+		x[ci] = ti
+		out = append(out, a)
+	}
+	return out
+}
+
+// Stats summarizes one filtering run.
+type Stats struct {
+	Input, Output, Removed int
+}
+
+// Run applies an algorithm and reports stats alongside the survivors.
+func Run(alg Algorithm, alerts []tag.Alert) ([]tag.Alert, Stats) {
+	out := alg.Filter(alerts)
+	return out, Stats{Input: len(alerts), Output: len(out), Removed: len(alerts) - len(out)}
+}

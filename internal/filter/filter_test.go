@@ -1,0 +1,391 @@
+package filter
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"whatsupersay/internal/catalog"
+	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/tag"
+)
+
+var t0 = time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// cat returns a catalog category for the given Liberty name (the tests
+// only need real *catalog.Category pointers with distinct names).
+func cat(t testing.TB, name string) *catalog.Category {
+	t.Helper()
+	c, ok := catalog.Lookup(logrec.Liberty, name)
+	if !ok {
+		t.Fatalf("category %s missing", name)
+	}
+	return c
+}
+
+// mk builds an alert at t0+offset seconds from the given source.
+func mk(c *catalog.Category, src string, offsetSec float64, seq uint64) tag.Alert {
+	return tag.Alert{
+		Record: logrec.Record{
+			Time:   t0.Add(time.Duration(offsetSec * float64(time.Second))),
+			Source: src,
+			Seq:    seq,
+		},
+		Category: c,
+	}
+}
+
+func names(alerts []tag.Alert) []float64 {
+	out := make([]float64, len(alerts))
+	for i, a := range alerts {
+		out[i] = a.Record.Time.Sub(t0).Seconds()
+	}
+	return out
+}
+
+func TestSimultaneousBasicCoalescing(t *testing.T) {
+	c := cat(t, "PBS_CHK")
+	// One burst: every message within 5s of the previous.
+	in := []tag.Alert{
+		mk(c, "a", 0, 0), mk(c, "a", 2, 1), mk(c, "b", 4, 2), mk(c, "a", 6, 3),
+	}
+	out := Simultaneous{T: 5 * time.Second}.Filter(in)
+	if len(out) != 1 || out[0].Record.Seq != 0 {
+		t.Errorf("survivors = %v, want just the first", names(out))
+	}
+}
+
+func TestSimultaneousWindowResets(t *testing.T) {
+	c := cat(t, "PBS_CHK")
+	in := []tag.Alert{
+		mk(c, "a", 0, 0),
+		mk(c, "a", 10, 1), // > 5s gap: new incident
+		mk(c, "a", 12, 2),
+	}
+	out := Simultaneous{T: 5 * time.Second}.Filter(in)
+	if len(out) != 2 {
+		t.Fatalf("survivors = %v, want 2", names(out))
+	}
+	if out[1].Record.Seq != 1 {
+		t.Error("second survivor should be the 10s alert")
+	}
+}
+
+func TestSimultaneousDistinctCategoriesIndependent(t *testing.T) {
+	a := cat(t, "PBS_CHK")
+	b := cat(t, "PBS_BFD")
+	in := []tag.Alert{
+		mk(a, "n1", 0, 0), mk(b, "n1", 1, 1), mk(a, "n1", 2, 2), mk(b, "n1", 3, 3),
+	}
+	out := Simultaneous{T: 5 * time.Second}.Filter(in)
+	if len(out) != 2 {
+		t.Fatalf("survivors = %d, want 2 (one per category)", len(out))
+	}
+}
+
+// TestSimultaneousExactThreshold pins the paper's strict inequality: an
+// alert exactly T after the previous one is NOT redundant (t_i - X[c] <
+// T fails).
+func TestSimultaneousExactThreshold(t *testing.T) {
+	c := cat(t, "PBS_CHK")
+	in := []tag.Alert{mk(c, "a", 0, 0), mk(c, "b", 5, 1)}
+	out := Simultaneous{T: 5 * time.Second}.Filter(in)
+	if len(out) != 2 {
+		t.Errorf("gap == T must survive, got %v", names(out))
+	}
+}
+
+// TestSimultaneousSlidingWindow: the redundancy window slides with every
+// report (including removed ones), so a drizzle with 3s gaps coalesces
+// entirely even though it spans far more than T.
+func TestSimultaneousSlidingWindow(t *testing.T) {
+	c := cat(t, "PBS_CHK")
+	var in []tag.Alert
+	for i := 0; i < 20; i++ {
+		in = append(in, mk(c, "n", float64(i)*3, uint64(i)))
+	}
+	out := Simultaneous{T: 5 * time.Second}.Filter(in)
+	if len(out) != 1 {
+		t.Errorf("3s drizzle should collapse to one alert, got %d", len(out))
+	}
+}
+
+func TestTemporalPerSource(t *testing.T) {
+	c := cat(t, "PBS_CHK")
+	in := []tag.Alert{
+		mk(c, "a", 0, 0),
+		mk(c, "b", 1, 1), // different source: temporal keeps it
+		mk(c, "a", 2, 2), // same source within T: removed
+		mk(c, "b", 3, 3), // same source within T: removed
+	}
+	out := Temporal{T: 5 * time.Second}.Filter(in)
+	if len(out) != 2 {
+		t.Fatalf("temporal survivors = %v, want 2", names(out))
+	}
+	if out[0].Record.Source != "a" || out[1].Record.Source != "b" {
+		t.Error("temporal must keep the first from each source")
+	}
+}
+
+func TestSpatialCrossSourceOnly(t *testing.T) {
+	c := cat(t, "PBS_CHK")
+	in := []tag.Alert{
+		mk(c, "a", 0, 0),
+		mk(c, "a", 2, 1), // same source: spatial keeps it
+		mk(c, "b", 3, 2), // other source within T of a: removed
+	}
+	out := Spatial{T: 5 * time.Second}.Filter(in)
+	if len(out) != 2 {
+		t.Fatalf("spatial survivors = %v, want 2", names(out))
+	}
+	for _, a := range out {
+		if a.Record.Source != "a" {
+			t.Error("spatial should keep only source a's reports")
+		}
+	}
+}
+
+// TestSerialVsSimultaneousAsymmetry is the Section 3.3.2 scenario: "the
+// temporal filter removes messages that the spatial filter would have
+// used as cues that the failure had already been reported by another
+// source." Node A reports at 0s and 3s; node B at 6s. Serial: temporal
+// removes A@3, spatial sees A@0 and B@6 (gap 6s > T) and keeps both.
+// Simultaneous: A@3 refreshes the window, so B@6 is removed.
+func TestSerialVsSimultaneousAsymmetry(t *testing.T) {
+	c := cat(t, "PBS_CON")
+	in := []tag.Alert{
+		mk(c, "A", 0, 0),
+		mk(c, "A", 3, 1),
+		mk(c, "B", 6, 2),
+	}
+	serial := Serial{T: 5 * time.Second}.Filter(in)
+	simult := Simultaneous{T: 5 * time.Second}.Filter(in)
+	if len(serial) != 2 {
+		t.Fatalf("serial survivors = %v, want [0 6]", names(serial))
+	}
+	if len(simult) != 1 {
+		t.Fatalf("simultaneous survivors = %v, want [0]", names(simult))
+	}
+}
+
+// TestSimultaneousSubsetOfSerial: on any stream, the simultaneous
+// filter's survivors are a subset of the serial filter's. (Both keep the
+// first alert of an isolated incident; simultaneous is strictly more
+// aggressive.)
+func TestSimultaneousSubsetOfSerial(t *testing.T) {
+	cats := []*catalog.Category{cat(t, "PBS_CHK"), cat(t, "PBS_BFD"), cat(t, "GM_PAR")}
+	srcs := []string{"a", "b", "c"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var in []tag.Alert
+		offset := 0.0
+		for i := 0; i < 200; i++ {
+			offset += rng.ExpFloat64() * 4
+			in = append(in, mk(cats[rng.Intn(len(cats))], srcs[rng.Intn(len(srcs))], offset, uint64(i)))
+		}
+		serial := Serial{T: 5 * time.Second}.Filter(in)
+		simult := Simultaneous{T: 5 * time.Second}.Filter(in)
+		inSerial := map[uint64]bool{}
+		for _, a := range serial {
+			inSerial[a.Record.Seq] = true
+		}
+		for _, a := range simult {
+			if !inSerial[a.Record.Seq] {
+				return false
+			}
+		}
+		return len(simult) <= len(serial)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// referenceSimultaneous is Algorithm 3.1 without the table-clearing
+// optimization; the optimized version must be behaviorally identical.
+func referenceSimultaneous(alerts []tag.Alert, T time.Duration) []tag.Alert {
+	x := map[string]time.Time{}
+	var out []tag.Alert
+	for _, a := range alerts {
+		ci := a.Category.Name
+		ti := a.Record.Time
+		if prev, ok := x[ci]; ok && ti.Sub(prev) < T {
+			x[ci] = ti
+			continue
+		}
+		x[ci] = ti
+		out = append(out, a)
+	}
+	return out
+}
+
+func TestClearOptimizationEquivalence(t *testing.T) {
+	cats := []*catalog.Category{cat(t, "PBS_CHK"), cat(t, "GM_LANAI"), cat(t, "GM_PAR")}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var in []tag.Alert
+		offset := 0.0
+		for i := 0; i < 300; i++ {
+			// Mix tight bursts and long quiet gaps to exercise the clear.
+			if rng.Intn(10) == 0 {
+				offset += 30 + rng.Float64()*100
+			} else {
+				offset += rng.Float64() * 4
+			}
+			in = append(in, mk(cats[rng.Intn(len(cats))], "s", offset, uint64(i)))
+		}
+		got := Simultaneous{T: 5 * time.Second}.Filter(in)
+		want := referenceSimultaneous(in, 5*time.Second)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].Record.Seq != want[i].Record.Seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSerialIsTemporalThenSpatial(t *testing.T) {
+	c := cat(t, "PBS_CHK")
+	var in []tag.Alert
+	for i := 0; i < 50; i++ {
+		in = append(in, mk(c, []string{"a", "b"}[i%2], float64(i)*2, uint64(i)))
+	}
+	serial := Serial{T: 5 * time.Second}.Filter(in)
+	manual := Spatial{T: 5 * time.Second}.Filter(Temporal{T: 5 * time.Second}.Filter(in))
+	if len(serial) != len(manual) {
+		t.Fatalf("serial %d != composed %d", len(serial), len(manual))
+	}
+	for i := range serial {
+		if serial[i].Record.Seq != manual[i].Record.Seq {
+			t.Fatal("serial differs from manual composition")
+		}
+	}
+}
+
+func TestDefaultThresholdApplied(t *testing.T) {
+	c := cat(t, "PBS_CHK")
+	in := []tag.Alert{mk(c, "a", 0, 0), mk(c, "a", 3, 1)}
+	// Zero T must fall back to the 5s default, removing the 3s repeat.
+	for _, alg := range []Algorithm{Simultaneous{}, Temporal{}, Spatial{}} {
+		out := alg.Filter([]tag.Alert{mk(c, "a", 0, 0), mk(c, "b", 3, 1)})
+		switch alg.(type) {
+		case Temporal:
+			if len(out) != 2 {
+				t.Errorf("%s: different sources must both survive temporal", alg.Name())
+			}
+		default:
+			if len(out) != 1 {
+				t.Errorf("%s: default threshold not applied, got %d", alg.Name(), len(out))
+			}
+		}
+	}
+	out := Simultaneous{}.Filter(in)
+	if len(out) != 1 {
+		t.Error("simultaneous default threshold not applied")
+	}
+}
+
+func TestAdaptivePerCategoryWindows(t *testing.T) {
+	chk := cat(t, "PBS_CHK")
+	par := cat(t, "GM_PAR")
+	in := []tag.Alert{
+		mk(chk, "a", 0, 0), mk(chk, "a", 8, 1), // within 20s window: removed
+		mk(par, "b", 0, 2), mk(par, "b", 8, 3), // beyond 5s default: kept
+	}
+	alg := Adaptive{
+		Thresholds: map[string]time.Duration{"PBS_CHK": 20 * time.Second},
+		Default:    5 * time.Second,
+	}
+	out := alg.Filter(in)
+	if len(out) != 3 {
+		t.Fatalf("adaptive survivors = %d, want 3", len(out))
+	}
+	kept := map[uint64]bool{}
+	for _, a := range out {
+		kept[a.Record.Seq] = true
+	}
+	if kept[1] {
+		t.Error("PBS_CHK repeat inside its 20s window must be removed")
+	}
+	if !kept[3] {
+		t.Error("GM_PAR repeat beyond the 5s default must be kept")
+	}
+}
+
+func TestAdaptiveEqualsSimultaneousWithUniformThreshold(t *testing.T) {
+	cats := []*catalog.Category{cat(t, "PBS_CHK"), cat(t, "GM_PAR")}
+	rng := rand.New(rand.NewSource(17))
+	var in []tag.Alert
+	offset := 0.0
+	for i := 0; i < 400; i++ {
+		offset += rng.Float64() * 8
+		in = append(in, mk(cats[rng.Intn(2)], "s", offset, uint64(i)))
+	}
+	a := Adaptive{Default: 5 * time.Second}.Filter(in)
+	b := Simultaneous{T: 5 * time.Second}.Filter(in)
+	if len(a) != len(b) {
+		t.Fatalf("adaptive(default only) %d != simultaneous %d", len(a), len(b))
+	}
+}
+
+func TestFilterDoesNotMutateInput(t *testing.T) {
+	c := cat(t, "PBS_CHK")
+	in := []tag.Alert{mk(c, "a", 0, 0), mk(c, "a", 1, 1), mk(c, "a", 99, 2)}
+	before := make([]tag.Alert, len(in))
+	copy(before, in)
+	for _, alg := range []Algorithm{Simultaneous{}, Temporal{}, Spatial{}, Serial{}, Adaptive{}} {
+		alg.Filter(in)
+		for i := range in {
+			if in[i].Record.Seq != before[i].Record.Seq {
+				t.Fatalf("%s mutated its input", alg.Name())
+			}
+		}
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	c := cat(t, "PBS_CHK")
+	in := []tag.Alert{mk(c, "a", 0, 0), mk(c, "a", 1, 1)}
+	out, st := Run(Simultaneous{}, in)
+	if st.Input != 2 || st.Output != 1 || st.Removed != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if len(out) != 1 {
+		t.Error("output mismatch")
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	for _, alg := range []Algorithm{Simultaneous{}, Temporal{}, Spatial{}, Serial{}, Adaptive{}} {
+		if out := alg.Filter(nil); len(out) != 0 {
+			t.Errorf("%s on empty input produced %d", alg.Name(), len(out))
+		}
+		c := cat(t, "PBS_CHK")
+		if out := alg.Filter([]tag.Alert{mk(c, "a", 0, 0)}); len(out) != 1 {
+			t.Errorf("%s dropped a singleton", alg.Name())
+		}
+	}
+}
+
+func TestAlgorithmNames(t *testing.T) {
+	want := map[string]Algorithm{
+		"simultaneous": Simultaneous{},
+		"temporal":     Temporal{},
+		"spatial":      Spatial{},
+		"serial":       Serial{},
+		"adaptive":     Adaptive{},
+	}
+	for name, alg := range want {
+		if alg.Name() != name {
+			t.Errorf("Name() = %q, want %q", alg.Name(), name)
+		}
+	}
+}

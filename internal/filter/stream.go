@@ -1,0 +1,61 @@
+package filter
+
+import (
+	"time"
+
+	"whatsupersay/internal/tag"
+)
+
+// Stream is the online form of Algorithm 3.1, for deployments that
+// filter alerts as they arrive rather than in batch: each Offer decides
+// immediately whether the alert is the first report of a new failure
+// (keep) or redundant (drop). The decision rule is identical to
+// Simultaneous.Filter — the algorithm is single-pass by construction,
+// which is part of why the paper prefers it to the serial pipeline.
+type Stream struct {
+	// T is the redundancy window (DefaultThreshold when zero).
+	T time.Duration
+
+	x    map[string]time.Time
+	last time.Time
+}
+
+// NewStream creates an online filter with the given window.
+func NewStream(t time.Duration) *Stream {
+	if t <= 0 {
+		t = DefaultThreshold
+	}
+	return &Stream{T: t, x: make(map[string]time.Time)}
+}
+
+// Offer processes one alert in arrival order and reports whether it
+// survives (true = first report of a failure). Alerts must be offered in
+// non-decreasing time order, as they arrive from a collection path.
+func (s *Stream) Offer(a tag.Alert) bool {
+	if s.x == nil {
+		s.x = make(map[string]time.Time)
+	}
+	t := s.T
+	if t <= 0 {
+		t = DefaultThreshold
+	}
+	ti := a.Record.Time
+	if !s.last.IsZero() && ti.Sub(s.last) > t {
+		clear(s.x)
+	}
+	s.last = ti
+	ci := a.Category.Name
+	if prev, ok := s.x[ci]; ok && ti.Sub(prev) < t {
+		s.x[ci] = ti
+		return false
+	}
+	s.x[ci] = ti
+	return true
+}
+
+// Reset clears the stream's state (e.g. at an operational-context
+// transition, where redundancy windows should not span a downtime).
+func (s *Stream) Reset() {
+	clear(s.x)
+	s.last = time.Time{}
+}

@@ -1,0 +1,71 @@
+package filter
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"whatsupersay/internal/catalog"
+	"whatsupersay/internal/tag"
+)
+
+// TestStreamEquivalentToBatch: the online filter must make exactly the
+// batch filter's decisions on any ordered stream (quick-checked).
+func TestStreamEquivalentToBatch(t *testing.T) {
+	cats := []*catalog.Category{cat(t, "PBS_CHK"), cat(t, "GM_PAR"), cat(t, "PBS_CON")}
+	srcs := []string{"a", "b", "c"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var in []tag.Alert
+		offset := 0.0
+		for i := 0; i < 250; i++ {
+			if rng.Intn(12) == 0 {
+				offset += 20 + rng.Float64()*200 // quiet gap: exercises the clear
+			} else {
+				offset += rng.Float64() * 5
+			}
+			in = append(in, mk(cats[rng.Intn(len(cats))], srcs[rng.Intn(len(srcs))], offset, uint64(i)))
+		}
+		batch := Simultaneous{T: 5 * time.Second}.Filter(in)
+		keptBatch := map[uint64]bool{}
+		for _, a := range batch {
+			keptBatch[a.Record.Seq] = true
+		}
+		stream := NewStream(5 * time.Second)
+		for _, a := range in {
+			if stream.Offer(a) != keptBatch[a.Record.Seq] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamZeroValueUsable(t *testing.T) {
+	var s Stream // zero value: lazy map, default threshold
+	c := cat(t, "PBS_CHK")
+	if !s.Offer(mk(c, "a", 0, 0)) {
+		t.Error("first alert must survive")
+	}
+	if s.Offer(mk(c, "a", 2, 1)) {
+		t.Error("repeat within default window must be dropped")
+	}
+}
+
+func TestStreamReset(t *testing.T) {
+	s := NewStream(5 * time.Second)
+	c := cat(t, "PBS_CHK")
+	if !s.Offer(mk(c, "a", 0, 0)) {
+		t.Fatal("first")
+	}
+	s.Reset()
+	// After a reset (e.g. a downtime boundary), the same category is a
+	// fresh failure even inside the old window.
+	if !s.Offer(mk(c, "a", 2, 1)) {
+		t.Error("post-reset alert must survive")
+	}
+}

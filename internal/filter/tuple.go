@@ -1,0 +1,97 @@
+package filter
+
+import (
+	"time"
+
+	"whatsupersay/internal/tag"
+)
+
+// Tuple implements the classic event-tupling scheme of Tsao (and the
+// comparative study of Buckley & Siewiorek the paper builds on, refs [4]
+// and [26]): events are grouped into tuples purely by temporal
+// proximity — an event joins the current tuple if it arrives within T of
+// the tuple's *last* event, regardless of category or source — and each
+// tuple is reduced to its first event.
+//
+// Tupling predates category-aware filtering and over-coalesces by
+// construction: unrelated failures that happen to be close in time merge
+// into one tuple. It is included as the historical baseline the paper's
+// Algorithm 3.1 improves on.
+type Tuple struct {
+	T time.Duration
+}
+
+// Name implements Algorithm.
+func (f Tuple) Name() string { return "tuple" }
+
+// Filter keeps the first alert of each tuple.
+func (f Tuple) Filter(alerts []tag.Alert) []tag.Alert {
+	var out []tag.Alert
+	for _, group := range f.Tuples(alerts) {
+		out = append(out, group[0])
+	}
+	return out
+}
+
+// Tuples returns the tuple groups themselves, for analyses that want the
+// groups rather than representatives. The input must be time-sorted;
+// groups preserve order.
+func (f Tuple) Tuples(alerts []tag.Alert) [][]tag.Alert {
+	t := f.T
+	if t <= 0 {
+		t = DefaultThreshold
+	}
+	var groups [][]tag.Alert
+	var cur []tag.Alert
+	var last time.Time
+	for _, a := range alerts {
+		ti := a.Record.Time
+		if len(cur) > 0 && ti.Sub(last) >= t {
+			groups = append(groups, cur)
+			cur = nil
+		}
+		cur = append(cur, a)
+		last = ti
+	}
+	if len(cur) > 0 {
+		groups = append(groups, cur)
+	}
+	return groups
+}
+
+// TupleStats summarizes a tupling run, the quantities the comparative
+// tupling literature reports.
+type TupleStats struct {
+	// Tuples is the number of groups.
+	Tuples int
+	// MaxSize and MeanSize describe group sizes.
+	MaxSize  int
+	MeanSize float64
+	// Collisions counts tuples containing more than one category — the
+	// over-coalescing failure mode category-aware filtering fixes.
+	Collisions int
+}
+
+// AnalyzeTuples computes tupling statistics over an alert stream.
+func (f Tuple) AnalyzeTuples(alerts []tag.Alert) TupleStats {
+	groups := f.Tuples(alerts)
+	st := TupleStats{Tuples: len(groups)}
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+		if len(g) > st.MaxSize {
+			st.MaxSize = len(g)
+		}
+		cats := map[string]bool{}
+		for _, a := range g {
+			cats[a.Category.Name] = true
+		}
+		if len(cats) > 1 {
+			st.Collisions++
+		}
+	}
+	if len(groups) > 0 {
+		st.MeanSize = float64(total) / float64(len(groups))
+	}
+	return st
+}

@@ -1,0 +1,105 @@
+package filter
+
+import (
+	"testing"
+	"time"
+
+	"whatsupersay/internal/tag"
+)
+
+func TestTupleGrouping(t *testing.T) {
+	c := cat(t, "PBS_CHK")
+	flat := []tag.Alert{
+		mk(c, "a", 0, 0), mk(c, "a", 2, 1), mk(c, "b", 4, 2), // one tuple
+		mk(c, "a", 20, 3), // second tuple
+	}
+	groups := Tuple{T: 5 * time.Second}.Tuples(flat)
+	if len(groups) != 2 {
+		t.Fatalf("tuples = %d, want 2", len(groups))
+	}
+	if len(groups[0]) != 3 || len(groups[1]) != 1 {
+		t.Errorf("tuple sizes = %d/%d", len(groups[0]), len(groups[1]))
+	}
+}
+
+func TestTupleFilterKeepsFirst(t *testing.T) {
+	c := cat(t, "PBS_CHK")
+	in := []tag.Alert{mk(c, "a", 0, 0), mk(c, "a", 2, 1), mk(c, "a", 30, 2)}
+	out := Tuple{T: 5 * time.Second}.Filter(in)
+	if len(out) != 2 {
+		t.Fatalf("survivors = %d, want 2", len(out))
+	}
+	if out[0].Record.Seq != 0 || out[1].Record.Seq != 2 {
+		t.Error("tuple representatives wrong")
+	}
+}
+
+// TestTupleOverCoalesces demonstrates the failure mode category-aware
+// filtering fixes: two unrelated categories close in time merge into one
+// tuple, so one of them vanishes from the filtered stream.
+func TestTupleOverCoalesces(t *testing.T) {
+	chk := cat(t, "PBS_CHK")
+	par := cat(t, "GM_PAR")
+	in := []tag.Alert{mk(chk, "a", 0, 0), mk(par, "b", 2, 1)}
+	tupled := Tuple{T: 5 * time.Second}.Filter(in)
+	if len(tupled) != 1 {
+		t.Fatalf("tuple survivors = %d, want 1 (over-coalesced)", len(tupled))
+	}
+	simult := Simultaneous{T: 5 * time.Second}.Filter(in)
+	if len(simult) != 2 {
+		t.Fatalf("simultaneous survivors = %d, want 2 (category-aware)", len(simult))
+	}
+}
+
+func TestTupleSlidingWindow(t *testing.T) {
+	c := cat(t, "PBS_CHK")
+	// 3s drizzle spanning 60s: one tuple (window slides with each event).
+	var in []tag.Alert
+	for i := 0; i < 20; i++ {
+		in = append(in, mk(c, "n", float64(i)*3, uint64(i)))
+	}
+	if groups := (Tuple{T: 5 * time.Second}).Tuples(in); len(groups) != 1 {
+		t.Errorf("tuples = %d, want 1", len(groups))
+	}
+	// Gap exactly T starts a new tuple (>= T boundary).
+	in2 := []tag.Alert{mk(c, "n", 0, 0), mk(c, "n", 5, 1)}
+	if groups := (Tuple{T: 5 * time.Second}).Tuples(in2); len(groups) != 2 {
+		t.Errorf("boundary tuples = %d, want 2", len(groups))
+	}
+}
+
+func TestAnalyzeTuples(t *testing.T) {
+	chk := cat(t, "PBS_CHK")
+	par := cat(t, "GM_PAR")
+	in := []tag.Alert{
+		mk(chk, "a", 0, 0), mk(par, "a", 1, 1), // collision tuple
+		mk(chk, "a", 100, 2), mk(chk, "b", 101, 3), mk(chk, "c", 102, 4), // clean tuple
+		mk(par, "d", 500, 5), // singleton
+	}
+	st := Tuple{T: 5 * time.Second}.AnalyzeTuples(in)
+	if st.Tuples != 3 {
+		t.Fatalf("tuples = %d, want 3", st.Tuples)
+	}
+	if st.Collisions != 1 {
+		t.Errorf("collisions = %d, want 1", st.Collisions)
+	}
+	if st.MaxSize != 3 {
+		t.Errorf("max size = %d, want 3", st.MaxSize)
+	}
+	if st.MeanSize != 2 {
+		t.Errorf("mean size = %v, want 2", st.MeanSize)
+	}
+}
+
+func TestTupleEmpty(t *testing.T) {
+	if out := (Tuple{}).Filter(nil); len(out) != 0 {
+		t.Error("empty input")
+	}
+	st := (Tuple{}).AnalyzeTuples(nil)
+	if st.Tuples != 0 || st.MeanSize != 0 {
+		t.Error("empty stats")
+	}
+	if (Tuple{}).Name() != "tuple" {
+		t.Error("name")
+	}
+}

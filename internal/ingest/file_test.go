@@ -1,0 +1,85 @@
+package ingest
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"whatsupersay/internal/logrec"
+)
+
+func TestWriteLinesPlainAndGz(t *testing.T) {
+	dir := t.TempDir()
+	lines := []string{"Mar  7 14:30:05 ln1 kernel: a", "Mar  7 14:30:06 ln1 kernel: b"}
+
+	for _, name := range []string{"log.txt", "log.txt.gz"} {
+		path := filepath.Join(dir, name)
+		n, err := WriteLines(path, lines)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		wantBytes := int64(len(lines[0]) + len(lines[1]) + 2)
+		if n != wantBytes {
+			t.Errorf("%s: wrote %d uncompressed bytes, want %d", name, n, wantBytes)
+		}
+		r, err := Open(path)
+		if err != nil {
+			t.Fatalf("%s open: %v", name, err)
+		}
+		data, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatalf("%s read: %v", name, err)
+		}
+		if err := r.Close(); err != nil {
+			t.Fatalf("%s close: %v", name, err)
+		}
+		if got := string(data); got != strings.Join(lines, "\n")+"\n" {
+			t.Errorf("%s round trip = %q", name, got)
+		}
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "missing.log")); err == nil {
+		t.Error("missing file must error")
+	}
+	// A .gz file with non-gzip content must fail at open.
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.gz")
+	if err := os.WriteFile(bad, []byte("this is not gzip data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(bad); err == nil {
+		t.Error("corrupt gzip must error at open")
+	}
+}
+
+func TestGzRoundTripThroughReader(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lib.log.gz")
+	lines := []string{
+		"Mar  7 14:30:05 ln1 pbs_mom: task_check, cannot tm_reply to 1.l task 1",
+		"Mar  7 14:30:06 ln2 kernel: eth0: link up",
+	}
+	if _, err := WriteLines(path, lines); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	recs, stats, err := ReadAll(r, logrec.Liberty, time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Lines != 2 || len(recs) != 2 {
+		t.Errorf("ingested %d lines", stats.Lines)
+	}
+	if recs[0].Program != "pbs_mom" {
+		t.Errorf("record = %+v", recs[0])
+	}
+}

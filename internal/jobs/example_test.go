@@ -1,0 +1,48 @@
+package jobs_test
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"whatsupersay/internal/cluster"
+	"whatsupersay/internal/jobs"
+	"whatsupersay/internal/logrec"
+)
+
+// ExampleApplyFailures overlays a node failure on a small schedule and
+// accounts the lost work with and without checkpointing — the Section 5
+// "useful work lost due to failures" metric.
+func ExampleApplyFailures() {
+	start := time.Date(2005, 3, 1, 0, 0, 0, 0, time.UTC)
+	schedule := []jobs.Job{
+		{ID: 1, Start: start, End: start.Add(24 * time.Hour), Nodes: []string{"ln1", "ln2"}},
+		{ID: 2, Start: start, End: start.Add(24 * time.Hour), Nodes: []string{"ln3"}},
+	}
+	failures := []jobs.Failure{{Time: start.Add(10 * time.Hour), Node: "ln1", Incident: 1}}
+
+	noCkpt := make([]jobs.Job, len(schedule))
+	copy(noCkpt, schedule)
+	plain := jobs.ApplyFailures(noCkpt, failures, 0)
+
+	hourly := make([]jobs.Job, len(schedule))
+	copy(hourly, schedule)
+	ckpt := jobs.ApplyFailures(hourly, failures, time.Hour)
+
+	fmt.Printf("jobs killed: %d\n", plain.JobsKilled)
+	fmt.Printf("node-hours lost: %.0f without checkpoints, %.0f with hourly\n",
+		plain.NodeHoursLost, ckpt.NodeHoursLost)
+	// Output:
+	// jobs killed: 1
+	// node-hours lost: 20 without checkpoints, 0 with hourly
+}
+
+// ExampleWorkload generates a deterministic batch schedule on Liberty.
+func ExampleWorkload() {
+	m, _ := cluster.New(logrec.Liberty)
+	start := time.Date(2005, 3, 1, 0, 0, 0, 0, time.UTC)
+	schedule := jobs.DefaultWorkload().Generate(rand.New(rand.NewSource(7)), m, start, start.AddDate(0, 0, 7))
+	fmt.Printf("one week of jobs: %d (all on compute nodes: %v)\n", len(schedule), len(schedule) > 50)
+	// Output:
+	// one week of jobs: 97 (all on compute nodes: true)
+}

@@ -1,0 +1,151 @@
+// Package logrec defines the structured log record model shared by every
+// subsystem in the study: the parsed representation of one line (or one RAS
+// event) from a supercomputer system log, together with the severity scales
+// used by the five machines.
+//
+// The model deliberately mirrors what the DSN 2007 paper ("What
+// Supercomputers Say") works with: a timestamp, a source (the reporting
+// node), an optional severity, an optional program tag, and an unstructured
+// message body. Alert tagging (package tag) and filtering (package filter)
+// operate on these records.
+package logrec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// System identifies one of the five supercomputers in the study.
+type System int
+
+// The five systems of Table 1, ordered as the paper lists them.
+const (
+	BlueGeneL System = iota + 1
+	Thunderbird
+	RedStorm
+	Spirit
+	Liberty
+)
+
+// String returns the paper's name for the system.
+func (s System) String() string {
+	switch s {
+	case BlueGeneL:
+		return "Blue Gene/L"
+	case Thunderbird:
+		return "Thunderbird"
+	case RedStorm:
+		return "Red Storm"
+	case Spirit:
+		return "Spirit"
+	case Liberty:
+		return "Liberty"
+	default:
+		return fmt.Sprintf("System(%d)", int(s))
+	}
+}
+
+// ShortName returns a lowercase identifier suitable for file names and CLI
+// flags (e.g. "bgl", "tbird").
+func (s System) ShortName() string {
+	switch s {
+	case BlueGeneL:
+		return "bgl"
+	case Thunderbird:
+		return "tbird"
+	case RedStorm:
+		return "redstorm"
+	case Spirit:
+		return "spirit"
+	case Liberty:
+		return "liberty"
+	default:
+		return fmt.Sprintf("system%d", int(s))
+	}
+}
+
+// Systems lists all five systems in paper order.
+func Systems() []System {
+	return []System{BlueGeneL, Thunderbird, RedStorm, Spirit, Liberty}
+}
+
+// ParseSystem resolves a system from its short or full name,
+// case-insensitively. It accepts both "bgl" and "Blue Gene/L" forms.
+func ParseSystem(name string) (System, error) {
+	n := strings.ToLower(strings.TrimSpace(name))
+	for _, s := range Systems() {
+		if n == s.ShortName() || n == strings.ToLower(s.String()) {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown system %q", name)
+}
+
+// Record is one structured log entry.
+//
+// Seq is a monotonically increasing sequence number assigned at generation
+// (or ingestion) time; it makes sorting stable when many records share a
+// timestamp, which is routine at one-second syslog granularity.
+type Record struct {
+	// Seq is the stable per-stream sequence number.
+	Seq uint64
+	// Time is when the message was generated. BG/L records carry
+	// microsecond precision; syslog-based records carry one-second
+	// precision (the parser truncates accordingly).
+	Time time.Time
+	// System is the machine the record belongs to.
+	System System
+	// Source is the reporting component: a node name such as "sn373",
+	// "tbird-admin1", or a BG/L location string. A corrupted source field
+	// is preserved verbatim (see package corrupt).
+	Source string
+	// Facility is the syslog facility when known (empty otherwise).
+	Facility string
+	// Severity is the record's severity on its native scale, or
+	// SeverityUnknown when the logging path does not record one (the
+	// Thunderbird, Spirit, and Liberty configurations in the study did
+	// not store severities).
+	Severity Severity
+	// Program is the reporting program tag ("kernel", "pbs_mom", ...),
+	// when present.
+	Program string
+	// Body is the unstructured message body.
+	Body string
+	// Raw is the original wire form of the record, when it was parsed
+	// from text. Generators leave it empty and renderers produce it.
+	Raw string
+	// Corrupted marks records whose wire form was damaged in transit
+	// (truncated, overwritten, or mis-attributed). Parsers set it when
+	// they detect damage; the generator's ground truth also sets it.
+	Corrupted bool
+}
+
+// Clone returns a copy of the record.
+func (r Record) Clone() Record { return r }
+
+// Key returns a compact identity string used in debugging output.
+func (r Record) Key() string {
+	return fmt.Sprintf("%s/%s@%d#%d", r.System.ShortName(), r.Source, r.Time.Unix(), r.Seq)
+}
+
+// Before reports whether r should sort before other: by time, then by
+// sequence number as a tiebreak.
+func (r Record) Before(other Record) bool {
+	if !r.Time.Equal(other.Time) {
+		return r.Time.Before(other.Time)
+	}
+	return r.Seq < other.Seq
+}
+
+// SortRecords sorts records in place into canonical order (time, then
+// sequence number). All downstream analyses assume this order.
+func SortRecords(recs []Record) {
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Before(recs[j]) })
+}
+
+// IsSorted reports whether recs is in canonical order.
+func IsSorted(recs []Record) bool {
+	return sort.SliceIsSorted(recs, func(i, j int) bool { return recs[i].Before(recs[j]) })
+}

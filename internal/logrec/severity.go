@@ -1,0 +1,151 @@
+package logrec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Severity is a log severity on one of the two native scales in the study:
+// the 8-level BSD syslog scale (Red Storm's syslog path) and the 6-level
+// BG/L RAS scale. A single ordered enum covers both; scale membership is
+// queried with IsSyslog / IsBGL.
+//
+// The paper's central observation about severities (Tables 5 and 6) is that
+// they are unreliable failure indicators, so nothing in the analysis
+// pipeline treats them as authoritative — they are just another field.
+type Severity int
+
+// SeverityUnknown is the zero value: the logging path recorded no severity.
+const SeverityUnknown Severity = 0
+
+// BSD syslog severities, most to least severe (RFC 3164 numbering is the
+// reverse; we order by increasing enum value = decreasing severity so that
+// the two scales can share one ordered type).
+const (
+	SevEmerg Severity = iota + 1
+	SevAlert
+	SevCrit
+	SevErr
+	SevWarning
+	SevNotice
+	SevInfo
+	SevDebug
+)
+
+// BG/L RAS severities, most to least severe (Table 5 ordering).
+const (
+	SevFatal Severity = iota + 101
+	SevFailure
+	SevSevere
+	SevError
+	SevWarn
+	SevInfoBGL
+)
+
+// IsSyslog reports whether s belongs to the BSD syslog scale.
+func (s Severity) IsSyslog() bool { return s >= SevEmerg && s <= SevDebug }
+
+// IsBGL reports whether s belongs to the BG/L RAS scale.
+func (s Severity) IsBGL() bool { return s >= SevFatal && s <= SevInfoBGL }
+
+// String returns the canonical upper-case name used in the logs.
+func (s Severity) String() string {
+	switch s {
+	case SeverityUnknown:
+		return "UNKNOWN"
+	case SevEmerg:
+		return "EMERG"
+	case SevAlert:
+		return "ALERT"
+	case SevCrit:
+		return "CRIT"
+	case SevErr:
+		return "ERR"
+	case SevWarning:
+		return "WARNING"
+	case SevNotice:
+		return "NOTICE"
+	case SevInfo:
+		return "INFO"
+	case SevDebug:
+		return "DEBUG"
+	case SevFatal:
+		return "FATAL"
+	case SevFailure:
+		return "FAILURE"
+	case SevSevere:
+		return "SEVERE"
+	case SevError:
+		return "ERROR"
+	case SevWarn:
+		return "WARNING"
+	case SevInfoBGL:
+		return "INFO"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// SyslogSeverities lists the BSD syslog scale, most severe first
+// (Table 6 row order).
+func SyslogSeverities() []Severity {
+	return []Severity{SevEmerg, SevAlert, SevCrit, SevErr, SevWarning, SevNotice, SevInfo, SevDebug}
+}
+
+// BGLSeverities lists the BG/L RAS scale, most severe first
+// (Table 5 row order).
+func BGLSeverities() []Severity {
+	return []Severity{SevFatal, SevFailure, SevSevere, SevError, SevWarn, SevInfoBGL}
+}
+
+// ParseSyslogSeverity parses a BSD syslog severity name.
+func ParseSyslogSeverity(name string) (Severity, error) {
+	switch strings.ToUpper(strings.TrimSpace(name)) {
+	case "EMERG", "PANIC":
+		return SevEmerg, nil
+	case "ALERT":
+		return SevAlert, nil
+	case "CRIT":
+		return SevCrit, nil
+	case "ERR", "ERROR":
+		return SevErr, nil
+	case "WARNING", "WARN":
+		return SevWarning, nil
+	case "NOTICE":
+		return SevNotice, nil
+	case "INFO":
+		return SevInfo, nil
+	case "DEBUG":
+		return SevDebug, nil
+	}
+	return SeverityUnknown, fmt.Errorf("unknown syslog severity %q", name)
+}
+
+// ParseBGLSeverity parses a BG/L RAS severity name.
+func ParseBGLSeverity(name string) (Severity, error) {
+	switch strings.ToUpper(strings.TrimSpace(name)) {
+	case "FATAL":
+		return SevFatal, nil
+	case "FAILURE":
+		return SevFailure, nil
+	case "SEVERE":
+		return SevSevere, nil
+	case "ERROR":
+		return SevError, nil
+	case "WARNING", "WARN":
+		return SevWarn, nil
+	case "INFO":
+		return SevInfoBGL, nil
+	}
+	return SeverityUnknown, fmt.Errorf("unknown BG/L severity %q", name)
+}
+
+// SyslogPriority returns the RFC 3164 numeric severity (0 = emergency) for
+// a syslog-scale severity, for use when rendering <PRI> fields. It returns
+// false when s is not on the syslog scale.
+func (s Severity) SyslogPriority() (int, bool) {
+	if !s.IsSyslog() {
+		return 0, false
+	}
+	return int(s - SevEmerg), true
+}

@@ -1,0 +1,100 @@
+package logrec
+
+import "testing"
+
+func TestSeverityScaleMembership(t *testing.T) {
+	for _, s := range SyslogSeverities() {
+		if !s.IsSyslog() {
+			t.Errorf("%v should be on the syslog scale", s)
+		}
+		if s.IsBGL() {
+			t.Errorf("%v should not be on the BG/L scale", s)
+		}
+	}
+	for _, s := range BGLSeverities() {
+		if !s.IsBGL() {
+			t.Errorf("%v should be on the BG/L scale", s)
+		}
+		if s.IsSyslog() {
+			t.Errorf("%v should not be on the syslog scale", s)
+		}
+	}
+	if SeverityUnknown.IsSyslog() || SeverityUnknown.IsBGL() {
+		t.Error("SeverityUnknown belongs to no scale")
+	}
+}
+
+func TestSeverityCounts(t *testing.T) {
+	if got := len(SyslogSeverities()); got != 8 {
+		t.Errorf("syslog scale has %d levels, want 8", got)
+	}
+	if got := len(BGLSeverities()); got != 6 {
+		t.Errorf("BG/L scale has %d levels, want 6 (Table 5)", got)
+	}
+}
+
+func TestParseSyslogSeverityRoundTrip(t *testing.T) {
+	for _, s := range SyslogSeverities() {
+		got, err := ParseSyslogSeverity(s.String())
+		if err != nil {
+			t.Fatalf("ParseSyslogSeverity(%q): %v", s.String(), err)
+		}
+		if got != s {
+			t.Errorf("round trip %v -> %q -> %v", s, s.String(), got)
+		}
+	}
+	if _, err := ParseSyslogSeverity("BOGUS"); err == nil {
+		t.Error("expected error for unknown severity")
+	}
+}
+
+func TestParseBGLSeverityRoundTrip(t *testing.T) {
+	for _, s := range BGLSeverities() {
+		got, err := ParseBGLSeverity(s.String())
+		if err != nil {
+			t.Fatalf("ParseBGLSeverity(%q): %v", s.String(), err)
+		}
+		// WARNING and INFO render identically on both scales, so the
+		// parse maps to the BG/L member.
+		if got != s {
+			t.Errorf("round trip %v -> %q -> %v", s, s.String(), got)
+		}
+	}
+	if _, err := ParseBGLSeverity("CRIT"); err == nil {
+		t.Error("CRIT is not a BG/L severity")
+	}
+}
+
+func TestParseSeverityAliases(t *testing.T) {
+	if s, err := ParseSyslogSeverity("panic"); err != nil || s != SevEmerg {
+		t.Errorf("PANIC alias: got %v, %v", s, err)
+	}
+	if s, err := ParseSyslogSeverity("error"); err != nil || s != SevErr {
+		t.Errorf("ERROR alias: got %v, %v", s, err)
+	}
+	if s, err := ParseBGLSeverity("warn"); err != nil || s != SevWarn {
+		t.Errorf("WARN alias: got %v, %v", s, err)
+	}
+}
+
+func TestSyslogPriority(t *testing.T) {
+	cases := []struct {
+		sev  Severity
+		want int
+	}{
+		{SevEmerg, 0}, {SevAlert, 1}, {SevCrit, 2}, {SevErr, 3},
+		{SevWarning, 4}, {SevNotice, 5}, {SevInfo, 6}, {SevDebug, 7},
+	}
+	for _, tc := range cases {
+		got, ok := tc.sev.SyslogPriority()
+		if !ok || got != tc.want {
+			t.Errorf("%v.SyslogPriority() = %d,%v want %d,true", tc.sev, got, ok, tc.want)
+		}
+	}
+	if _, ok := SevFatal.SyslogPriority(); ok {
+		t.Error("BG/L severity must not have a syslog priority")
+	}
+	if _, ok := SeverityUnknown.SyslogPriority(); ok {
+		t.Error("unknown severity must not have a syslog priority")
+	}
+}

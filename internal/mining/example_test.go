@@ -1,0 +1,25 @@
+package mining_test
+
+import (
+	"fmt"
+
+	"whatsupersay/internal/mining"
+)
+
+// ExampleMine recovers printf-style format strings from raw message
+// bodies.
+func ExampleMine() {
+	var bodies []string
+	for i := 0; i < 40; i++ {
+		bodies = append(bodies, fmt.Sprintf("session opened for user u%04d by (uid=0)", i))
+	}
+	for i := 0; i < 20; i++ {
+		bodies = append(bodies, "rts panic! - stopping execution")
+	}
+	for _, t := range mining.Mine(bodies, mining.Config{Support: 10}) {
+		fmt.Printf("%3d  %s\n", t.Count, t)
+	}
+	// Output:
+	//  40  session opened for user * by (uid=0)
+	//  20  rts panic! - stopping execution
+}

@@ -1,0 +1,27 @@
+package opcontext_test
+
+import (
+	"fmt"
+	"time"
+
+	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/opcontext"
+)
+
+// ExampleTimeline logs operational-state transitions and answers the
+// paper's disambiguation question: what state was the machine in when an
+// alert fired?
+func ExampleTimeline() {
+	tl := opcontext.NewTimeline(logrec.BlueGeneL, opcontext.ProductionUptime)
+	day := time.Date(2005, 6, 15, 0, 0, 0, 0, time.UTC)
+	_ = tl.Record(day.Add(6*time.Hour), opcontext.ScheduledDowntime, "OS upgrade")
+	_ = tl.Record(day.Add(14*time.Hour), opcontext.ProductionUptime, "upgrade complete")
+
+	for _, at := range []time.Duration{8 * time.Hour, 20 * time.Hour} {
+		st := tl.StateAt(day.Add(at))
+		fmt.Printf("ciodb exited normally at +%v -> %s (%s)\n", at, st, opcontext.Judge(st))
+	}
+	// Output:
+	// ciodb exited normally at +8h0m0s -> scheduled-downtime (expected-artifact)
+	// ciodb exited normally at +20h0m0s -> production-uptime (significant)
+}

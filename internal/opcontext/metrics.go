@@ -1,0 +1,66 @@
+package opcontext
+
+import (
+	"time"
+
+	"whatsupersay/internal/tag"
+)
+
+// The paper's "Quantify RAS" recommendation: "Despite the temptation to
+// calculate values like MTTF from the system logs, doing so can be
+// inaccurate and misleading. ... We recommend calculating RAS metrics
+// based on quantities of direct interest, such as the amount of useful
+// work lost due to failures." This file provides both: the log-derived
+// MTBF (so the caution can be demonstrated) and the recommended
+// state-based metrics.
+
+// RASMetrics are the state-based reliability/availability/serviceability
+// quantities derived from the operational-context timeline.
+type RASMetrics struct {
+	// Window is the measured interval.
+	Window time.Duration
+	// Production, Scheduled, Unscheduled, Engineering are time in each
+	// state.
+	Production, Scheduled, Unscheduled, Engineering time.Duration
+	// NodeHoursLost is unscheduled downtime multiplied by the node
+	// count: the "useful work lost due to failures".
+	NodeHoursLost float64
+}
+
+// Availability is production time over the window excluding scheduled
+// downtime and engineering time (the production-availability definition
+// the Figure 1 effort standardizes).
+func (m RASMetrics) Availability() float64 {
+	denom := m.Window - m.Scheduled - m.Engineering
+	if denom <= 0 {
+		return 0
+	}
+	return float64(m.Production) / float64(denom)
+}
+
+// Metrics computes state-based RAS metrics over a window.
+func Metrics(tl *Timeline, start, end time.Time, nodes int) RASMetrics {
+	in := tl.TimeIn(start, end)
+	m := RASMetrics{
+		Window:      end.Sub(start),
+		Production:  in[ProductionUptime],
+		Scheduled:   in[ScheduledDowntime],
+		Unscheduled: in[UnscheduledDowntime],
+		Engineering: in[EngineeringTime],
+	}
+	m.NodeHoursLost = in[UnscheduledDowntime].Hours() * float64(nodes)
+	return m
+}
+
+// LogDerivedMTBF computes "mean time between failures" the naive way —
+// the window divided by the number of filtered alerts — which the paper
+// warns is "a strong function of the specific system and logging
+// configuration; using logs to compare machines is absurd". It is
+// provided precisely so the absurdity can be demonstrated against the
+// state-based metrics (see the core tests and EXPERIMENTS.md).
+func LogDerivedMTBF(filtered []tag.Alert, window time.Duration) time.Duration {
+	if len(filtered) == 0 {
+		return 0
+	}
+	return window / time.Duration(len(filtered))
+}

@@ -1,0 +1,106 @@
+package opcontext
+
+import (
+	"testing"
+	"time"
+
+	"whatsupersay/internal/catalog"
+	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/tag"
+)
+
+func buildTimeline(t *testing.T) *Timeline {
+	t.Helper()
+	tl := NewTimeline(logrec.Liberty, ProductionUptime)
+	steps := []struct {
+		at    time.Duration
+		to    State
+		cause string
+	}{
+		{10 * time.Hour, ScheduledDowntime, "maintenance"},
+		{18 * time.Hour, ProductionUptime, "done"},
+		{50 * time.Hour, UnscheduledDowntime, "switch failure"},
+		{54 * time.Hour, ProductionUptime, "repaired"},
+		{80 * time.Hour, EngineeringTime, "system testing"},
+		{90 * time.Hour, ProductionUptime, "testing done"},
+	}
+	for _, s := range steps {
+		if err := tl.Record(base.Add(s.at), s.to, s.cause); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tl
+}
+
+func TestMetrics(t *testing.T) {
+	tl := buildTimeline(t)
+	end := base.Add(100 * time.Hour)
+	m := Metrics(tl, base, end, 256)
+	if m.Window != 100*time.Hour {
+		t.Errorf("window = %v", m.Window)
+	}
+	if m.Scheduled != 8*time.Hour {
+		t.Errorf("scheduled = %v, want 8h", m.Scheduled)
+	}
+	if m.Unscheduled != 4*time.Hour {
+		t.Errorf("unscheduled = %v, want 4h", m.Unscheduled)
+	}
+	if m.Engineering != 10*time.Hour {
+		t.Errorf("engineering = %v, want 10h", m.Engineering)
+	}
+	if m.Production != 78*time.Hour {
+		t.Errorf("production = %v, want 78h", m.Production)
+	}
+	// Availability = production / (window - scheduled - engineering)
+	//              = 78 / 82.
+	if got, want := m.Availability(), 78.0/82.0; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("availability = %v, want %v", got, want)
+	}
+	// Node-hours lost = 4h x 256 nodes.
+	if m.NodeHoursLost != 4*256 {
+		t.Errorf("node-hours lost = %v, want 1024", m.NodeHoursLost)
+	}
+}
+
+func TestAvailabilityDegenerate(t *testing.T) {
+	m := RASMetrics{Window: time.Hour, Scheduled: time.Hour}
+	if m.Availability() != 0 {
+		t.Error("degenerate availability must be 0")
+	}
+}
+
+// TestLogDerivedMTBFIsMisleading demonstrates the paper's caution: two
+// timelines with identical *actual* downtime produce wildly different
+// log-derived MTBF when their logging configurations differ (one chatty
+// category's redundancy changes the number without any reliability
+// change).
+func TestLogDerivedMTBFIsMisleading(t *testing.T) {
+	c, ok := catalog.Lookup(logrec.Liberty, "PBS_CHK")
+	if !ok {
+		t.Fatal("category missing")
+	}
+	mkAlerts := func(n int) []tag.Alert {
+		out := make([]tag.Alert, n)
+		for i := range out {
+			out[i] = tag.Alert{
+				Record:   logrec.Record{Time: base.Add(time.Duration(i) * time.Hour)},
+				Category: c,
+			}
+		}
+		return out
+	}
+	window := 1000 * time.Hour
+	quiet := LogDerivedMTBF(mkAlerts(10), window)
+	chatty := LogDerivedMTBF(mkAlerts(1000), window)
+	if quiet != 100*time.Hour || chatty != time.Hour {
+		t.Errorf("MTBF = %v / %v", quiet, chatty)
+	}
+	// Same machine, same window, 100x apart: "using logs to compare
+	// machines is absurd".
+	if quiet/chatty != 100 {
+		t.Errorf("ratio = %v", quiet/chatty)
+	}
+	if LogDerivedMTBF(nil, window) != 0 {
+		t.Error("no alerts must yield 0")
+	}
+}

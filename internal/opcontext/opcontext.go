@@ -1,0 +1,240 @@
+// Package opcontext implements the paper's central recommendation:
+// operational context (Figure 1 and Section 3.2.1). "The most salient
+// missing data is operational context, which captures the system's
+// expected behavior. ... It may be sufficient to record only a few bytes
+// of data: the time and cause of system state changes."
+//
+// The package provides the operational state machine that Figure 1
+// sketches (the basis of the Red Storm RAS metrics being standardized by
+// LANL, LLNL, and SNL), a transition log, and an annotator that
+// disambiguates alerts by the state in effect when they fired — the
+// "ciodb exited normally" example from the paper becomes decidable.
+package opcontext
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/tag"
+)
+
+// State is one operational state from the Figure 1 diagram.
+type State int
+
+// The operational states. Production vs engineering is the paper's
+// top-level split; downtime divides into scheduled and unscheduled.
+const (
+	// ProductionUptime: the machine is serving production users; alerts
+	// are significant.
+	ProductionUptime State = iota + 1
+	// ScheduledDowntime: planned maintenance (OS upgrades, hardware
+	// service); many alert-looking messages are expected artifacts.
+	ScheduledDowntime
+	// UnscheduledDowntime: the machine is down due to failure.
+	UnscheduledDowntime
+	// EngineeringTime: the machine is up but dedicated to system testing
+	// rather than production work (Feitelson's "workload flurries" time).
+	EngineeringTime
+)
+
+// String returns the state's display name.
+func (s State) String() string {
+	switch s {
+	case ProductionUptime:
+		return "production-uptime"
+	case ScheduledDowntime:
+		return "scheduled-downtime"
+	case UnscheduledDowntime:
+		return "unscheduled-downtime"
+	case EngineeringTime:
+		return "engineering-time"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// States lists all operational states.
+func States() []State {
+	return []State{ProductionUptime, ScheduledDowntime, UnscheduledDowntime, EngineeringTime}
+}
+
+// CanTransition reports whether the Figure 1 machine permits from→to.
+// Unscheduled downtime can begin from any up state (failures do not ask
+// permission); scheduled downtime and engineering time are entered
+// deliberately from production; every downtime returns to production or
+// engineering time.
+func CanTransition(from, to State) bool {
+	if from == to {
+		return false
+	}
+	switch from {
+	case ProductionUptime:
+		return true // any other state can follow production
+	case EngineeringTime:
+		return true
+	case ScheduledDowntime, UnscheduledDowntime:
+		return to == ProductionUptime || to == EngineeringTime
+	default:
+		return false
+	}
+}
+
+// Transition is one logged state change: "the time and cause of system
+// state changes".
+type Transition struct {
+	Time  time.Time
+	To    State
+	Cause string
+}
+
+// Timeline is an append-only operational-context log for one system.
+type Timeline struct {
+	system  logrec.System
+	initial State
+	trans   []Transition
+}
+
+// NewTimeline starts a timeline in the initial state.
+func NewTimeline(sys logrec.System, initial State) *Timeline {
+	return &Timeline{system: sys, initial: initial}
+}
+
+// System returns the timeline's system.
+func (tl *Timeline) System() logrec.System { return tl.system }
+
+// Record appends a transition. It returns an error when the transition is
+// not permitted by the state machine or is out of time order.
+func (tl *Timeline) Record(t time.Time, to State, cause string) error {
+	cur := tl.StateAt(t)
+	if !CanTransition(cur, to) {
+		return fmt.Errorf("opcontext: illegal transition %v -> %v at %v", cur, to, t)
+	}
+	if n := len(tl.trans); n > 0 && t.Before(tl.trans[n-1].Time) {
+		return fmt.Errorf("opcontext: transition at %v is before last logged transition %v", t, tl.trans[n-1].Time)
+	}
+	tl.trans = append(tl.trans, Transition{Time: t, To: to, Cause: cause})
+	return nil
+}
+
+// StateAt returns the state in effect at time t.
+func (tl *Timeline) StateAt(t time.Time) State {
+	state := tl.initial
+	for _, tr := range tl.trans {
+		if tr.Time.After(t) {
+			break
+		}
+		state = tr.To
+	}
+	return state
+}
+
+// Transitions returns a copy of the logged transitions.
+func (tl *Timeline) Transitions() []Transition {
+	out := make([]Transition, len(tl.trans))
+	copy(out, tl.trans)
+	return out
+}
+
+// TimeIn sums the duration spent in each state over [start, end) — the
+// raw material of the RAS metrics the paper says should replace log-derived
+// MTTF ("quantities of direct interest, such as the amount of useful work
+// lost due to failures").
+func (tl *Timeline) TimeIn(start, end time.Time) map[State]time.Duration {
+	out := make(map[State]time.Duration)
+	if !start.Before(end) {
+		return out
+	}
+	// Build the boundary list clipped to the window.
+	type seg struct {
+		from time.Time
+		st   State
+	}
+	segs := []seg{{from: start, st: tl.StateAt(start)}}
+	for _, tr := range tl.trans {
+		if !tr.Time.After(start) || !tr.Time.Before(end) {
+			continue
+		}
+		segs = append(segs, seg{from: tr.Time, st: tr.To})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].from.Before(segs[j].from) })
+	for i, s := range segs {
+		segEnd := end
+		if i+1 < len(segs) {
+			segEnd = segs[i+1].from
+		}
+		out[s.st] += segEnd.Sub(s.from)
+	}
+	return out
+}
+
+// Significance is the annotator's verdict on an alert.
+type Significance int
+
+// Verdicts, from most to least actionable.
+const (
+	// Significant: the alert fired during production and merits
+	// attention.
+	Significant Significance = iota + 1
+	// ExpectedArtifact: the alert fired during scheduled downtime or
+	// engineering time and is likely an artifact of deliberate actions
+	// (the paper's "harmless artifact of his actions" case).
+	ExpectedArtifact
+	// AlreadyDown: the alert fired during unscheduled downtime; it is
+	// a symptom of a failure already being handled, not a new one.
+	AlreadyDown
+)
+
+// String returns the verdict name.
+func (s Significance) String() string {
+	switch s {
+	case Significant:
+		return "significant"
+	case ExpectedArtifact:
+		return "expected-artifact"
+	case AlreadyDown:
+		return "already-down"
+	default:
+		return fmt.Sprintf("Significance(%d)", int(s))
+	}
+}
+
+// Annotated pairs an alert with its operational context.
+type Annotated struct {
+	Alert        tag.Alert
+	State        State
+	Significance Significance
+}
+
+// Annotate stamps each alert with the state in effect when it fired and
+// the resulting significance verdict.
+func Annotate(tl *Timeline, alerts []tag.Alert) []Annotated {
+	out := make([]Annotated, 0, len(alerts))
+	for _, a := range alerts {
+		st := tl.StateAt(a.Record.Time)
+		out = append(out, Annotated{Alert: a, State: st, Significance: Judge(st)})
+	}
+	return out
+}
+
+// Judge maps an operational state to an alert significance verdict.
+func Judge(st State) Significance {
+	switch st {
+	case ScheduledDowntime, EngineeringTime:
+		return ExpectedArtifact
+	case UnscheduledDowntime:
+		return AlreadyDown
+	default:
+		return Significant
+	}
+}
+
+// CountBySignificance tallies annotated alerts per verdict.
+func CountBySignificance(ann []Annotated) map[Significance]int {
+	out := make(map[Significance]int)
+	for _, a := range ann {
+		out[a.Significance]++
+	}
+	return out
+}

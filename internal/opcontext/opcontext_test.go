@@ -1,0 +1,191 @@
+package opcontext
+
+import (
+	"testing"
+	"time"
+
+	"whatsupersay/internal/catalog"
+	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/tag"
+)
+
+var base = time.Date(2005, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func TestCanTransition(t *testing.T) {
+	cases := []struct {
+		from, to State
+		want     bool
+	}{
+		{ProductionUptime, ScheduledDowntime, true},
+		{ProductionUptime, UnscheduledDowntime, true},
+		{ProductionUptime, EngineeringTime, true},
+		{ScheduledDowntime, ProductionUptime, true},
+		{ScheduledDowntime, EngineeringTime, true},
+		{ScheduledDowntime, UnscheduledDowntime, false},
+		{UnscheduledDowntime, ProductionUptime, true},
+		{UnscheduledDowntime, ScheduledDowntime, false},
+		{EngineeringTime, ProductionUptime, true},
+		{ProductionUptime, ProductionUptime, false},
+	}
+	for _, tc := range cases {
+		if got := CanTransition(tc.from, tc.to); got != tc.want {
+			t.Errorf("CanTransition(%v, %v) = %v, want %v", tc.from, tc.to, got, tc.want)
+		}
+	}
+}
+
+func TestTimelineStateAt(t *testing.T) {
+	tl := NewTimeline(logrec.BlueGeneL, ProductionUptime)
+	if err := tl.Record(base.Add(2*time.Hour), ScheduledDowntime, "maintenance"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.Record(base.Add(10*time.Hour), ProductionUptime, "done"); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		at   time.Time
+		want State
+	}{
+		{base, ProductionUptime},
+		{base.Add(2 * time.Hour), ScheduledDowntime}, // boundary: new state applies
+		{base.Add(5 * time.Hour), ScheduledDowntime},
+		{base.Add(10 * time.Hour), ProductionUptime},
+		{base.Add(24 * time.Hour), ProductionUptime},
+	}
+	for _, tc := range cases {
+		if got := tl.StateAt(tc.at); got != tc.want {
+			t.Errorf("StateAt(%v) = %v, want %v", tc.at, got, tc.want)
+		}
+	}
+}
+
+func TestTimelineRejectsIllegalTransition(t *testing.T) {
+	tl := NewTimeline(logrec.BlueGeneL, ProductionUptime)
+	if err := tl.Record(base, ScheduledDowntime, "m"); err != nil {
+		t.Fatal(err)
+	}
+	// Scheduled -> Unscheduled is not a legal edge.
+	if err := tl.Record(base.Add(time.Hour), UnscheduledDowntime, "x"); err == nil {
+		t.Error("illegal transition accepted")
+	}
+	// Same state is not a transition.
+	if err := tl.Record(base.Add(time.Hour), ScheduledDowntime, "x"); err == nil {
+		t.Error("self transition accepted")
+	}
+}
+
+func TestTimelineRejectsOutOfOrder(t *testing.T) {
+	tl := NewTimeline(logrec.BlueGeneL, ProductionUptime)
+	if err := tl.Record(base.Add(5*time.Hour), ScheduledDowntime, "m"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.Record(base, ProductionUptime, "early"); err == nil {
+		t.Error("out-of-order transition accepted")
+	}
+}
+
+func TestTimeIn(t *testing.T) {
+	tl := NewTimeline(logrec.Liberty, ProductionUptime)
+	if err := tl.Record(base.Add(4*time.Hour), ScheduledDowntime, "m"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.Record(base.Add(6*time.Hour), ProductionUptime, "done"); err != nil {
+		t.Fatal(err)
+	}
+	d := tl.TimeIn(base, base.Add(10*time.Hour))
+	if d[ProductionUptime] != 8*time.Hour {
+		t.Errorf("production = %v, want 8h", d[ProductionUptime])
+	}
+	if d[ScheduledDowntime] != 2*time.Hour {
+		t.Errorf("scheduled = %v, want 2h", d[ScheduledDowntime])
+	}
+	total := time.Duration(0)
+	for _, v := range d {
+		total += v
+	}
+	if total != 10*time.Hour {
+		t.Errorf("state durations must sum to the window: %v", total)
+	}
+	if len(tl.TimeIn(base, base)) != 0 {
+		t.Error("empty window must be empty")
+	}
+}
+
+func TestJudge(t *testing.T) {
+	want := map[State]Significance{
+		ProductionUptime:    Significant,
+		ScheduledDowntime:   ExpectedArtifact,
+		EngineeringTime:     ExpectedArtifact,
+		UnscheduledDowntime: AlreadyDown,
+	}
+	for st, sig := range want {
+		if got := Judge(st); got != sig {
+			t.Errorf("Judge(%v) = %v, want %v", st, got, sig)
+		}
+	}
+}
+
+func TestAnnotateDisambiguation(t *testing.T) {
+	// The paper's example: the same MASNORM message during maintenance
+	// vs during production means two very different things.
+	tl := NewTimeline(logrec.BlueGeneL, ProductionUptime)
+	if err := tl.Record(base.Add(1*time.Hour), ScheduledDowntime, "OS upgrade"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.Record(base.Add(9*time.Hour), ProductionUptime, "done"); err != nil {
+		t.Fatal(err)
+	}
+	mas, ok := catalog.Lookup(logrec.BlueGeneL, "MASNORM")
+	if !ok {
+		t.Fatal("MASNORM missing")
+	}
+	mkAlert := func(at time.Time) tag.Alert {
+		return tag.Alert{
+			Record:   logrec.Record{Time: at, Body: "ciodb exited normally with exit code 0"},
+			Category: mas,
+		}
+	}
+	ann := Annotate(tl, []tag.Alert{
+		mkAlert(base.Add(2 * time.Hour)),  // during maintenance
+		mkAlert(base.Add(12 * time.Hour)), // during production
+	})
+	if ann[0].Significance != ExpectedArtifact {
+		t.Errorf("maintenance-time alert = %v, want expected-artifact", ann[0].Significance)
+	}
+	if ann[1].Significance != Significant {
+		t.Errorf("production-time alert = %v, want significant", ann[1].Significance)
+	}
+	counts := CountBySignificance(ann)
+	if counts[Significant] != 1 || counts[ExpectedArtifact] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestTransitionsCopy(t *testing.T) {
+	tl := NewTimeline(logrec.Liberty, ProductionUptime)
+	if err := tl.Record(base, ScheduledDowntime, "m"); err != nil {
+		t.Fatal(err)
+	}
+	trs := tl.Transitions()
+	trs[0].Cause = "mutated"
+	if tl.Transitions()[0].Cause != "m" {
+		t.Error("Transitions must return a copy")
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, st := range States() {
+		s := st.String()
+		if seen[s] {
+			t.Errorf("duplicate state name %q", s)
+		}
+		seen[s] = true
+	}
+	if State(0).String() != "State(0)" {
+		t.Error("zero state string")
+	}
+	if Significance(0).String() != "Significance(0)" {
+		t.Error("zero significance string")
+	}
+}

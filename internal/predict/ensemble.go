@@ -1,0 +1,123 @@
+package predict
+
+import (
+	"sort"
+	"time"
+
+	"whatsupersay/internal/tag"
+)
+
+// AutoEnsemble implements the Section 5 recommendation end to end:
+// "predictors should specialize in sets of failures with similar
+// predictive behaviors." For each target category it trains every
+// candidate predictor on the first part of the alert stream, scores them
+// on held-out data, and keeps the best performer per category (if any
+// clears the floor).
+
+// Candidate pairs a predictor with a short label for reports.
+type Candidate struct {
+	Predictor Predictor
+	Label     string
+}
+
+// DefaultCandidates builds the candidate pool for a system: a rate
+// threshold on the target itself plus a precursor predictor for every
+// other category that has alerts in the stream.
+func DefaultCandidates(categories []string) []Candidate {
+	out := []Candidate{
+		{Predictor: RateThreshold{Window: 10 * time.Minute, Count: 3, Cooldown: time.Hour}, Label: "rate-threshold"},
+		{Predictor: DefaultEWMA(), Label: "ewma"},
+	}
+	for _, c := range categories {
+		out = append(out, Candidate{
+			Predictor: Precursor{PrecursorCategory: c, Cooldown: time.Hour},
+			Label:     "precursor(" + c + ")",
+		})
+	}
+	return out
+}
+
+// Selection is the chosen predictor for one category with its held-out
+// score.
+type Selection struct {
+	Category  string
+	Label     string
+	Predictor Predictor
+	Train     Eval
+	Holdout   Eval
+}
+
+// F1 is the harmonic mean of precision and recall, the selection
+// criterion.
+func f1(e Eval) float64 {
+	p, r := e.Precision(), e.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// AutoSelect splits the alert stream at the given fraction (by time),
+// evaluates every candidate per target category on the training prefix,
+// and scores the winner on the holdout suffix. Categories whose best
+// training F1 is below minF1 are omitted ("silent failures" with no
+// usable signature — the paper expects some). minLead/horizon define
+// prediction usefulness, as in Evaluate.
+func AutoSelect(alerts []tag.Alert, targets []string, candidates []Candidate, splitFrac float64, minLead, horizon time.Duration, minF1 float64) []Selection {
+	if len(alerts) == 0 || splitFrac <= 0 || splitFrac >= 1 {
+		return nil
+	}
+	start := alerts[0].Record.Time
+	end := alerts[len(alerts)-1].Record.Time
+	split := start.Add(time.Duration(float64(end.Sub(start)) * splitFrac))
+	cut := sort.Search(len(alerts), func(i int) bool { return alerts[i].Record.Time.After(split) })
+	train, holdout := alerts[:cut], alerts[cut:]
+
+	eventsOf := func(part []tag.Alert, cat string) []time.Time {
+		var out []time.Time
+		for _, a := range part {
+			if a.Category.Name == cat {
+				out = append(out, a.Record.Time)
+			}
+		}
+		return out
+	}
+
+	var selections []Selection
+	for _, target := range targets {
+		trainEvents := eventsOf(train, target)
+		if len(trainEvents) == 0 {
+			continue
+		}
+		var best *Selection
+		for _, cand := range candidates {
+			// A precursor of the target itself is degenerate (it
+			// "predicts" with zero lead); skip it.
+			if pc, ok := cand.Predictor.(Precursor); ok && pc.PrecursorCategory == target {
+				continue
+			}
+			warnings := cand.Predictor.Predict(train, target)
+			ev := Evaluate(warnings, trainEvents, minLead, horizon)
+			if best == nil || f1(ev) > f1(best.Train) {
+				best = &Selection{Category: target, Label: cand.Label, Predictor: cand.Predictor, Train: ev}
+			}
+		}
+		if best == nil || f1(best.Train) < minF1 {
+			continue
+		}
+		holdWarnings := best.Predictor.Predict(holdout, target)
+		best.Holdout = Evaluate(holdWarnings, eventsOf(holdout, target), minLead, horizon)
+		selections = append(selections, *best)
+	}
+	sort.Slice(selections, func(i, j int) bool { return selections[i].Category < selections[j].Category })
+	return selections
+}
+
+// ToEnsemble converts selections into a runnable Ensemble.
+func ToEnsemble(selections []Selection) Ensemble {
+	e := Ensemble{ByCategory: make(map[string]Predictor, len(selections))}
+	for _, s := range selections {
+		e.ByCategory[s.Category] = s.Predictor
+	}
+	return e
+}

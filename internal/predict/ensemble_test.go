@@ -1,0 +1,125 @@
+package predict
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"whatsupersay/internal/catalog"
+	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/tag"
+)
+
+// buildCascadeStream builds a synthetic alert stream where GM_LANAI
+// reliably follows GM_PAR after ~10 minutes, repeated over many days, so
+// the precursor predictor is learnable from the first half and testable
+// on the second.
+func buildCascadeStream(t *testing.T) []tag.Alert {
+	t.Helper()
+	par, ok := catalog.Lookup(logrec.Liberty, "GM_PAR")
+	if !ok {
+		t.Fatal("GM_PAR missing")
+	}
+	lanai, ok := catalog.Lookup(logrec.Liberty, "GM_LANAI")
+	if !ok {
+		t.Fatal("GM_LANAI missing")
+	}
+	rng := rand.New(rand.NewSource(1))
+	var alerts []tag.Alert
+	tm := base
+	seq := uint64(0)
+	add := func(at time.Time, c *catalog.Category) {
+		alerts = append(alerts, tag.Alert{
+			Record:   logrec.Record{Time: at, Seq: seq, Source: "ln1"},
+			Category: c,
+		})
+		seq++
+	}
+	for i := 0; i < 80; i++ {
+		tm = tm.Add(time.Duration(4+rng.Intn(12)) * time.Hour)
+		add(tm, par)
+		add(tm.Add(time.Duration(5+rng.Intn(10))*time.Minute), lanai)
+	}
+	return alerts
+}
+
+func TestAutoSelectPicksPrecursor(t *testing.T) {
+	alerts := buildCascadeStream(t)
+	cands := DefaultCandidates([]string{"GM_PAR", "GM_LANAI"})
+	sel := AutoSelect(alerts, []string{"GM_LANAI"}, cands, 0.5, 30*time.Second, 2*time.Hour, 0.3)
+	if len(sel) != 1 {
+		t.Fatalf("selections = %d, want 1", len(sel))
+	}
+	s := sel[0]
+	if s.Label != "precursor(GM_PAR)" {
+		t.Errorf("selected %s, want precursor(GM_PAR)", s.Label)
+	}
+	if f1(s.Train) < 0.8 {
+		t.Errorf("train F1 = %.2f", f1(s.Train))
+	}
+	// The selection generalizes to the holdout.
+	if s.Holdout.Recall() < 0.7 {
+		t.Errorf("holdout recall = %.2f", s.Holdout.Recall())
+	}
+}
+
+func TestAutoSelectSkipsSelfPrecursor(t *testing.T) {
+	alerts := buildCascadeStream(t)
+	// Only the degenerate self-precursor is offered: nothing usable may
+	// be selected for GM_PAR (rate threshold never fires on isolated
+	// events).
+	cands := []Candidate{
+		{Predictor: Precursor{PrecursorCategory: "GM_PAR"}, Label: "precursor(GM_PAR)"},
+	}
+	sel := AutoSelect(alerts, []string{"GM_PAR"}, cands, 0.5, 30*time.Second, time.Hour, 0.1)
+	if len(sel) != 0 {
+		t.Errorf("degenerate self-precursor selected: %+v", sel)
+	}
+}
+
+func TestAutoSelectFloor(t *testing.T) {
+	alerts := buildCascadeStream(t)
+	cands := DefaultCandidates([]string{"GM_PAR", "GM_LANAI"})
+	// An impossible floor filters everything out (the cascade stream's
+	// precursor is perfect, so the floor must exceed 1).
+	if sel := AutoSelect(alerts, []string{"GM_LANAI"}, cands, 0.5, 30*time.Second, 2*time.Hour, 1.01); len(sel) != 0 {
+		t.Errorf("floor not applied: %+v", sel)
+	}
+}
+
+func TestAutoSelectDegenerateInputs(t *testing.T) {
+	cands := DefaultCandidates(nil)
+	if sel := AutoSelect(nil, []string{"X"}, cands, 0.5, 0, time.Hour, 0); sel != nil {
+		t.Error("empty stream")
+	}
+	alerts := buildCascadeStream(t)
+	if sel := AutoSelect(alerts, []string{"X"}, cands, 0.5, 0, time.Hour, 0); len(sel) != 0 {
+		t.Error("unknown target must yield nothing")
+	}
+	if sel := AutoSelect(alerts, []string{"GM_LANAI"}, cands, 0, 0, time.Hour, 0); sel != nil {
+		t.Error("bad split fraction")
+	}
+}
+
+func TestToEnsemble(t *testing.T) {
+	alerts := buildCascadeStream(t)
+	cands := DefaultCandidates([]string{"GM_PAR", "GM_LANAI"})
+	sel := AutoSelect(alerts, []string{"GM_LANAI"}, cands, 0.5, 30*time.Second, 2*time.Hour, 0.3)
+	ens := ToEnsemble(sel)
+	if len(ens.ByCategory) != 1 {
+		t.Fatalf("ensemble size = %d", len(ens.ByCategory))
+	}
+	if ws := ens.Predict(alerts); len(ws) == 0 {
+		t.Error("ensemble produced no warnings")
+	}
+}
+
+func TestF1(t *testing.T) {
+	if f1(Eval{}) != 0 {
+		t.Error("empty F1 must be 0")
+	}
+	e := Eval{TruePositives: 1, FalsePositives: 1, DetectedEvents: 1, TotalEvents: 1}
+	if got := f1(e); got < 0.66 || got > 0.67 {
+		t.Errorf("F1 = %v, want 2/3", got)
+	}
+}

@@ -1,0 +1,97 @@
+package predict
+
+import (
+	"time"
+
+	"whatsupersay/internal/tag"
+)
+
+// EWMA is a rate-anomaly predictor: it tracks a category's long-term
+// arrival rate with an exponentially weighted moving average over fixed
+// buckets and warns when a bucket's count exceeds Factor times the
+// long-term rate (plus a small floor). Unlike RateThreshold's absolute
+// count, EWMA adapts to each category's baseline — the adaptivity the
+// paper asks of analyses generally ("one size does not fit all",
+// Section 4).
+type EWMA struct {
+	// Bucket is the counting interval.
+	Bucket time.Duration
+	// Alpha is the EWMA smoothing factor in (0, 1]; small = long memory.
+	Alpha float64
+	// Factor is the anomaly multiplier over the long-term bucket mean.
+	Factor float64
+	// Floor is the minimum bucket count to warn on, so a category with a
+	// near-zero baseline doesn't alarm on its first event.
+	Floor int
+	// Cooldown suppresses repeat warnings.
+	Cooldown time.Duration
+}
+
+// DefaultEWMA is a reasonable storm detector: 10-minute buckets, slow
+// baseline, 8x surge, at least 5 events.
+func DefaultEWMA() EWMA {
+	return EWMA{
+		Bucket:   10 * time.Minute,
+		Alpha:    0.05,
+		Factor:   8,
+		Floor:    5,
+		Cooldown: time.Hour,
+	}
+}
+
+// Name implements Predictor.
+func (p EWMA) Name() string { return "ewma" }
+
+// Predict implements Predictor. Warnings fire at the end of the
+// anomalous bucket (the information is only available then), so the
+// usable lead time is whatever remains of the storm.
+func (p EWMA) Predict(alerts []tag.Alert, target string) []Warning {
+	if p.Bucket <= 0 || p.Alpha <= 0 || p.Alpha > 1 || p.Factor <= 0 {
+		return nil
+	}
+	var (
+		out        []Warning
+		mean       float64
+		haveMean   bool
+		bucketID   int64
+		bucketN    int
+		lastWarn   time.Time
+		bucketEnds time.Time
+	)
+	flush := func() {
+		if bucketN > 0 || haveMean {
+			if haveMean && bucketN >= p.Floor && float64(bucketN) > p.Factor*mean {
+				if lastWarn.IsZero() || bucketEnds.Sub(lastWarn) >= p.Cooldown {
+					out = append(out, Warning{Time: bucketEnds, Category: target})
+					lastWarn = bucketEnds
+				}
+			}
+			if haveMean {
+				mean = p.Alpha*float64(bucketN) + (1-p.Alpha)*mean
+			} else {
+				mean = float64(bucketN)
+				haveMean = true
+			}
+		}
+		bucketN = 0
+	}
+	for _, a := range alerts {
+		if a.Category.Name != target {
+			continue
+		}
+		id := a.Record.Time.UnixNano() / int64(p.Bucket)
+		if bucketEnds.IsZero() {
+			bucketID = id
+			bucketEnds = time.Unix(0, (id+1)*int64(p.Bucket)).UTC()
+		}
+		// Advance through empty buckets, decaying the mean.
+		for id > bucketID {
+			flush()
+			bucketID++
+			bucketEnds = time.Unix(0, (bucketID+1)*int64(p.Bucket)).UTC()
+		}
+		bucketN++
+	}
+	flush()
+	return out
+}

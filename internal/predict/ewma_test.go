@@ -1,0 +1,79 @@
+package predict
+
+import (
+	"testing"
+	"time"
+
+	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/tag"
+)
+
+func TestEWMAWarnsOnSurge(t *testing.T) {
+	var stream []tag.Alert
+	// Baseline: one alert per hour for two days.
+	for i := 0; i < 48; i++ {
+		stream = append(stream, alertAt(t, logrec.Liberty, "PBS_CHK", time.Duration(i)*time.Hour))
+	}
+	// Surge: 40 alerts within ten minutes.
+	surgeStart := 49 * time.Hour
+	for i := 0; i < 40; i++ {
+		stream = append(stream, alertAt(t, logrec.Liberty, "PBS_CHK", surgeStart+time.Duration(i*10)*time.Second))
+	}
+	ws := DefaultEWMA().Predict(stream, "PBS_CHK")
+	if len(ws) != 1 {
+		t.Fatalf("warnings = %d, want 1", len(ws))
+	}
+	if ws[0].Time.Before(base.Add(surgeStart)) {
+		t.Errorf("warning at %v, before the surge", ws[0].Time)
+	}
+}
+
+func TestEWMANoWarningOnSteadyRate(t *testing.T) {
+	var stream []tag.Alert
+	for i := 0; i < 200; i++ {
+		stream = append(stream, alertAt(t, logrec.Liberty, "PBS_CHK", time.Duration(i)*30*time.Minute))
+	}
+	if ws := DefaultEWMA().Predict(stream, "PBS_CHK"); len(ws) != 0 {
+		t.Errorf("steady rate warned %d times", len(ws))
+	}
+}
+
+func TestEWMAFloorSuppressesColdStart(t *testing.T) {
+	// A brand-new category with four events in one bucket: below the
+	// floor, no warning.
+	var stream []tag.Alert
+	for i := 0; i < 4; i++ {
+		stream = append(stream, alertAt(t, logrec.Liberty, "PBS_CHK", time.Duration(i)*time.Minute))
+	}
+	if ws := DefaultEWMA().Predict(stream, "PBS_CHK"); len(ws) != 0 {
+		t.Errorf("cold start warned: %v", ws)
+	}
+}
+
+func TestEWMAIgnoresOtherCategories(t *testing.T) {
+	var stream []tag.Alert
+	for i := 0; i < 100; i++ {
+		stream = append(stream, alertAt(t, logrec.Liberty, "GM_PAR", time.Duration(i)*time.Second))
+	}
+	if ws := DefaultEWMA().Predict(stream, "PBS_CHK"); len(ws) != 0 {
+		t.Error("other-category surge must not warn")
+	}
+}
+
+func TestEWMADegenerateConfig(t *testing.T) {
+	stream := []tag.Alert{alertAt(t, logrec.Liberty, "PBS_CHK", 0)}
+	bad := []EWMA{
+		{Bucket: 0, Alpha: 0.1, Factor: 2},
+		{Bucket: time.Minute, Alpha: 0, Factor: 2},
+		{Bucket: time.Minute, Alpha: 2, Factor: 2},
+		{Bucket: time.Minute, Alpha: 0.1, Factor: 0},
+	}
+	for _, p := range bad {
+		if ws := p.Predict(stream, "PBS_CHK"); ws != nil {
+			t.Errorf("degenerate config %+v produced warnings", p)
+		}
+	}
+	if DefaultEWMA().Name() != "ewma" {
+		t.Error("name")
+	}
+}

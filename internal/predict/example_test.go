@@ -1,0 +1,35 @@
+package predict_test
+
+import (
+	"fmt"
+	"time"
+
+	"whatsupersay/internal/catalog"
+	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/predict"
+	"whatsupersay/internal/tag"
+)
+
+// ExamplePrecursor predicts GM_LANAI failures from GM_PAR precursors
+// (the Figure 3 correlation) and scores the warnings with an explicit
+// lead-time requirement.
+func ExamplePrecursor() {
+	par, _ := catalog.Lookup(logrec.Liberty, "GM_PAR")
+	lanai, _ := catalog.Lookup(logrec.Liberty, "GM_LANAI")
+	base := time.Date(2005, 3, 1, 0, 0, 0, 0, time.UTC)
+	var alerts []tag.Alert
+	var events []time.Time
+	for i := 0; i < 10; i++ {
+		at := base.Add(time.Duration(i) * 12 * time.Hour)
+		alerts = append(alerts, tag.Alert{Record: logrec.Record{Time: at}, Category: par})
+		follow := at.Add(15 * time.Minute)
+		alerts = append(alerts, tag.Alert{Record: logrec.Record{Time: follow}, Category: lanai})
+		events = append(events, follow)
+	}
+	p := predict.Precursor{PrecursorCategory: "GM_PAR", Cooldown: time.Hour}
+	warnings := p.Predict(alerts, "GM_LANAI")
+	ev := predict.Evaluate(warnings, events, 30*time.Second, 2*time.Hour)
+	fmt.Printf("precision %.2f, recall %.2f with >=30s lead\n", ev.Precision(), ev.Recall())
+	// Output:
+	// precision 1.00, recall 1.00 with >=30s lead
+}

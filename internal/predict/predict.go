@@ -1,0 +1,224 @@
+// Package predict implements the paper's closing recommendation on
+// failure prediction: "Future research should consider ensembles of
+// predictors based on multiple features, with failure categories being
+// predicted according to their respective behavior" (Sections 4 and 5).
+//
+// Three predictor families cover the behaviors the study observed:
+//
+//   - RateThreshold: warn when a category's recent alert rate rises — the
+//     classic precursor signal ("failures tend to be preceded by an
+//     increased rate of non-fatal errors", Nassar & Andrews via Section 2);
+//   - Precursor: warn for category B whenever category A fires — the
+//     implicit cross-category correlation of Figure 3 (GM_PAR precedes
+//     GM_LANAI);
+//   - Periodic: a deliberately naive baseline that warns on a fixed
+//     schedule, to anchor precision/recall comparisons.
+//
+// An Ensemble assigns one predictor per category; Evaluate scores warning
+// streams against the filtered alert record with an explicit lead window,
+// because a prediction with no lead time is useless for checkpointing or
+// job-scheduling responses.
+package predict
+
+import (
+	"sort"
+	"time"
+
+	"whatsupersay/internal/tag"
+)
+
+// Warning is one prediction: an alert of Category is expected within
+// Horizon after Time.
+type Warning struct {
+	Time     time.Time
+	Category string
+}
+
+// Predictor scans an alert stream and emits warnings. Implementations
+// see the full (time-sorted) stream but must only use information from
+// before each warning's timestamp.
+type Predictor interface {
+	// Name identifies the predictor in reports.
+	Name() string
+	// Predict emits warnings for the target category.
+	Predict(alerts []tag.Alert, target string) []Warning
+}
+
+// RateThreshold warns when Count alerts of the target category arrive
+// within Window: storms announce themselves early.
+type RateThreshold struct {
+	// Window is the sliding observation window.
+	Window time.Duration
+	// Count is the alert count that trips the warning.
+	Count int
+	// Cooldown suppresses repeat warnings after one fires.
+	Cooldown time.Duration
+}
+
+// Name implements Predictor.
+func (p RateThreshold) Name() string { return "rate-threshold" }
+
+// Predict implements Predictor.
+func (p RateThreshold) Predict(alerts []tag.Alert, target string) []Warning {
+	if p.Count <= 0 {
+		return nil
+	}
+	var recent []time.Time
+	var out []Warning
+	var lastWarn time.Time
+	for _, a := range alerts {
+		if a.Category.Name != target {
+			continue
+		}
+		t := a.Record.Time
+		recent = append(recent, t)
+		// Drop observations older than the window.
+		cut := 0
+		for cut < len(recent) && t.Sub(recent[cut]) > p.Window {
+			cut++
+		}
+		recent = recent[cut:]
+		if len(recent) >= p.Count {
+			if lastWarn.IsZero() || t.Sub(lastWarn) >= p.Cooldown {
+				out = append(out, Warning{Time: t, Category: target})
+				lastWarn = t
+			}
+		}
+	}
+	return out
+}
+
+// Precursor warns for the target category whenever the precursor category
+// fires (with a cooldown), exploiting implicit cross-category correlation.
+type Precursor struct {
+	// PrecursorCategory is the leading signal.
+	PrecursorCategory string
+	// Cooldown suppresses repeated warnings from one precursor burst.
+	Cooldown time.Duration
+}
+
+// Name implements Predictor.
+func (p Precursor) Name() string { return "precursor(" + p.PrecursorCategory + ")" }
+
+// Predict implements Predictor.
+func (p Precursor) Predict(alerts []tag.Alert, target string) []Warning {
+	var out []Warning
+	var lastWarn time.Time
+	for _, a := range alerts {
+		if a.Category.Name != p.PrecursorCategory {
+			continue
+		}
+		t := a.Record.Time
+		if !lastWarn.IsZero() && t.Sub(lastWarn) < p.Cooldown {
+			continue
+		}
+		out = append(out, Warning{Time: t, Category: target})
+		lastWarn = t
+	}
+	return out
+}
+
+// Periodic is the naive baseline: warn every Interval across the span of
+// the stream, regardless of content.
+type Periodic struct {
+	Interval time.Duration
+}
+
+// Name implements Predictor.
+func (p Periodic) Name() string { return "periodic" }
+
+// Predict implements Predictor.
+func (p Periodic) Predict(alerts []tag.Alert, target string) []Warning {
+	if len(alerts) == 0 || p.Interval <= 0 {
+		return nil
+	}
+	start := alerts[0].Record.Time
+	end := alerts[len(alerts)-1].Record.Time
+	var out []Warning
+	for t := start; t.Before(end); t = t.Add(p.Interval) {
+		out = append(out, Warning{Time: t, Category: target})
+	}
+	return out
+}
+
+// Ensemble maps categories to their specialized predictors — the paper's
+// "each specializing in one or more categories".
+type Ensemble struct {
+	// ByCategory assigns a predictor per target category.
+	ByCategory map[string]Predictor
+}
+
+// Predict runs every member predictor and returns the merged,
+// time-sorted warning stream.
+func (e Ensemble) Predict(alerts []tag.Alert) []Warning {
+	var out []Warning
+	// Deterministic iteration order for reproducible output.
+	cats := make([]string, 0, len(e.ByCategory))
+	for c := range e.ByCategory {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	for _, c := range cats {
+		out = append(out, e.ByCategory[c].Predict(alerts, c)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	return out
+}
+
+// Eval is a warning stream's score against ground truth.
+type Eval struct {
+	// TruePositives counts warnings with a matching event inside the
+	// horizon.
+	TruePositives int
+	// FalsePositives counts warnings with none.
+	FalsePositives int
+	// DetectedEvents counts events preceded by a warning with at least
+	// MinLead of notice.
+	DetectedEvents int
+	// TotalEvents is the number of ground-truth events.
+	TotalEvents int
+}
+
+// Precision is TP / (TP + FP).
+func (e Eval) Precision() float64 {
+	d := e.TruePositives + e.FalsePositives
+	if d == 0 {
+		return 0
+	}
+	return float64(e.TruePositives) / float64(d)
+}
+
+// Recall is detected events / total events.
+func (e Eval) Recall() float64 {
+	if e.TotalEvents == 0 {
+		return 0
+	}
+	return float64(e.DetectedEvents) / float64(e.TotalEvents)
+}
+
+// Evaluate scores warnings against event times. A warning is a true
+// positive if an event falls in (warning, warning+horizon]; an event
+// counts as detected if some warning precedes it by at least minLead and
+// at most horizon. Warnings and events must be time-sorted.
+func Evaluate(warnings []Warning, events []time.Time, minLead, horizon time.Duration) Eval {
+	ev := Eval{TotalEvents: len(events)}
+	for _, w := range warnings {
+		// Find the first event after the warning.
+		i := sort.Search(len(events), func(i int) bool { return events[i].After(w.Time) })
+		if i < len(events) && events[i].Sub(w.Time) <= horizon {
+			ev.TruePositives++
+		} else {
+			ev.FalsePositives++
+		}
+	}
+	for _, t := range events {
+		for _, w := range warnings {
+			lead := t.Sub(w.Time)
+			if lead >= minLead && lead <= horizon {
+				ev.DetectedEvents++
+				break
+			}
+		}
+	}
+	return ev
+}

@@ -1,0 +1,191 @@
+package predict
+
+import (
+	"testing"
+	"time"
+
+	"whatsupersay/internal/catalog"
+	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/tag"
+)
+
+var base = time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func alertAt(t *testing.T, sys logrec.System, cat string, offset time.Duration) tag.Alert {
+	t.Helper()
+	c, ok := catalog.Lookup(sys, cat)
+	if !ok {
+		t.Fatalf("category %s missing", cat)
+	}
+	return tag.Alert{
+		Record:   logrec.Record{Time: base.Add(offset)},
+		Category: c,
+	}
+}
+
+func TestRateThreshold(t *testing.T) {
+	var alerts []tag.Alert
+	// Three PBS_CHK within 2 minutes: should warn at the third.
+	for i := 0; i < 3; i++ {
+		alerts = append(alerts, alertAt(t, logrec.Liberty, "PBS_CHK", time.Duration(i)*30*time.Second))
+	}
+	// A lone one much later: no warning.
+	alerts = append(alerts, alertAt(t, logrec.Liberty, "PBS_CHK", 3*time.Hour))
+	p := RateThreshold{Window: 5 * time.Minute, Count: 3, Cooldown: 10 * time.Minute}
+	ws := p.Predict(alerts, "PBS_CHK")
+	if len(ws) != 1 {
+		t.Fatalf("warnings = %d, want 1", len(ws))
+	}
+	if !ws[0].Time.Equal(base.Add(time.Minute)) {
+		t.Errorf("warning at %v, want at the third alert", ws[0].Time)
+	}
+}
+
+func TestRateThresholdCooldown(t *testing.T) {
+	var alerts []tag.Alert
+	for i := 0; i < 20; i++ {
+		alerts = append(alerts, alertAt(t, logrec.Liberty, "PBS_CHK", time.Duration(i)*10*time.Second))
+	}
+	p := RateThreshold{Window: 5 * time.Minute, Count: 3, Cooldown: time.Hour}
+	if ws := p.Predict(alerts, "PBS_CHK"); len(ws) != 1 {
+		t.Errorf("cooldown should suppress repeats, got %d warnings", len(ws))
+	}
+	pNoCD := RateThreshold{Window: 5 * time.Minute, Count: 3}
+	if ws := pNoCD.Predict(alerts, "PBS_CHK"); len(ws) != 18 {
+		t.Errorf("no cooldown: got %d warnings, want 18", len(ws))
+	}
+}
+
+func TestRateThresholdIgnoresOtherCategories(t *testing.T) {
+	alerts := []tag.Alert{
+		alertAt(t, logrec.Liberty, "GM_PAR", 0),
+		alertAt(t, logrec.Liberty, "GM_PAR", time.Second),
+		alertAt(t, logrec.Liberty, "GM_PAR", 2*time.Second),
+	}
+	p := RateThreshold{Window: time.Minute, Count: 2}
+	if ws := p.Predict(alerts, "PBS_CHK"); len(ws) != 0 {
+		t.Error("other categories must not trip the threshold")
+	}
+}
+
+func TestPrecursor(t *testing.T) {
+	alerts := []tag.Alert{
+		alertAt(t, logrec.Liberty, "GM_PAR", 0),
+		alertAt(t, logrec.Liberty, "GM_LANAI", 10*time.Minute),
+		alertAt(t, logrec.Liberty, "GM_PAR", 5*time.Hour),
+	}
+	p := Precursor{PrecursorCategory: "GM_PAR", Cooldown: time.Hour}
+	ws := p.Predict(alerts, "GM_LANAI")
+	if len(ws) != 2 {
+		t.Fatalf("warnings = %d, want 2", len(ws))
+	}
+	for _, w := range ws {
+		if w.Category != "GM_LANAI" {
+			t.Errorf("warning category = %s", w.Category)
+		}
+	}
+}
+
+func TestPrecursorCooldown(t *testing.T) {
+	var alerts []tag.Alert
+	for i := 0; i < 10; i++ {
+		alerts = append(alerts, alertAt(t, logrec.Liberty, "GM_PAR", time.Duration(i)*time.Minute))
+	}
+	p := Precursor{PrecursorCategory: "GM_PAR", Cooldown: time.Hour}
+	if ws := p.Predict(alerts, "GM_LANAI"); len(ws) != 1 {
+		t.Errorf("cooldown should collapse the burst to one warning, got %d", len(ws))
+	}
+}
+
+func TestPeriodic(t *testing.T) {
+	alerts := []tag.Alert{
+		alertAt(t, logrec.Liberty, "PBS_CHK", 0),
+		alertAt(t, logrec.Liberty, "PBS_CHK", 10*time.Hour),
+	}
+	p := Periodic{Interval: time.Hour}
+	ws := p.Predict(alerts, "PBS_CHK")
+	if len(ws) != 10 {
+		t.Errorf("periodic warnings = %d, want 10", len(ws))
+	}
+	if len((Periodic{}).Predict(alerts, "PBS_CHK")) != 0 {
+		t.Error("zero interval must produce nothing")
+	}
+	if len(p.Predict(nil, "PBS_CHK")) != 0 {
+		t.Error("empty stream must produce nothing")
+	}
+}
+
+func TestEnsembleMergesSorted(t *testing.T) {
+	alerts := []tag.Alert{
+		alertAt(t, logrec.Liberty, "GM_PAR", time.Hour),
+		alertAt(t, logrec.Liberty, "PBS_CHK", 0),
+		alertAt(t, logrec.Liberty, "PBS_CHK", time.Second),
+		alertAt(t, logrec.Liberty, "PBS_CHK", 2*time.Second),
+	}
+	e := Ensemble{ByCategory: map[string]Predictor{
+		"GM_LANAI": Precursor{PrecursorCategory: "GM_PAR"},
+		"PBS_CHK":  RateThreshold{Window: time.Minute, Count: 3},
+	}}
+	ws := e.Predict(alerts)
+	if len(ws) != 2 {
+		t.Fatalf("ensemble warnings = %d, want 2", len(ws))
+	}
+	for i := 1; i < len(ws); i++ {
+		if ws[i].Time.Before(ws[i-1].Time) {
+			t.Error("ensemble output must be time-sorted")
+		}
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	warnings := []Warning{
+		{Time: base, Category: "X"},                    // TP: event at +10m
+		{Time: base.Add(5 * time.Hour), Category: "X"}, // FP: nothing within horizon
+	}
+	events := []time.Time{base.Add(10 * time.Minute), base.Add(20 * time.Hour)}
+	ev := Evaluate(warnings, events, time.Minute, time.Hour)
+	if ev.TruePositives != 1 || ev.FalsePositives != 1 {
+		t.Errorf("TP/FP = %d/%d", ev.TruePositives, ev.FalsePositives)
+	}
+	if ev.DetectedEvents != 1 || ev.TotalEvents != 2 {
+		t.Errorf("detected = %d/%d", ev.DetectedEvents, ev.TotalEvents)
+	}
+	if ev.Precision() != 0.5 || ev.Recall() != 0.5 {
+		t.Errorf("precision/recall = %v/%v", ev.Precision(), ev.Recall())
+	}
+}
+
+func TestEvaluateMinLead(t *testing.T) {
+	// A warning 5 seconds before the event is a "prediction" with no
+	// usable lead: the event must not count as detected at minLead=30s.
+	warnings := []Warning{{Time: base, Category: "X"}}
+	events := []time.Time{base.Add(5 * time.Second)}
+	ev := Evaluate(warnings, events, 30*time.Second, time.Hour)
+	if ev.DetectedEvents != 0 {
+		t.Error("event with insufficient lead counted as detected")
+	}
+	// The warning still counts as TP (an event followed inside the
+	// horizon).
+	if ev.TruePositives != 1 {
+		t.Error("warning should be a true positive")
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	ev := Evaluate(nil, nil, time.Second, time.Hour)
+	if ev.Precision() != 0 || ev.Recall() != 0 {
+		t.Error("empty evaluation must be zero")
+	}
+}
+
+func TestPredictorNames(t *testing.T) {
+	if (RateThreshold{}).Name() != "rate-threshold" {
+		t.Error("rate name")
+	}
+	if (Precursor{PrecursorCategory: "GM_PAR"}).Name() != "precursor(GM_PAR)" {
+		t.Error("precursor name")
+	}
+	if (Periodic{}).Name() != "periodic" {
+		t.Error("periodic name")
+	}
+}

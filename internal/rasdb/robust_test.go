@@ -1,0 +1,19 @@
+package rasdb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanicsProperty: arbitrary bytes must not panic the RAS
+// parser, and the raw line must be preserved.
+func TestParseNeverPanicsProperty(t *testing.T) {
+	f := func(junk []byte) bool {
+		line := string(junk)
+		rec, _ := Parse(line)
+		return rec.Raw == line
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

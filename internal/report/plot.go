@@ -1,0 +1,150 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// StepPlot renders a count series (e.g. messages per hour, Figure 2(a))
+// as a column chart of the requested width and height, downsampling by
+// averaging buckets.
+func StepPlot(w io.Writer, title string, counts []int, width, height int) {
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 12
+	}
+	cols := resample(counts, width)
+	maxV := 0.0
+	for _, v := range cols {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	fmt.Fprintln(w, title)
+	if maxV == 0 {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	for row := height; row >= 1; row-- {
+		threshold := maxV * float64(row) / float64(height)
+		var b strings.Builder
+		for _, v := range cols {
+			if v >= threshold {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		label := ""
+		if row == height {
+			label = fmt.Sprintf(" max=%.0f", maxV)
+		}
+		fmt.Fprintf(w, "|%s|%s\n", b.String(), label)
+	}
+	fmt.Fprintf(w, "+%s+\n", strings.Repeat("-", len(cols)))
+}
+
+// resample averages a series down (or repeats it up) to n columns.
+func resample(counts []int, n int) []float64 {
+	if len(counts) == 0 || n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo := i * len(counts) / n
+		hi := (i + 1) * len(counts) / n
+		if hi <= lo {
+			hi = lo + 1
+		}
+		sum := 0
+		for j := lo; j < hi && j < len(counts); j++ {
+			sum += counts[j]
+		}
+		out[i] = float64(sum) / float64(hi-lo)
+	}
+	return out
+}
+
+// ScatterPoint is one dot of a scatter plot.
+type ScatterPoint struct {
+	X float64
+	// Lane selects the row band (e.g. one per alert category,
+	// Figure 3 / Figure 4 style).
+	Lane int
+}
+
+// LaneScatter renders category-lane event scatter in the style of
+// Figures 3 and 4: one text row per lane, dots positioned by X.
+func LaneScatter(w io.Writer, title string, lanes []string, points []ScatterPoint, xmin, xmax float64, width int) {
+	if width <= 0 {
+		width = 72
+	}
+	fmt.Fprintln(w, title)
+	grid := make([][]byte, len(lanes))
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(".", width))
+	}
+	span := xmax - xmin
+	if span <= 0 {
+		span = 1
+	}
+	for _, p := range points {
+		if p.Lane < 0 || p.Lane >= len(lanes) || p.X < xmin || p.X > xmax {
+			continue
+		}
+		col := int((p.X - xmin) / span * float64(width-1))
+		if col < 0 || col >= width {
+			continue
+		}
+		grid[p.Lane][col] = 'o'
+	}
+	nameWidth := 0
+	for _, l := range lanes {
+		if len(l) > nameWidth {
+			nameWidth = len(l)
+		}
+	}
+	for i, l := range lanes {
+		fmt.Fprintf(w, "%-*s |%s|\n", nameWidth, l, grid[i])
+	}
+}
+
+// LogHistPlot renders a log-bucketed histogram (Figures 5(b) and 6) as a
+// horizontal bar chart with one row per bucket, labeled by the bucket's
+// lower edge in seconds.
+func LogHistPlot(w io.Writer, title string, centers []float64, counts []int, width int) {
+	if width <= 0 {
+		width = 60
+	}
+	maxV := 0
+	for _, c := range counts {
+		if c > maxV {
+			maxV = c
+		}
+	}
+	fmt.Fprintln(w, title)
+	if maxV == 0 {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	for i, c := range counts {
+		bar := int(math.Round(float64(c) / float64(maxV) * float64(width)))
+		fmt.Fprintf(w, "%10.3g s |%s %d\n", centers[i], strings.Repeat("#", bar), c)
+	}
+}
+
+// CSV writes a two-column series for external plotting.
+func CSV(w io.Writer, xName, yName string, xs, ys []float64) {
+	fmt.Fprintf(w, "%s,%s\n", xName, yName)
+	n := len(xs)
+	if len(ys) < n {
+		n = len(ys)
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(w, "%g,%g\n", xs[i], ys[i])
+	}
+}

@@ -1,0 +1,129 @@
+// Package report renders the study's tables and figures as plain text:
+// aligned tables in the shape of the paper's Tables 1-6, ASCII dot and
+// step plots for the figures, and CSV series for external plotting.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// formatFloat renders floats compactly: integers without decimals, small
+// magnitudes with enough precision to be useful.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	if v != 0 && (v < 0.01 && v > -0.01) {
+		return strconv.FormatFloat(v, 'e', 2, 64)
+	}
+	return strconv.FormatFloat(v, 'f', 3, 64)
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+	}
+	var sep strings.Builder
+	for i, h := range t.Headers {
+		fmt.Fprintf(w, "%-*s", widths[i]+2, h)
+		sep.WriteString(strings.Repeat("-", widths[i]))
+		sep.WriteString("  ")
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.TrimRight(sep.String(), " "))
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) {
+				fmt.Fprintf(w, "%-*s", widths[i]+2, c)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// Comma formats an integer with thousands separators, matching the
+// paper's number style (e.g. 178,081,459).
+func Comma(n int64) string {
+	s := strconv.FormatInt(n, 10)
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	var b strings.Builder
+	pre := len(s) % 3
+	if pre > 0 {
+		b.WriteString(s[:pre])
+		if len(s) > pre {
+			b.WriteByte(',')
+		}
+	}
+	for i := pre; i < len(s); i += 3 {
+		b.WriteString(s[i : i+3])
+		if i+3 < len(s) {
+			b.WriteByte(',')
+		}
+	}
+	if neg {
+		return "-" + b.String()
+	}
+	return b.String()
+}
+
+// Pct formats a fraction as a percentage with two decimals.
+func Pct(num, denom int) string {
+	if denom == 0 {
+		return "0.00"
+	}
+	return fmt.Sprintf("%.2f", 100*float64(num)/float64(denom))
+}

@@ -1,0 +1,164 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Title", "Name", "Count")
+	tb.AddRow("alpha", 1)
+	tb.AddRow("beta-longer", 22)
+	out := tb.String()
+	if !strings.HasPrefix(out, "Title\n") {
+		t.Errorf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d, want 5 (title, header, separator, 2 rows)", len(lines))
+	}
+}
+
+func TestTableRenderRows(t *testing.T) {
+	tb := NewTable("", "A", "B")
+	tb.AddRow("x", 3.5)
+	tb.AddRow("y", 2)
+	out := tb.String()
+	if !strings.Contains(out, "3.500") {
+		t.Errorf("float formatting missing: %q", out)
+	}
+	if !strings.Contains(out, "y") {
+		t.Errorf("row missing: %q", out)
+	}
+	// Columns align: every line has the same prefix width for column A.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("want header, separator, and two rows: %q", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{5, "5"},
+		{2.5, "2.500"},
+		{0.001, "1.00e-03"},
+		{-3, "-3"},
+	}
+	for _, tc := range cases {
+		if got := formatFloat(tc.in); got != tc.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestComma(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{0, "0"},
+		{5, "5"},
+		{999, "999"},
+		{1000, "1,000"},
+		{178081459, "178,081,459"},
+		{-1234567, "-1,234,567"},
+	}
+	for _, tc := range cases {
+		if got := Comma(tc.in); got != tc.want {
+			t.Errorf("Comma(%d) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(59, 100); got != "59.00" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(1, 3); got != "33.33" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(5, 0); got != "0.00" {
+		t.Errorf("Pct zero denom = %q", got)
+	}
+}
+
+func TestStepPlot(t *testing.T) {
+	var b strings.Builder
+	StepPlot(&b, "plot", []int{1, 2, 3, 10, 10, 1}, 6, 5)
+	out := b.String()
+	if !strings.Contains(out, "plot") || !strings.Contains(out, "#") {
+		t.Errorf("plot output: %q", out)
+	}
+	if !strings.Contains(out, "max=10") {
+		t.Errorf("max label missing: %q", out)
+	}
+	var empty strings.Builder
+	StepPlot(&empty, "none", []int{0, 0}, 4, 3)
+	if !strings.Contains(empty.String(), "(no data)") {
+		t.Error("zero series should say no data")
+	}
+}
+
+func TestResample(t *testing.T) {
+	out := resample([]int{2, 4, 6, 8}, 2)
+	if len(out) != 2 || out[0] != 3 || out[1] != 7 {
+		t.Errorf("resample = %v", out)
+	}
+	if resample(nil, 4) != nil {
+		t.Error("empty resample must be nil")
+	}
+	// Upsampling repeats values.
+	up := resample([]int{5}, 3)
+	if len(up) != 3 || up[0] != 5 || up[2] != 5 {
+		t.Errorf("upsample = %v", up)
+	}
+}
+
+func TestLaneScatter(t *testing.T) {
+	var b strings.Builder
+	pts := []report0ScatterAlias{
+		{X: 0, Lane: 0}, {X: 50, Lane: 1}, {X: 100, Lane: 0},
+		{X: -5, Lane: 0},  // out of range: ignored
+		{X: 50, Lane: 99}, // bad lane: ignored
+	}
+	LaneScatter(&b, "scatter", []string{"one", "two"}, pts, 0, 100, 20)
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lane scatter lines = %d, want title + 2 lanes", len(lines))
+	}
+	// Count dots inside the plot region only (the lane label "one"
+	// contains the letter o).
+	region := lines[1][strings.IndexByte(lines[1], '|'):]
+	if got := strings.Count(region, "o"); got != 2 {
+		t.Errorf("lane one dot count = %d, want 2 (region %q)", got, region)
+	}
+}
+
+// report0ScatterAlias keeps the test readable.
+type report0ScatterAlias = ScatterPoint
+
+func TestLogHistPlot(t *testing.T) {
+	var b strings.Builder
+	LogHistPlot(&b, "hist", []float64{1, 10, 100}, []int{5, 10, 2}, 20)
+	out := b.String()
+	if strings.Count(out, "#") == 0 {
+		t.Errorf("no bars: %q", out)
+	}
+	// The max row has the full width of bars.
+	if !strings.Contains(out, strings.Repeat("#", 20)) {
+		t.Errorf("max bar not full width: %q", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var b strings.Builder
+	CSV(&b, "x", "y", []float64{1, 2}, []float64{3, 4})
+	want := "x,y\n1,3\n2,4\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}

@@ -1,0 +1,408 @@
+// Package rules implements an external rule language for alert tagging,
+// modeled on the logsurfer/awk heuristics the administrators supplied
+// (Section 3.2: "The heuristics provided by the administrators were often
+// in the form of regular expressions amenable for consumption by the
+// logsurfer utility"). It lets a rule set live in a text file, be
+// reviewed by the administrator who owns it, and be loaded at run time —
+// the operational workflow behind Table 4.
+//
+// One rule per line:
+//
+//	# Spirit disk errors
+//	H EXT_FS   /kernel: EXT3-fs error/
+//	S PBS_CHK  program == "pbs_mom" && /task_check, cannot tm_reply/
+//	I KERNPAN  ($5 ~ /KERNEL/ && /kernel panic/)
+//
+// An expression is a conjunction of terms:
+//
+//	/re/              body matches re
+//	body ~ /re/       same, explicit
+//	program == "s"    program tag equals s
+//	facility ~ /re/   facility matches re
+//	severity == NAME  native severity equals NAME (either scale)
+//	$5 ~ /re/         awk-style alias for facility (the paper's BG/L form)
+//
+// Terms may be parenthesized; `&&` is the only connective, matching the
+// shape of every rule in the study.
+package rules
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strings"
+
+	"whatsupersay/internal/catalog"
+	"whatsupersay/internal/logrec"
+)
+
+// Matcher is a compiled rule predicate.
+type Matcher func(logrec.Record) bool
+
+// Rule is one parsed tagging rule.
+type Rule struct {
+	// Name is the alert category the rule tags.
+	Name string
+	// Type is the administrator's H/S/I assignment.
+	Type catalog.Type
+	// Source is the rule's expression text, as written.
+	Source string
+	// Match is the compiled predicate.
+	Match Matcher
+}
+
+// Set is an ordered rule list; first match wins, as in package tag.
+type Set struct {
+	Rules []Rule
+}
+
+// Tag returns the first matching rule.
+func (s *Set) Tag(rec logrec.Record) (Rule, bool) {
+	for _, r := range s.Rules {
+		if r.Match(rec) {
+			return r, true
+		}
+	}
+	return Rule{}, false
+}
+
+// ParseError reports where a rule file failed to parse.
+type ParseError struct {
+	Line   int
+	Text   string
+	Reason string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("rules: line %d: %s (in %q)", e.Line, e.Reason, e.Text)
+}
+
+// Load parses a rule file.
+func Load(r io.Reader) (*Set, error) {
+	var set Set
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rule, err := ParseRule(line)
+		if err != nil {
+			if pe, ok := err.(*ParseError); ok {
+				pe.Line = lineNo
+				return nil, pe
+			}
+			return nil, fmt.Errorf("rules: line %d: %w", lineNo, err)
+		}
+		set.Rules = append(set.Rules, rule)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rules: %w", err)
+	}
+	return &set, nil
+}
+
+// ParseRule parses one "TYPE NAME expr" line.
+func ParseRule(line string) (Rule, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return Rule{}, &ParseError{Text: line, Reason: "want: TYPE NAME expression"}
+	}
+	var ty catalog.Type
+	switch fields[0] {
+	case "H":
+		ty = catalog.Hardware
+	case "S":
+		ty = catalog.Software
+	case "I":
+		ty = catalog.Indeterminate
+	default:
+		return Rule{}, &ParseError{Text: line, Reason: fmt.Sprintf("unknown type %q (want H, S, or I)", fields[0])}
+	}
+	name := fields[1]
+	exprText := strings.TrimSpace(line[strings.Index(line, name)+len(name):])
+	m, err := CompileExpr(exprText)
+	if err != nil {
+		return Rule{}, &ParseError{Text: line, Reason: err.Error()}
+	}
+	return Rule{Name: name, Type: ty, Source: exprText, Match: m}, nil
+}
+
+// CompileExpr compiles a rule expression into a Matcher.
+func CompileExpr(expr string) (Matcher, error) {
+	p := &exprParser{input: expr}
+	m, err := p.parseConjunction()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.input) {
+		return nil, fmt.Errorf("trailing input at byte %d: %q", p.pos, p.input[p.pos:])
+	}
+	return m, nil
+}
+
+// exprParser is a tiny recursive-descent parser over the expression
+// grammar.
+type exprParser struct {
+	input string
+	pos   int
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.input) && (p.input[p.pos] == ' ' || p.input[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) peek() byte {
+	if p.pos >= len(p.input) {
+		return 0
+	}
+	return p.input[p.pos]
+}
+
+// parseConjunction := term ('&&' term)*
+func (p *exprParser) parseConjunction() (Matcher, error) {
+	terms := []Matcher{}
+	for {
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+		p.skipSpace()
+		if strings.HasPrefix(p.input[p.pos:], "&&") {
+			p.pos += 2
+			continue
+		}
+		break
+	}
+	if len(terms) == 1 {
+		return terms[0], nil
+	}
+	return func(rec logrec.Record) bool {
+		for _, t := range terms {
+			if !t(rec) {
+				return false
+			}
+		}
+		return true
+	}, nil
+}
+
+// parseTerm := '(' conjunction ')' | '/'re'/' | field op value
+func (p *exprParser) parseTerm() (Matcher, error) {
+	p.skipSpace()
+	switch {
+	case p.peek() == '(':
+		p.pos++
+		m, err := p.parseConjunction()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("missing ) at byte %d", p.pos)
+		}
+		p.pos++
+		return m, nil
+	case p.peek() == '/':
+		re, err := p.parseRegex()
+		if err != nil {
+			return nil, err
+		}
+		return bodyMatcher(re), nil
+	default:
+		return p.parseFieldTerm()
+	}
+}
+
+// parseRegex consumes /.../ honoring backslash escapes.
+func (p *exprParser) parseRegex() (*regexp.Regexp, error) {
+	if p.peek() != '/' {
+		return nil, fmt.Errorf("expected / at byte %d", p.pos)
+	}
+	p.pos++
+	var b strings.Builder
+	for p.pos < len(p.input) {
+		c := p.input[p.pos]
+		if c == '\\' && p.pos+1 < len(p.input) {
+			next := p.input[p.pos+1]
+			if next == '/' {
+				b.WriteByte('/')
+			} else {
+				b.WriteByte('\\')
+				b.WriteByte(next)
+			}
+			p.pos += 2
+			continue
+		}
+		if c == '/' {
+			p.pos++
+			re, err := regexp.Compile(b.String())
+			if err != nil {
+				return nil, fmt.Errorf("bad regexp %q: %v", b.String(), err)
+			}
+			return re, nil
+		}
+		b.WriteByte(c)
+		p.pos++
+	}
+	return nil, fmt.Errorf("unterminated regexp")
+}
+
+// parseFieldTerm := field ('~' regex | '==' value)
+func (p *exprParser) parseFieldTerm() (Matcher, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.input) {
+		c := p.input[p.pos]
+		if c == ' ' || c == '\t' || c == '~' || c == '=' {
+			break
+		}
+		p.pos++
+	}
+	field := p.input[start:p.pos]
+	if field == "" {
+		return nil, fmt.Errorf("expected a term at byte %d", start)
+	}
+	p.skipSpace()
+	switch {
+	case p.peek() == '~':
+		p.pos++
+		p.skipSpace()
+		re, err := p.parseRegex()
+		if err != nil {
+			return nil, err
+		}
+		return fieldRegexMatcher(field, re)
+	case strings.HasPrefix(p.input[p.pos:], "=="):
+		p.pos += 2
+		p.skipSpace()
+		val, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		return fieldEqualsMatcher(field, val)
+	default:
+		return nil, fmt.Errorf("expected ~ or == after field %q", field)
+	}
+}
+
+// parseValue := '"' string '"' | bare word
+func (p *exprParser) parseValue() (string, error) {
+	if p.peek() == '"' {
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.input) && p.input[p.pos] != '"' {
+			p.pos++
+		}
+		if p.pos >= len(p.input) {
+			return "", fmt.Errorf("unterminated string")
+		}
+		val := p.input[start:p.pos]
+		p.pos++
+		return val, nil
+	}
+	start := p.pos
+	for p.pos < len(p.input) && p.input[p.pos] != ' ' && p.input[p.pos] != ')' {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("expected a value at byte %d", start)
+	}
+	return p.input[start:p.pos], nil
+}
+
+func bodyMatcher(re *regexp.Regexp) Matcher {
+	return func(rec logrec.Record) bool { return re.MatchString(rec.Body) }
+}
+
+// fieldRegexMatcher resolves field names (and awk positional aliases) to
+// record fields.
+func fieldRegexMatcher(field string, re *regexp.Regexp) (Matcher, error) {
+	get, err := fieldGetter(field)
+	if err != nil {
+		return nil, err
+	}
+	return func(rec logrec.Record) bool { return re.MatchString(get(rec)) }, nil
+}
+
+func fieldEqualsMatcher(field, val string) (Matcher, error) {
+	if field == "severity" {
+		// Accept either scale's severity name.
+		return func(rec logrec.Record) bool { return rec.Severity.String() == val }, nil
+	}
+	get, err := fieldGetter(field)
+	if err != nil {
+		return nil, err
+	}
+	return func(rec logrec.Record) bool { return get(rec) == val }, nil
+}
+
+// fieldGetter maps a field name to a record accessor. $5 is the paper's
+// awk alias for the BG/L facility column.
+func fieldGetter(field string) (func(logrec.Record) string, error) {
+	switch field {
+	case "body":
+		return func(r logrec.Record) string { return r.Body }, nil
+	case "program":
+		return func(r logrec.Record) string { return r.Program }, nil
+	case "facility", "$5":
+		return func(r logrec.Record) string { return r.Facility }, nil
+	case "source", "host":
+		return func(r logrec.Record) string { return r.Source }, nil
+	case "severity":
+		return func(r logrec.Record) string { return r.Severity.String() }, nil
+	default:
+		return nil, fmt.Errorf("unknown field %q", field)
+	}
+}
+
+// Export renders a system's catalog rules in the file format, so the
+// built-in rule sets can be externalized, reviewed, and re-loaded.
+func Export(w io.Writer, sys logrec.System) error {
+	if _, err := fmt.Fprintf(w, "# %s expert rules (%d categories), Table 4 order\n", sys, len(catalog.BySystem(sys))); err != nil {
+		return err
+	}
+	for _, c := range catalog.BySystem(sys) {
+		expr := exportExpr(c)
+		if _, err := fmt.Fprintf(w, "%s %-10s %s\n", c.Type.Code(), c.Name, expr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// exportExpr renders a catalog rule as an expression.
+func exportExpr(c *catalog.Category) string {
+	var terms []string
+	if c.Facility != "" {
+		terms = append(terms, fmt.Sprintf("$5 ~ /%s/", escapeRegexDelim(c.Facility)))
+	}
+	if c.Program != "" {
+		terms = append(terms, fmt.Sprintf("program == %q", c.Program))
+	}
+	terms = append(terms, "/"+escapeRegexDelim(c.Pattern)+"/")
+	return strings.Join(terms, " && ")
+}
+
+// escapeRegexDelim escapes the / delimiter inside a pattern.
+func escapeRegexDelim(p string) string {
+	return strings.ReplaceAll(p, "/", `\/`)
+}
+
+// LoadSystem round-trips a system's built-in rules through the file
+// format, returning a Set equivalent to the catalog's tagger.
+func LoadSystem(sys logrec.System) (*Set, error) {
+	var b strings.Builder
+	if err := Export(&b, sys); err != nil {
+		return nil, err
+	}
+	return Load(strings.NewReader(b.String()))
+}

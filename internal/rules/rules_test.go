@@ -1,0 +1,247 @@
+package rules
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"whatsupersay/internal/catalog"
+	"whatsupersay/internal/logrec"
+)
+
+func TestParseRuleBasic(t *testing.T) {
+	r, err := ParseRule(`H EXT_FS /EXT3-fs error/`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "EXT_FS" || r.Type != catalog.Hardware {
+		t.Errorf("rule = %+v", r)
+	}
+	if !r.Match(logrec.Record{Body: "EXT3-fs error (device sda5)"}) {
+		t.Error("body match failed")
+	}
+	if r.Match(logrec.Record{Body: "all quiet"}) {
+		t.Error("non-matching body matched")
+	}
+}
+
+func TestParseRuleProgramConjunct(t *testing.T) {
+	r, err := ParseRule(`S PBS_CHK program == "pbs_mom" && /task_check, cannot tm_reply/`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := logrec.Record{Program: "pbs_mom", Body: "task_check, cannot tm_reply to 1 task 1"}
+	if !r.Match(good) {
+		t.Error("conjunction failed on matching record")
+	}
+	bad := good
+	bad.Program = "kernel"
+	if r.Match(bad) {
+		t.Error("program constraint ignored")
+	}
+}
+
+func TestParseRuleAwkForm(t *testing.T) {
+	// The paper's own example: ($5 ~ /KERNEL/ && /kernel panic/)
+	r, err := ParseRule(`I KERNPAN ($5 ~ /KERNEL/ && /kernel panic/)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Match(logrec.Record{Facility: "KERNEL", Body: "kernel panic"}) {
+		t.Error("awk form failed")
+	}
+	if r.Match(logrec.Record{Facility: "APP", Body: "kernel panic"}) {
+		t.Error("$5 constraint ignored")
+	}
+}
+
+func TestParseRuleSeverity(t *testing.T) {
+	r, err := ParseRule(`I FATALS severity == FATAL && /./`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Match(logrec.Record{Severity: logrec.SevFatal, Body: "x"}) {
+		t.Error("severity equality failed")
+	}
+	if r.Match(logrec.Record{Severity: logrec.SevInfoBGL, Body: "x"}) {
+		t.Error("severity mismatch matched")
+	}
+}
+
+func TestParseRuleEscapedSlash(t *testing.T) {
+	r, err := ParseRule(`H GM_PAR /gm_parity\.c:115:parity_int\(\):firmware/`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Match(logrec.Record{Body: "PANIC: /usr/src/gm_parity.c:115:parity_int():firmware"}) {
+		t.Error("escaped pattern failed")
+	}
+	// A pattern containing a literal / must round-trip via \/.
+	r2, err := ParseRule(`H SLASH /rejecting I\/O to offline device/`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Match(logrec.Record{Body: "scsi0: rejecting I/O to offline device"}) {
+		t.Error("slash-escaped pattern failed")
+	}
+}
+
+func TestParseRuleErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`H`,
+		`H NAME`,
+		`X NAME /re/`,          // bad type
+		`H NAME /unterminated`, // bad regex delim
+		`H NAME bogusfield ~ /x/`,
+		`H NAME program = "x"`,  // single =
+		`H NAME /a/ && `,        // trailing conjunct
+		`H NAME (/a/`,           // missing paren
+		`H NAME /a/ extra-junk`, // trailing input
+		`H NAME /[/`,            // invalid regexp
+		`H NAME severity == `,   // missing value
+	}
+	for _, line := range cases {
+		if _, err := ParseRule(line); err == nil {
+			t.Errorf("ParseRule(%q) expected error", line)
+		}
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	file := `
+# Liberty rules
+S PBS_CHK  program == "pbs_mom" && /task_check, cannot tm_reply/
+H GM_PAR   program == "kernel" && /GM: LANAI\[0\]: PANIC/
+
+S PBS_CON  program == "pbs_mom" && /Connection refused \(111\)/
+`
+	set, err := Load(strings.NewReader(file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Rules) != 3 {
+		t.Fatalf("rules = %d, want 3 (comments and blanks skipped)", len(set.Rules))
+	}
+	rule, ok := set.Tag(logrec.Record{Program: "pbs_mom", Body: "task_check, cannot tm_reply to 9 task 1"})
+	if !ok || rule.Name != "PBS_CHK" {
+		t.Errorf("tag = %v %v", rule.Name, ok)
+	}
+	if _, ok := set.Tag(logrec.Record{Program: "sshd", Body: "session opened"}); ok {
+		t.Error("benign record tagged")
+	}
+}
+
+func TestLoadReportsLineNumbers(t *testing.T) {
+	file := "H GOOD /x/\nH BAD /unterminated\n"
+	_, err := Load(strings.NewReader(file))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("error line = %d, want 2", pe.Line)
+	}
+}
+
+func TestFirstMatchWins(t *testing.T) {
+	file := "H FIRST /error/\nH SECOND /EXT3-fs error/\n"
+	set, err := Load(strings.NewReader(file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule, ok := set.Tag(logrec.Record{Body: "EXT3-fs error"})
+	if !ok || rule.Name != "FIRST" {
+		t.Errorf("first-match-wins violated: got %s", rule.Name)
+	}
+}
+
+// TestExportLoadRoundTrip: for every system, the exported rule file
+// reloads into a set that tags generated messages identically to the
+// catalog.
+func TestExportLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, sys := range logrec.Systems() {
+		set, err := LoadSystem(sys)
+		if err != nil {
+			t.Fatalf("%v: %v", sys, err)
+		}
+		if len(set.Rules) != len(catalog.BySystem(sys)) {
+			t.Fatalf("%v: %d rules, want %d", sys, len(set.Rules), len(catalog.BySystem(sys)))
+		}
+		for _, c := range catalog.BySystem(sys) {
+			rec := logrec.Record{
+				System:   sys,
+				Facility: c.Facility,
+				Program:  c.Program,
+				Severity: c.Severity,
+				Body:     c.Gen(rng),
+			}
+			rule, ok := set.Tag(rec)
+			if !ok {
+				t.Errorf("%v/%s: exported rules missed a generated record", sys, c.Name)
+				continue
+			}
+			if rule.Name != c.Name {
+				t.Errorf("%v/%s: tagged as %s by exported rules", sys, c.Name, rule.Name)
+			}
+			if rule.Type != c.Type {
+				t.Errorf("%v/%s: type %v, want %v", sys, c.Name, rule.Type, c.Type)
+			}
+		}
+	}
+}
+
+func TestExportFormatIsStable(t *testing.T) {
+	var b strings.Builder
+	if err := Export(&b, logrec.Liberty); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `S PBS_CHK    program == "pbs_mom" && /task_check, cannot tm_reply/`) {
+		t.Errorf("export format changed:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "# Liberty expert rules (6 categories)") {
+		t.Errorf("export header changed:\n%s", out)
+	}
+}
+
+func TestCompileExprParenNesting(t *testing.T) {
+	m, err := CompileExpr(`((/a/) && (/b/ && /c/))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m(logrec.Record{Body: "a b c"}) {
+		t.Error("nested conjunction failed")
+	}
+	if m(logrec.Record{Body: "a b"}) {
+		t.Error("missing term matched")
+	}
+}
+
+func TestFieldGetters(t *testing.T) {
+	rec := logrec.Record{Source: "sn373", Program: "kernel", Facility: "KERNEL", Body: "x", Severity: logrec.SevCrit}
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{`source == sn373`, true},
+		{`host ~ /^sn/`, true},
+		{`body ~ /x/`, true},
+		{`facility == KERNEL`, true},
+		{`severity == CRIT`, true},
+		{`source == sn1`, false},
+	}
+	for _, tc := range cases {
+		m, err := CompileExpr(tc.expr)
+		if err != nil {
+			t.Fatalf("CompileExpr(%q): %v", tc.expr, err)
+		}
+		if got := m(rec); got != tc.want {
+			t.Errorf("%q = %v, want %v", tc.expr, got, tc.want)
+		}
+	}
+}

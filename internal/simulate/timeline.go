@@ -1,0 +1,168 @@
+package simulate
+
+import (
+	"time"
+
+	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/opcontext"
+)
+
+// downtimeWindow is one scheduled-downtime interval of the generated
+// operational-context timeline.
+type downtimeWindow struct {
+	from, to time.Time
+}
+
+// buildTimeline constructs the operational-context timeline the paper
+// recommends logging (Section 3.2.1): monthly scheduled-maintenance
+// windows, Liberty's OS-upgrade downtime at the Figure 2(a) regime
+// shift, and a handful of unscheduled (failure) downtimes so the RAS
+// metrics of Section 5 have real outage time to account. The generator
+// places context-dependent alerts (BG/L MASNORM) inside the scheduled
+// windows so the disambiguation experiment is meaningful.
+func (g *generator) buildTimeline() *opcontext.Timeline {
+	tl := opcontext.NewTimeline(g.cfg.System, opcontext.ProductionUptime)
+	type span struct {
+		w     downtimeWindow
+		state opcontext.State
+		cause string
+	}
+	planned := g.plannedDowntimes()
+	var spans []span
+	for _, w := range planned {
+		spans = append(spans, span{w: w, state: opcontext.ScheduledDowntime, cause: "scheduled maintenance"})
+	}
+	for _, w := range g.unscheduledDowntimes(planned) {
+		spans = append(spans, span{w: w, state: opcontext.UnscheduledDowntime, cause: "system failure"})
+		planned = append(planned, w) // engineering windows must avoid these too
+	}
+	for _, w := range g.engineeringWindows(planned) {
+		spans = append(spans, span{w: w, state: opcontext.EngineeringTime, cause: "system testing"})
+	}
+	// Record in time order; windows are non-overlapping by construction.
+	for i := 1; i < len(spans); i++ {
+		for j := i; j > 0 && spans[j].w.from.Before(spans[j-1].w.from); j-- {
+			spans[j], spans[j-1] = spans[j-1], spans[j]
+		}
+	}
+	for _, s := range spans {
+		// Errors cannot occur: windows are ordered and non-overlapping,
+		// and production <-> downtime transitions are always legal.
+		_ = tl.Record(s.w.from, s.state, s.cause)
+		_ = tl.Record(s.w.to, opcontext.ProductionUptime, "recovered")
+	}
+	return tl
+}
+
+// unscheduledDowntimes draws a few failure outages (one to twelve hours)
+// that avoid the scheduled windows, scaled loosely with window length:
+// roughly one outage per two months.
+func (g *generator) unscheduledDowntimes(avoid []downtimeWindow) []downtimeWindow {
+	if avoid == nil {
+		avoid = g.plannedDowntimes()
+	}
+	days := int(g.end.Sub(g.start).Hours() / 24)
+	n := days / 60
+	if n < 2 {
+		n = 2
+	}
+	var out []downtimeWindow
+	for attempts := 0; len(out) < n && attempts < n*20; attempts++ {
+		from := g.uniformTime()
+		dur := time.Duration(1+g.rng.Intn(12)) * time.Hour
+		to := from.Add(dur)
+		if to.After(g.end) {
+			continue
+		}
+		cand := downtimeWindow{from: from, to: to}
+		if overlapsAny(cand, avoid) || overlapsAny(cand, out) {
+			continue
+		}
+		out = append(out, cand)
+	}
+	return out
+}
+
+// engineeringWindows draws quarterly day-long system-testing windows
+// (Feitelson's "workload flurries" time), avoiding the other downtimes.
+func (g *generator) engineeringWindows(avoid []downtimeWindow) []downtimeWindow {
+	days := int(g.end.Sub(g.start).Hours() / 24)
+	n := days / 90
+	if n < 1 {
+		n = 1
+	}
+	var out []downtimeWindow
+	for attempts := 0; len(out) < n && attempts < n*20; attempts++ {
+		from := g.uniformTime()
+		to := from.Add(24 * time.Hour)
+		if to.After(g.end) {
+			continue
+		}
+		cand := downtimeWindow{from: from, to: to}
+		if overlapsAny(cand, avoid) || overlapsAny(cand, out) {
+			continue
+		}
+		out = append(out, cand)
+	}
+	return out
+}
+
+// overlapsAny reports whether w intersects any window in ws.
+func overlapsAny(w downtimeWindow, ws []downtimeWindow) bool {
+	for _, o := range ws {
+		if w.from.Before(o.to) && o.from.Before(w.to) {
+			return true
+		}
+	}
+	return false
+}
+
+// plannedDowntimes returns the scheduled downtime windows, in order.
+func (g *generator) plannedDowntimes() []downtimeWindow {
+	var out []downtimeWindow
+	// Monthly eight-hour maintenance windows, on the 15th.
+	for t := time.Date(g.start.Year(), g.start.Month(), 15, 6, 0, 0, 0, time.UTC); t.Before(g.end); t = t.AddDate(0, 1, 0) {
+		if t.Before(g.start) {
+			continue
+		}
+		end := t.Add(8 * time.Hour)
+		if end.After(g.end) {
+			break
+		}
+		out = append(out, downtimeWindow{from: t, to: end})
+	}
+	// Liberty's OS upgrade is a longer window at the regime-shift time.
+	if g.cfg.System == logrec.Liberty {
+		up := time.Date(2005, time.March, 30, 20, 0, 0, 0, time.UTC)
+		out = append(out, downtimeWindow{from: up, to: up.Add(12 * time.Hour)})
+	}
+	// Keep windows sorted and non-overlapping (the Liberty insert is
+	// between monthly windows by construction, but be defensive).
+	merged := out[:0]
+	var last downtimeWindow
+	for i, w := range sortWindows(out) {
+		if i > 0 && w.from.Before(last.to) {
+			continue
+		}
+		merged = append(merged, w)
+		last = w
+	}
+	return merged
+}
+
+// sortWindows orders windows by start time.
+func sortWindows(ws []downtimeWindow) []downtimeWindow {
+	out := make([]downtimeWindow, len(ws))
+	copy(out, ws)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].from.Before(out[j-1].from); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// downtimeWindows exposes the planned windows to the alert generators.
+func (g *generator) downtimeWindows() []downtimeWindow {
+	return g.plannedDowntimes()
+}

@@ -1,0 +1,125 @@
+// Package stats implements the statistical machinery of Section 4:
+// interarrival extraction, linear and logarithmic histograms, exponential
+// and lognormal maximum-likelihood fits with goodness-of-fit tests (the
+// paper fits these families and finds "heavy tails result in very poor
+// statistical goodness-of-fit metrics"), time-series bucketing and
+// change-point detection (Figure 2(a)'s regime shifts), per-source
+// rankings (Figure 2(b)), and cross-category correlation (Figure 3).
+package stats
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Interarrivals returns the successive gaps of a time-sorted event
+// sequence, in seconds. n events yield n-1 gaps; gaps of zero are
+// preserved (they are common at one-second log granularity and are part
+// of the story in Figure 6).
+func Interarrivals(times []time.Time) []float64 {
+	if len(times) < 2 {
+		return nil
+	}
+	out := make([]float64, 0, len(times)-1)
+	for i := 1; i < len(times); i++ {
+		out = append(out, times[i].Sub(times[i-1]).Seconds())
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (0 for fewer than two
+// points).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the sample median (0 for empty input).
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using linear
+// interpolation between order statistics.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Min returns the smallest value (0 for empty input).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ECDF returns the empirical CDF evaluated at x for a sorted sample.
+func ECDF(sorted []float64, x float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	// Number of points ≤ x.
+	n := sort.SearchFloat64s(sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(n) / float64(len(sorted))
+}

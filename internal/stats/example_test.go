@@ -1,0 +1,65 @@
+package stats_test
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"whatsupersay/internal/stats"
+)
+
+// ExampleFitExponential fits the interarrival model of Figure 5 to a
+// synthetic Poisson sample and tests the fit.
+func ExampleFitExponential() {
+	rng := rand.New(rand.NewSource(1))
+	gaps := make([]float64, 5000)
+	for i := range gaps {
+		gaps[i] = rng.ExpFloat64() * 3600 // mean one hour
+	}
+	fit, _ := stats.FitExponential(gaps)
+	res, _ := stats.KSTest(gaps, fit)
+	fmt.Printf("lambda within 5%% of 1/3600: %v\n", fit.Lambda > 0.95/3600 && fit.Lambda < 1.05/3600)
+	fmt.Printf("fit rejected at 1%%: %v\n", res.PValue < 0.01)
+	// Output:
+	// lambda within 5% of 1/3600: true
+	// fit rejected at 1%: false
+}
+
+// ExampleDetectChangePoints finds the Figure 2(a)-style regime shift in
+// an hourly count series.
+func ExampleDetectChangePoints() {
+	counts := make([]int, 400)
+	for i := range counts {
+		if i < 150 {
+			counts[i] = 20
+		} else {
+			counts[i] = 50 // the OS upgrade
+		}
+	}
+	cps := stats.DetectChangePoints(counts, 2, 10)
+	for _, cp := range cps {
+		fmt.Printf("shift at hour %d: %.0f -> %.0f\n", cp.Index, cp.Before, cp.After)
+	}
+	// Output:
+	// shift at hour 150: 20 -> 50
+}
+
+// ExampleSpatialCorrelation separates a job-coupled failure (many nodes
+// within seconds) from an independent one.
+func ExampleSpatialCorrelation() {
+	base := time.Date(2005, 11, 9, 0, 0, 0, 0, time.UTC)
+	var coupled []stats.SpatialEvent
+	for job := 0; job < 50; job++ {
+		at := base.Add(time.Duration(job) * 6 * time.Hour)
+		for k := 0; k < 4; k++ {
+			coupled = append(coupled, stats.SpatialEvent{
+				Time:   at.Add(time.Duration(k) * time.Second),
+				Source: fmt.Sprintf("tn%d", job*4+k),
+			})
+		}
+	}
+	score := stats.SpatialCorrelation(coupled, 30*time.Second)
+	fmt.Printf("multi-source share: %.2f, mean sources per cluster: %.1f\n", score.Index(), score.MeanSources)
+	// Output:
+	// multi-source share: 1.00, mean sources per cluster: 4.0
+}

@@ -1,0 +1,61 @@
+package stats
+
+import "time"
+
+// Period detection, after Ma & Hellerstein's "Mining partially periodic
+// event patterns with unknown periods" (the paper's ref [12]): find the
+// dominant recurrence period of an event stream from the autocorrelation
+// of its bucketed counts. Periodic streams (cron chatter, polling
+// daemons) show a sharp autocorrelation peak at their period; failure
+// streams do not — a cheap way to separate scheduled chatter from
+// genuine trouble when triaging unknown categories.
+
+// PeriodResult is the outcome of period detection.
+type PeriodResult struct {
+	// Period is the detected recurrence interval (0 when none).
+	Period time.Duration
+	// Strength is the autocorrelation at the detected lag (0-1-ish;
+	// higher is more periodic).
+	Strength float64
+	// Periodic reports whether the peak cleared the threshold.
+	Periodic bool
+}
+
+// DetectPeriod buckets events at the given resolution and scans
+// autocorrelation lags from minLag to maxLag buckets for the strongest
+// peak; a peak at or above threshold is declared periodic. A typical
+// call uses a one-minute bucket, lags spanning minutes to days, and a
+// threshold near 0.3.
+func DetectPeriod(times []time.Time, start, end time.Time, bucket time.Duration, minLag, maxLag int, threshold float64) PeriodResult {
+	counts := BucketCounts(times, start, end, bucket)
+	if len(counts) == 0 || maxLag <= minLag || minLag < 1 {
+		return PeriodResult{}
+	}
+	if maxLag >= len(counts) {
+		maxLag = len(counts) - 1
+	}
+	xs := make([]float64, len(counts))
+	for i, c := range counts {
+		xs[i] = float64(c)
+	}
+	ac := Autocorrelation(xs, maxLag)
+	best, bestLag := 0.0, 0
+	for lag := minLag; lag <= maxLag && lag < len(ac); lag++ {
+		// Require a local maximum so harmonics of shorter structure
+		// don't masquerade as the period.
+		if lag > 0 && lag+1 < len(ac) && (ac[lag] < ac[lag-1] || ac[lag] < ac[lag+1]) {
+			continue
+		}
+		if ac[lag] > best {
+			best, bestLag = ac[lag], lag
+		}
+	}
+	if bestLag == 0 {
+		return PeriodResult{}
+	}
+	return PeriodResult{
+		Period:   time.Duration(bestLag) * bucket,
+		Strength: best,
+		Periodic: best >= threshold,
+	}
+}

@@ -1,0 +1,57 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestDetectPeriodOnCronLikeStream(t *testing.T) {
+	base := time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC)
+	end := base.AddDate(0, 0, 7)
+	rng := rand.New(rand.NewSource(1))
+	// Hourly cron with a little jitter.
+	var times []time.Time
+	for tm := base; tm.Before(end); tm = tm.Add(time.Hour) {
+		times = append(times, tm.Add(time.Duration(rng.Intn(30))*time.Second))
+	}
+	res := DetectPeriod(times, base, end, time.Minute, 10, 26*60, 0.3)
+	if !res.Periodic {
+		t.Fatalf("hourly stream not detected as periodic: %+v", res)
+	}
+	if res.Period < 55*time.Minute || res.Period > 65*time.Minute {
+		t.Errorf("period = %v, want ~1h", res.Period)
+	}
+}
+
+func TestDetectPeriodOnPoissonStream(t *testing.T) {
+	base := time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC)
+	end := base.AddDate(0, 0, 7)
+	rng := rand.New(rand.NewSource(2))
+	var times []time.Time
+	tm := base
+	for {
+		tm = tm.Add(time.Duration(rng.ExpFloat64() * float64(time.Hour)))
+		if !tm.Before(end) {
+			break
+		}
+		times = append(times, tm)
+	}
+	res := DetectPeriod(times, base, end, time.Minute, 10, 26*60, 0.3)
+	if res.Periodic {
+		t.Errorf("Poisson stream detected as periodic: %+v", res)
+	}
+}
+
+func TestDetectPeriodDegenerate(t *testing.T) {
+	base := time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC)
+	if res := DetectPeriod(nil, base, base.Add(time.Hour), time.Minute, 1, 30, 0.3); res.Periodic {
+		t.Error("empty stream")
+	}
+	if res := DetectPeriod(nil, base, base, time.Minute, 1, 30, 0.3); res.Period != 0 {
+		t.Error("empty window")
+	}
+	if res := DetectPeriod(nil, base, base.Add(time.Hour), time.Minute, 5, 5, 0.3); res.Period != 0 {
+		t.Error("bad lag range")
+	}
+}

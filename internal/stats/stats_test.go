@@ -1,0 +1,436 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("mean = %v, want 5", m)
+	}
+	if v := Variance(xs); math.Abs(v-4.571428571) > 1e-6 {
+		t.Errorf("variance = %v", v)
+	}
+	if s := StdDev(xs); math.Abs(s-2.13809) > 1e-4 {
+		t.Errorf("stddev = %v", s)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate inputs must be 0")
+	}
+}
+
+func TestMedianPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if m := Median(xs); m != 3 {
+		t.Errorf("median = %v, want 3", m)
+	}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Errorf("p0 = %v, want 1", p)
+	}
+	if p := Percentile(xs, 100); p != 5 {
+		t.Errorf("p100 = %v, want 5", p)
+	}
+	if p := Percentile(xs, 25); p != 2 {
+		t.Errorf("p25 = %v, want 2", p)
+	}
+	// Interpolation between order statistics.
+	if p := Percentile([]float64{0, 10}, 50); p != 5 {
+		t.Errorf("interp p50 = %v, want 5", p)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile must be 0")
+	}
+	// Percentile must not mutate its input.
+	if xs[0] != 5 {
+		t.Error("Percentile sorted the caller's slice")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("min/max = %v/%v", Min(xs), Max(xs))
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty min/max must be 0")
+	}
+}
+
+func TestInterarrivals(t *testing.T) {
+	base := time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC)
+	times := []time.Time{base, base.Add(2 * time.Second), base.Add(2 * time.Second), base.Add(7 * time.Second)}
+	gaps := Interarrivals(times)
+	want := []float64{2, 0, 5}
+	if len(gaps) != len(want) {
+		t.Fatalf("gaps = %v", gaps)
+	}
+	for i := range want {
+		if gaps[i] != want[i] {
+			t.Errorf("gap[%d] = %v, want %v", i, gaps[i], want[i])
+		}
+	}
+	if Interarrivals(times[:1]) != nil {
+		t.Error("single event has no gaps")
+	}
+}
+
+func TestECDF(t *testing.T) {
+	sorted := []float64{1, 2, 2, 3}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {9, 1},
+	}
+	for _, tc := range cases {
+		if got := ECDF(sorted, tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("ECDF(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestECDFMonotoneProperty(t *testing.T) {
+	f := func(vals []float64, probe []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		sorted := append([]float64(nil), vals...)
+		for i := range sorted {
+			sorted[i] = math.Abs(sorted[i])
+		}
+		sortFloats(sorted)
+		prev := -1.0
+		probes := append([]float64(nil), probe...)
+		sortFloats(probes)
+		for _, x := range probes {
+			v := ECDF(sorted, x)
+			if v < prev || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{-1, 0, 0.5, 1, 5.5, 9.99, 10, 42}
+	h := NewHistogram(xs, 0, 10, 10)
+	if h.Under != 1 {
+		t.Errorf("under = %d, want 1", h.Under)
+	}
+	if h.Over != 2 {
+		t.Errorf("over = %d, want 2", h.Over)
+	}
+	if h.Counts[0] != 2 { // 0 and 0.5
+		t.Errorf("bin0 = %d, want 2", h.Counts[0])
+	}
+	if h.Counts[1] != 1 || h.Counts[5] != 1 || h.Counts[9] != 1 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	if h.Total() != 5 {
+		t.Errorf("total = %d, want 5", h.Total())
+	}
+	if c := h.BinCenter(0); c != 0.5 {
+		t.Errorf("bin center = %v, want 0.5", c)
+	}
+}
+
+func TestLogHistogram(t *testing.T) {
+	xs := []float64{0, 0.5, 1, 10, 100, 1000, 1e9}
+	h := NewLogHistogram(xs, 0, 4, 1)
+	if h.Zero != 2 { // 0 and 0.5 below 10^0
+		t.Errorf("zero bucket = %d, want 2", h.Zero)
+	}
+	if h.Over != 1 { // 1e9 beyond 10^4
+		t.Errorf("over = %d, want 1", h.Over)
+	}
+	if h.Counts[0] != 1 || h.Counts[1] != 1 || h.Counts[2] != 1 || h.Counts[3] != 1 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	if h.Total() != 4 {
+		t.Errorf("total = %d", h.Total())
+	}
+	// Geometric bin center of the first decade bin with 1 bin/decade:
+	// 10^0.5.
+	if c := h.BinCenter(0); math.Abs(c-math.Sqrt(10)) > 1e-9 {
+		t.Errorf("bin center = %v", c)
+	}
+}
+
+func TestLogHistogramModes(t *testing.T) {
+	// Bimodal: peaks near 10 s and near 10^4 s.
+	var xs []float64
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		xs = append(xs, math.Exp(rng.NormFloat64()*0.3+math.Log(10)))
+		xs = append(xs, math.Exp(rng.NormFloat64()*0.3+math.Log(10000)))
+	}
+	h := NewLogHistogram(xs, 0, 7, 2)
+	if m := h.Modes(1, 0.25); m != 2 {
+		t.Errorf("bimodal sample: modes = %d, want 2", m)
+	}
+	// Unimodal.
+	var ys []float64
+	for i := 0; i < 1000; i++ {
+		ys = append(ys, math.Exp(rng.NormFloat64()*0.4+math.Log(1000)))
+	}
+	h2 := NewLogHistogram(ys, 0, 7, 2)
+	if m := h2.Modes(1, 0.25); m != 1 {
+		t.Errorf("unimodal sample: modes = %d, want 1", m)
+	}
+}
+
+func TestFitExponential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() / 0.25 // lambda 0.25
+	}
+	fit, err := FitExponential(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Lambda-0.25) > 0.01 {
+		t.Errorf("lambda = %v, want ~0.25", fit.Lambda)
+	}
+	if _, err := FitExponential([]float64{0, -1}); err == nil {
+		t.Error("no positive data must error")
+	}
+	if fit.CDF(0) != 0 || fit.CDF(-5) != 0 {
+		t.Error("CDF must be 0 at and below 0")
+	}
+	if c := fit.CDF(1 / fit.Lambda); math.Abs(c-(1-math.Exp(-1))) > 1e-9 {
+		t.Errorf("CDF at mean = %v", c)
+	}
+}
+
+func TestFitLognormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = math.Exp(rng.NormFloat64()*0.7 + 2.0)
+	}
+	fit, err := FitLognormal(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Mu-2.0) > 0.03 || math.Abs(fit.Sigma-0.7) > 0.03 {
+		t.Errorf("fit = %+v, want mu 2 sigma 0.7", fit)
+	}
+	// Median of lognormal is exp(mu).
+	if c := fit.CDF(math.Exp(fit.Mu)); math.Abs(c-0.5) > 1e-9 {
+		t.Errorf("CDF at median = %v, want 0.5", c)
+	}
+	if _, err := FitLognormal([]float64{1}); err == nil {
+		t.Error("one point is not enough")
+	}
+}
+
+func TestKSTestAcceptsMatchingDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 10
+	}
+	fit, _ := FitExponential(xs)
+	res, err := KSTest(xs, fit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.D > 0.05 {
+		t.Errorf("KS D = %v for matching data, want small", res.D)
+	}
+	if res.PValue < 0.01 {
+		t.Errorf("p = %v for matching data, want not rejected", res.PValue)
+	}
+}
+
+func TestKSTestRejectsMismatchedDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// Heavy-tailed lognormal data against an exponential fit: the
+	// paper's "very poor statistical goodness-of-fit metrics" case.
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = math.Exp(rng.NormFloat64()*2 + 1)
+	}
+	fit, _ := FitExponential(xs)
+	res, err := KSTest(xs, fit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue > 1e-6 {
+		t.Errorf("p = %v for mismatched data, want rejection", res.PValue)
+	}
+}
+
+func TestChiSquareTest(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 3
+	}
+	fit, _ := FitExponential(xs)
+	res, err := ChiSquareTest(xs, fit, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DF != 8 {
+		t.Errorf("df = %d, want 8", res.DF)
+	}
+	if res.PValue < 0.001 {
+		t.Errorf("chi-square rejected matching data: stat=%v p=%v", res.Stat, res.PValue)
+	}
+	// Mismatched data must be rejected.
+	ys := make([]float64, 5000)
+	for i := range ys {
+		ys[i] = math.Exp(rng.NormFloat64()*2 + 1)
+	}
+	res2, err := ChiSquareTest(ys, fit, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.PValue > 1e-6 {
+		t.Errorf("chi-square accepted mismatched data: p=%v", res2.PValue)
+	}
+	if _, err := ChiSquareTest(xs[:10], fit, 10, 1); err == nil {
+		t.Error("too-small sample must error")
+	}
+}
+
+func TestBucketCounts(t *testing.T) {
+	start := time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC)
+	end := start.Add(3 * time.Hour)
+	times := []time.Time{
+		start, start.Add(30 * time.Minute), start.Add(90 * time.Minute),
+		start.Add(-time.Hour),     // before window
+		end.Add(10 * time.Minute), // after window
+	}
+	counts := BucketCounts(times, start, end, time.Hour)
+	if len(counts) != 3 {
+		t.Fatalf("buckets = %v", counts)
+	}
+	if counts[0] != 2 || counts[1] != 1 || counts[2] != 0 {
+		t.Errorf("counts = %v", counts)
+	}
+	if BucketCounts(times, end, start, time.Hour) != nil {
+		t.Error("inverted window must be nil")
+	}
+}
+
+func TestRankSources(t *testing.T) {
+	ranked := RankSources([]string{"b", "a", "b", "c", "b", "a"})
+	if ranked[0].Source != "b" || ranked[0].Count != 3 {
+		t.Errorf("top = %+v", ranked[0])
+	}
+	if ranked[1].Source != "a" || ranked[2].Source != "c" {
+		t.Errorf("order = %+v", ranked)
+	}
+}
+
+func TestSpatialConcentration(t *testing.T) {
+	srcs := []string{"sn373", "sn373", "sn373", "sn1", "sn2"}
+	if got := SpatialConcentration(srcs, 1); got != 0.6 {
+		t.Errorf("top-1 share = %v, want 0.6", got)
+	}
+	if got := SpatialConcentration(srcs, 2); got != 0.8 {
+		t.Errorf("top-2 share = %v, want 0.8", got)
+	}
+	if SpatialConcentration(nil, 1) != 0 {
+		t.Error("empty input")
+	}
+}
+
+func TestDetectChangePointsStep(t *testing.T) {
+	counts := make([]int, 200)
+	for i := range counts {
+		if i < 80 {
+			counts[i] = 10
+		} else {
+			counts[i] = 40
+		}
+	}
+	// Mild noise.
+	rng := rand.New(rand.NewSource(7))
+	for i := range counts {
+		counts[i] += rng.Intn(5)
+	}
+	cps := DetectChangePoints(counts, 3, 10)
+	if len(cps) == 0 {
+		t.Fatal("no change point found for an obvious step")
+	}
+	best := cps[0]
+	for _, cp := range cps {
+		if cp.Score > best.Score {
+			best = cp
+		}
+	}
+	if best.Index < 75 || best.Index > 85 {
+		t.Errorf("change point at %d, want ~80", best.Index)
+	}
+	if best.After < best.Before {
+		t.Error("step is upward; After must exceed Before")
+	}
+}
+
+func TestDetectChangePointsFlatSeries(t *testing.T) {
+	counts := make([]int, 100)
+	rng := rand.New(rand.NewSource(8))
+	for i := range counts {
+		counts[i] = 20 + rng.Intn(3)
+	}
+	if cps := DetectChangePoints(counts, 3, 30); len(cps) != 0 {
+		t.Errorf("flat series produced change points: %+v", cps)
+	}
+	if cps := DetectChangePoints(counts[:5], 3, 1); len(cps) != 0 {
+		t.Error("too-short series must yield nothing")
+	}
+}
+
+func TestPearsonCorrelation(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{2, 4, 6, 8, 10}
+	if c := PearsonCorrelation(a, b); math.Abs(c-1) > 1e-12 {
+		t.Errorf("perfect correlation = %v", c)
+	}
+	inv := []float64{10, 8, 6, 4, 2}
+	if c := PearsonCorrelation(a, inv); math.Abs(c+1) > 1e-12 {
+		t.Errorf("perfect anticorrelation = %v", c)
+	}
+	if PearsonCorrelation(a, []float64{1, 1, 1, 1, 1}) != 0 {
+		t.Error("constant series must give 0")
+	}
+	if PearsonCorrelation(a, b[:3]) != 0 {
+		t.Error("length mismatch must give 0")
+	}
+}
+
+func TestCorrelateEventSeries(t *testing.T) {
+	start := time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC)
+	end := start.AddDate(0, 0, 10)
+	var a, b []time.Time
+	// Correlated: b events shadow a events day by day.
+	for day := 0; day < 10; day += 2 {
+		for k := 0; k < 5; k++ {
+			ts := start.AddDate(0, 0, day).Add(time.Duration(k) * time.Hour)
+			a = append(a, ts)
+			b = append(b, ts.Add(30*time.Minute))
+		}
+	}
+	if c := CorrelateEventSeries(a, b, start, end, 24*time.Hour); c < 0.9 {
+		t.Errorf("correlated series r = %v, want high", c)
+	}
+}

@@ -1,0 +1,182 @@
+// Package syslogng renders and parses the BSD-syslog text dialect used by
+// the three commodity clusters in the study (Thunderbird, Spirit, Liberty)
+// and by Red Storm's Linux-node logging path, and models the syslog-ng
+// relay those systems used for collection: per-source files, and UDP
+// transport that loses messages under contention (the paper notes that "as
+// is standard syslog practice, the UDP protocol is used for transmission,
+// resulting in some messages being lost").
+package syslogng
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"whatsupersay/internal/logrec"
+)
+
+// TimeLayout is the classic BSD syslog timestamp: no year, one-second
+// granularity, space-padded day of month.
+const TimeLayout = time.Stamp // "Jan _2 15:04:05"
+
+// Render produces the wire form of a record:
+//
+//	Jan  2 15:04:05 host program: body
+//
+// or, when the record carries a syslog severity and WithPriority is set
+// (Red Storm's configuration stored severities; the others did not):
+//
+//	<PRI>Jan  2 15:04:05 host program: body
+//
+// Program is omitted (along with its colon) when empty, which matches
+// messages emitted without a tag.
+func Render(r logrec.Record, withPriority bool) string {
+	var b strings.Builder
+	b.Grow(len(r.Body) + len(r.Source) + len(r.Program) + 32)
+	if withPriority {
+		if pri, ok := r.Severity.SyslogPriority(); ok {
+			// Facility "user" (1) unless a known facility is set; the
+			// study only needs severity, which is pri mod 8.
+			fac := 1
+			switch r.Facility {
+			case "kern":
+				fac = 0
+			case "daemon":
+				fac = 3
+			case "local0":
+				fac = 16
+			}
+			fmt.Fprintf(&b, "<%d>", fac*8+pri)
+		}
+	}
+	b.WriteString(r.Time.Format(TimeLayout))
+	b.WriteByte(' ')
+	b.WriteString(r.Source)
+	b.WriteByte(' ')
+	if r.Program != "" {
+		b.WriteString(r.Program)
+		b.WriteString(": ")
+	}
+	b.WriteString(r.Body)
+	return b.String()
+}
+
+// ParseError describes a line that could not be parsed as syslog.
+type ParseError struct {
+	Line   string
+	Reason string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("syslogng: parse %q: %s", truncate(e.Line, 60), e.Reason)
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+// Parse parses one syslog line into a record. year supplies the missing
+// year of the BSD timestamp; sys stamps the record's system. Lines with a
+// leading <PRI> have facility and severity decoded. The parser is
+// tolerant in the way the study requires: a malformed line is returned as
+// a Corrupted record with the raw line preserved, and a non-nil
+// *ParseError describing the damage — it never discards data, because
+// corrupted messages are themselves an object of study (Section 3.2.1).
+func Parse(line string, year int, sys logrec.System) (logrec.Record, *ParseError) {
+	rec := logrec.Record{System: sys, Raw: line}
+	rest := line
+
+	// Optional <PRI>.
+	if strings.HasPrefix(rest, "<") {
+		if end := strings.IndexByte(rest, '>'); end > 0 && end <= 4 {
+			if pri, err := strconv.Atoi(rest[1:end]); err == nil && pri >= 0 && pri <= 191 {
+				rec.Severity = logrec.SevEmerg + logrec.Severity(pri%8)
+				rec.Facility = facilityName(pri / 8)
+				rest = rest[end+1:]
+			}
+		}
+	}
+
+	// Timestamp: fixed 15-byte BSD form.
+	if len(rest) < len("Jan _2 15:04:05")+1 {
+		rec.Corrupted = true
+		return rec, &ParseError{Line: line, Reason: "line shorter than timestamp"}
+	}
+	ts, err := time.Parse(TimeLayout, rest[:15])
+	if err != nil {
+		rec.Corrupted = true
+		return rec, &ParseError{Line: line, Reason: "bad timestamp: " + err.Error()}
+	}
+	rec.Time = time.Date(year, ts.Month(), ts.Day(), ts.Hour(), ts.Minute(), ts.Second(), 0, time.UTC)
+	rest = rest[15:]
+	if !strings.HasPrefix(rest, " ") {
+		rec.Corrupted = true
+		return rec, &ParseError{Line: line, Reason: "missing separator after timestamp"}
+	}
+	rest = rest[1:]
+
+	// Host.
+	sp := strings.IndexByte(rest, ' ')
+	if sp <= 0 {
+		rec.Corrupted = true
+		return rec, &ParseError{Line: line, Reason: "missing host field"}
+	}
+	rec.Source = rest[:sp]
+	rest = rest[sp+1:]
+
+	// Optional "program:" or "program[pid]:" tag. A tag must be a single
+	// token ending in ':' before any space.
+	if colon := strings.Index(rest, ": "); colon > 0 && !strings.ContainsAny(rest[:colon], " \t") {
+		rec.Program = stripPID(rest[:colon])
+		rec.Body = rest[colon+2:]
+	} else if strings.HasSuffix(rest, ":") && !strings.ContainsAny(rest[:len(rest)-1], " \t") {
+		rec.Program = stripPID(rest[:len(rest)-1])
+	} else {
+		rec.Body = rest
+	}
+	return rec, nil
+}
+
+// stripPID removes a trailing [pid] from a program tag.
+func stripPID(tag string) string {
+	if i := strings.IndexByte(tag, '['); i > 0 && strings.HasSuffix(tag, "]") {
+		return tag[:i]
+	}
+	return tag
+}
+
+func facilityName(f int) string {
+	switch f {
+	case 0:
+		return "kern"
+	case 1:
+		return "user"
+	case 3:
+		return "daemon"
+	case 16:
+		return "local0"
+	default:
+		return fmt.Sprintf("facility%d", f)
+	}
+}
+
+// ParseStream parses many lines, preserving order and assigning sequence
+// numbers. Unparseable lines come back as corrupted records; the count of
+// parse errors is returned alongside.
+func ParseStream(lines []string, year int, sys logrec.System) (recs []logrec.Record, parseErrs int) {
+	recs = make([]logrec.Record, 0, len(lines))
+	for i, ln := range lines {
+		rec, perr := Parse(ln, year, sys)
+		rec.Seq = uint64(i)
+		if perr != nil {
+			parseErrs++
+		}
+		recs = append(recs, rec)
+	}
+	return recs, parseErrs
+}

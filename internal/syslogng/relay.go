@@ -1,0 +1,94 @@
+package syslogng
+
+import (
+	"math/rand"
+	"sort"
+
+	"whatsupersay/internal/logrec"
+)
+
+// Relay models the syslog-ng collection path of Thunderbird, Spirit, and
+// Liberty: each node's syslogd sends messages over UDP to a logging server
+// (tbird-admin1, sadmin2, ladmin2 respectively), which files them into a
+// per-source directory structure. UDP gives no delivery guarantee, so a
+// fraction of messages is lost, and loss worsens under contention —
+// modeled here as a loss probability that scales with the instantaneous
+// burst length.
+type Relay struct {
+	// Server is the logging server's node name.
+	Server string
+	// BaseLossProb is the per-message drop probability under light load.
+	BaseLossProb float64
+	// ContentionLossProb is the additional drop probability applied to
+	// messages inside heavy bursts (more than ContentionBurst messages
+	// with the same timestamp second).
+	ContentionLossProb float64
+	// ContentionBurst is the same-second message count past which the
+	// contention penalty applies. Zero disables the contention model.
+	ContentionBurst int
+}
+
+// DefaultRelay returns the loss model used for the three syslog systems in
+// the study's generator: light ambient loss plus meaningful loss inside
+// storms.
+func DefaultRelay(server string) Relay {
+	return Relay{
+		Server:             server,
+		BaseLossProb:       0.001,
+		ContentionLossProb: 0.01,
+		ContentionBurst:    200,
+	}
+}
+
+// Deliver applies the loss model to a time-sorted record stream and
+// returns the messages that reach the logging server, still sorted. The
+// dropped count is returned for ground-truth accounting.
+func (rl Relay) Deliver(rng *rand.Rand, recs []logrec.Record) (kept []logrec.Record, dropped int) {
+	kept = make([]logrec.Record, 0, len(recs))
+	// Count same-second occupancy to detect contention.
+	perSecond := make(map[int64]int, len(recs)/4+1)
+	if rl.ContentionBurst > 0 {
+		for _, r := range recs {
+			perSecond[r.Time.Unix()]++
+		}
+	}
+	for _, r := range recs {
+		p := rl.BaseLossProb
+		if rl.ContentionBurst > 0 && perSecond[r.Time.Unix()] > rl.ContentionBurst {
+			p += rl.ContentionLossProb
+		}
+		if p > 0 && rng.Float64() < p {
+			dropped++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	return kept, dropped
+}
+
+// FileBySource groups rendered lines into the per-source file layout the
+// logging servers produced (one slice of lines per source, in time order),
+// which is the directory structure the authors collected from.
+func FileBySource(recs []logrec.Record, withPriority bool) map[string][]string {
+	out := make(map[string][]string)
+	for _, r := range recs {
+		out[r.Source] = append(out[r.Source], Render(r, withPriority))
+	}
+	return out
+}
+
+// Sources returns the source names of a per-source file map in descending
+// message-count order (ties broken by name), the ordering of Figure 2(b).
+func Sources(files map[string][]string) []string {
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if len(files[names[i]]) != len(files[names[j]]) {
+			return len(files[names[i]]) > len(files[names[j]])
+		}
+		return names[i] < names[j]
+	})
+	return names
+}

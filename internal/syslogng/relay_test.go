@@ -1,0 +1,96 @@
+package syslogng
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"whatsupersay/internal/logrec"
+)
+
+func relayStream(n int, sameSecond bool) []logrec.Record {
+	base := time.Date(2005, time.March, 7, 12, 0, 0, 0, time.UTC)
+	recs := make([]logrec.Record, n)
+	for i := range recs {
+		ts := base
+		if !sameSecond {
+			ts = base.Add(time.Duration(i) * time.Second)
+		}
+		recs[i] = logrec.Record{Time: ts, Seq: uint64(i), Source: "ln1", Body: "x"}
+	}
+	return recs
+}
+
+func TestRelayNoLoss(t *testing.T) {
+	rl := Relay{Server: "ladmin2"} // zero probabilities
+	kept, dropped := rl.Deliver(rand.New(rand.NewSource(1)), relayStream(1000, false))
+	if dropped != 0 || len(kept) != 1000 {
+		t.Errorf("lossless relay dropped %d", dropped)
+	}
+}
+
+func TestRelayBaseLoss(t *testing.T) {
+	rl := Relay{Server: "ladmin2", BaseLossProb: 0.1}
+	kept, dropped := rl.Deliver(rand.New(rand.NewSource(2)), relayStream(20000, false))
+	if dropped == 0 {
+		t.Fatal("expected some drops at 10% loss")
+	}
+	frac := float64(dropped) / 20000
+	if frac < 0.07 || frac > 0.13 {
+		t.Errorf("drop rate %.3f, want ~0.10", frac)
+	}
+	if len(kept)+dropped != 20000 {
+		t.Error("kept+dropped must equal input")
+	}
+}
+
+func TestRelayContentionLoss(t *testing.T) {
+	rl := Relay{Server: "ladmin2", ContentionLossProb: 0.5, ContentionBurst: 100}
+	// 5000 messages in the same second: contention penalty applies.
+	_, droppedBurst := rl.Deliver(rand.New(rand.NewSource(3)), relayStream(5000, true))
+	// 5000 messages spread over distinct seconds: no contention.
+	_, droppedSpread := rl.Deliver(rand.New(rand.NewSource(3)), relayStream(5000, false))
+	if droppedSpread != 0 {
+		t.Errorf("spread stream dropped %d without base loss", droppedSpread)
+	}
+	if droppedBurst < 2000 {
+		t.Errorf("burst stream dropped %d, want ~2500 under contention", droppedBurst)
+	}
+}
+
+func TestRelayDeterminism(t *testing.T) {
+	rl := DefaultRelay("sadmin2")
+	run := func() int {
+		_, dropped := rl.Deliver(rand.New(rand.NewSource(9)), relayStream(10000, false))
+		return dropped
+	}
+	if run() != run() {
+		t.Error("same seed must produce identical drops")
+	}
+}
+
+func TestFileBySourceAndRanking(t *testing.T) {
+	base := time.Date(2005, time.March, 7, 12, 0, 0, 0, time.UTC)
+	recs := []logrec.Record{
+		{Time: base, Source: "ladmin2", Body: "a"},
+		{Time: base, Source: "ln1", Body: "b"},
+		{Time: base, Source: "ladmin2", Body: "c"},
+		{Time: base, Source: "ln2", Body: "d"},
+		{Time: base, Source: "ladmin2", Body: "e"},
+	}
+	files := FileBySource(recs, false)
+	if len(files) != 3 {
+		t.Fatalf("got %d sources, want 3", len(files))
+	}
+	if len(files["ladmin2"]) != 3 {
+		t.Errorf("ladmin2 has %d lines, want 3", len(files["ladmin2"]))
+	}
+	ranked := Sources(files)
+	if ranked[0] != "ladmin2" {
+		t.Errorf("top source = %q, want ladmin2", ranked[0])
+	}
+	// Ties break by name.
+	if ranked[1] != "ln1" || ranked[2] != "ln2" {
+		t.Errorf("tie order = %v", ranked[1:])
+	}
+}

@@ -1,0 +1,41 @@
+package syslogng
+
+import (
+	"testing"
+	"testing/quick"
+
+	"whatsupersay/internal/logrec"
+)
+
+// TestParseNeverPanicsProperty: the parser must survive arbitrary bytes
+// (Section 3.2.1's corruption means anything can appear on the wire) and
+// always preserve the raw line for later study.
+func TestParseNeverPanicsProperty(t *testing.T) {
+	f := func(junk []byte) bool {
+		line := string(junk)
+		rec, _ := Parse(line, 2005, logrec.Liberty)
+		return rec.Raw == line
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParsePrefixRobustness: truncations of a valid line parse or are
+// flagged corrupted, never mangled silently into a different host.
+func TestParsePrefixRobustness(t *testing.T) {
+	full := "Mar  7 14:30:05 ln42 pbs_mom: task_check, cannot tm_reply to 1.l task 1"
+	for cut := 0; cut <= len(full); cut++ {
+		line := full[:cut]
+		rec, perr := Parse(line, 2005, logrec.Liberty)
+		if perr != nil {
+			if !rec.Corrupted {
+				t.Fatalf("cut=%d: parse error without corruption flag", cut)
+			}
+			continue
+		}
+		if rec.Source != "" && rec.Source != "ln42" {
+			t.Fatalf("cut=%d: source misparsed as %q", cut, rec.Source)
+		}
+	}
+}
