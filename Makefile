@@ -1,0 +1,33 @@
+# Verification entry points. `make verify` is the PR gate: build, vet,
+# and the full test suite under the race detector — the resilient-ingest
+# retry/resume path and the streaming filter are concurrent-adjacent
+# code, so every change gets race-checked.
+
+GO ?= go
+
+.PHONY: all build test vet race verify fuzz
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+verify: build vet race
+
+# Short exploratory fuzz of every parser and the streaming framer
+# (native Go fuzzing; seed corpora always run under plain `make test`).
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test ./internal/syslogng -fuzz FuzzParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/rasdb -fuzz FuzzParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ddn -fuzz FuzzParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ingest -fuzz FuzzReadFunc -fuzztime $(FUZZTIME)

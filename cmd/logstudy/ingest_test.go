@@ -1,0 +1,146 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"whatsupersay/internal/ingest"
+)
+
+// genLog writes a small Liberty log for the ingest-mode tests.
+func genLog(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "liberty.log")
+	var b strings.Builder
+	if err := run(testArgs("generate", "-system", "liberty", "-o", path), &b); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestIngestCommand(t *testing.T) {
+	path := genLog(t)
+	var b strings.Builder
+	if err := run([]string{"ingest", "-in", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "ingested") || !strings.Contains(out, "syslog") {
+		t.Errorf("summary missing: %s", out)
+	}
+	if err := run([]string{"ingest"}, &b); err == nil {
+		t.Error("-in must be required")
+	}
+	if err := run([]string{"ingest", "-in", path, "-system", "marsrover"}, &b); err == nil {
+		t.Error("bad system must error")
+	}
+	if err := run([]string{"ingest", "-in", path, "-inject", "bogus=1"}, &b); err == nil {
+		t.Error("bad inject spec must error")
+	}
+}
+
+func TestIngestCommandChaosAndQuarantine(t *testing.T) {
+	path := genLog(t)
+	qpath := filepath.Join(t.TempDir(), "quarantine.log")
+	var b strings.Builder
+	err := run([]string{"ingest", "-in", path, "-retry-base", "10us",
+		"-inject", "seed=7,short,transient=0.05,garble=0.0008,tear=30",
+		"-quarantine", qpath}, &b)
+	if err != nil {
+		t.Fatalf("chaos ingest aborted: %v\n%s", err, b.String())
+	}
+	out := b.String()
+	if !strings.Contains(out, "chaos injection active") {
+		t.Error("injection banner missing")
+	}
+	if !strings.Contains(out, "retries") {
+		t.Errorf("summary missing: %s", out)
+	}
+	data, err := os.ReadFile(qpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("quarantine file empty despite garbling")
+	}
+}
+
+func TestIngestCommandErrorBudget(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "garbage.log")
+	if err := os.WriteFile(path, []byte(strings.Repeat("unparseable junk\n", 30)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	err := run([]string{"ingest", "-in", path, "-max-errors", "5"}, &b)
+	if err == nil || !strings.Contains(err.Error(), "error budget") {
+		t.Fatalf("budget abort missing: %v", err)
+	}
+	b.Reset()
+	if err := run([]string{"ingest", "-in", path}, &b); err != nil {
+		t.Fatalf("unlimited budget must survive garbage: %v", err)
+	}
+}
+
+// TestIngestCommandResume: a run killed by the chaos harness's hard
+// failure leaves a checkpoint; rerunning with -resume finishes the job,
+// and the combined line count matches a clean one-shot run.
+func TestIngestCommandResume(t *testing.T) {
+	path := genLog(t)
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(t.TempDir(), "ckpt.json")
+
+	var b strings.Builder
+	err = run([]string{"ingest", "-in", path, "-resume", ckpt, "-checkpoint-every", "50",
+		"-inject", "failafter=" + strconv.FormatInt(info.Size()/2, 10)}, &b)
+	if err == nil {
+		t.Fatal("hard failure must surface")
+	}
+	if !strings.Contains(b.String(), "rerun with -resume") {
+		t.Errorf("resume hint missing: %s", b.String())
+	}
+	cp, err := ingest.LoadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatalf("no checkpoint after killed run: %v", err)
+	}
+	if cp.Lines == 0 {
+		t.Fatal("checkpoint is empty")
+	}
+
+	b.Reset()
+	if err := run([]string{"ingest", "-in", path, "-resume", ckpt}, &b); err != nil {
+		t.Fatalf("resumed run failed: %v\n%s", err, b.String())
+	}
+	if !strings.Contains(b.String(), "resuming from") {
+		t.Errorf("resume banner missing: %s", b.String())
+	}
+	final, err := ingest.LoadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean one-shot run for the ground-truth line count.
+	ckpt2 := filepath.Join(t.TempDir(), "ckpt2.json")
+	b.Reset()
+	if err := run([]string{"ingest", "-in", path, "-resume", ckpt2}, &b); err != nil {
+		t.Fatal(err)
+	}
+	oneShot, err := ingest.LoadCheckpoint(ckpt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Lines != oneShot.Lines || final.Seq != oneShot.Seq {
+		t.Errorf("resumed total %d lines / seq %d, one-shot %d / %d",
+			final.Lines, final.Seq, oneShot.Lines, oneShot.Seq)
+	}
+	if final.Stats != oneShot.Stats {
+		t.Errorf("resumed stats %+v != one-shot %+v", final.Stats, oneShot.Stats)
+	}
+}
+

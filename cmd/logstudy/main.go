@@ -10,6 +10,7 @@
 //	logstudy generate -system bgl|tbird|redstorm|spirit|liberty [-scale S] [-seed N] [-o FILE]
 //	logstudy compare-filters [-system NAME] [-scale S] [-seed N] [-adaptive]
 //	logstudy analyze -in FILE [-system NAME] [-rules FILE]
+//	logstudy ingest -in FILE [-system NAME] [-resume CKPT] [-max-errors N] [-quarantine FILE] [-inject SPEC]
 //	logstudy anonymize -in FILE -key K [-o FILE]
 //	logstudy discover [-system NAME] [-window D] [-min N]
 //	logstudy mine [-system NAME] [-support N] [-top N]
@@ -64,6 +65,8 @@ func run(args []string, w io.Writer) error {
 		return runCompareFilters(args[1:], w)
 	case "analyze":
 		return runAnalyze(args[1:], w)
+	case "ingest":
+		return runIngest(args[1:], w)
 	case "discover":
 		return runDiscover(args[1:], w)
 	case "mine":
@@ -94,6 +97,8 @@ subcommands:
   generate         emit one system's synthetic log text
   compare-filters  simultaneous vs serial filtering (Section 3.3.2)
   analyze          ingest a log file: tag, filter, summarize
+  ingest           fault-tolerant streaming ingestion: retries, quarantine,
+                   checkpoint/resume, optional chaos injection (-inject)
   anonymize        pseudonymize a log file (usernames, IPs) and audit it
   discover         rank categories by spatial correlation and burstiness (Section 4)
   mine             discover message templates (SLCT-style) and score vs expert tags

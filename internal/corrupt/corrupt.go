@@ -192,15 +192,27 @@ func GarbleSource(rng *rand.Rand, line string) string {
 	return line[:16] + junk + rest[sp:]
 }
 
+// garbageAlphabet is the junk-byte pool shared by every corruption site:
+// printable punctuation plus the control bytes that real wire damage
+// leaves behind.
+const garbageAlphabet = "#@!?%^&*~\x7f\x01\x02"
+
+// GarbleByte returns one junk byte from the corruption alphabet — the
+// single-byte primitive behind GarbageToken, exported so transport-level
+// fault injectors (package faultinject) damage bytes the same way the
+// content-level injector does.
+func GarbleByte(rng *rand.Rand) byte {
+	return garbageAlphabet[rng.Intn(len(garbageAlphabet))]
+}
+
 // GarbageToken produces an n-byte token of non-hostname junk.
 func GarbageToken(rng *rand.Rand, n int) string {
-	const alphabet = "#@!?%^&*~\x7f\x01\x02"
 	if n <= 0 {
 		n = 4
 	}
 	b := make([]byte, n)
 	for i := range b {
-		b[i] = alphabet[rng.Intn(len(alphabet))]
+		b[i] = GarbleByte(rng)
 	}
 	return string(b)
 }

@@ -1,0 +1,23 @@
+package ddn
+
+import "testing"
+
+// FuzzParse: the SMW event-dialect parser must survive arbitrary bytes
+// without panicking, preserve the raw line, and flag every failure
+// Corrupted.
+func FuzzParse(f *testing.F) {
+	f.Add("2006-03-19 04:11:02 c0-0c1s2 ec_heartbeat_stop src:::c0-0c1s2 warn node heartbeat_fault")
+	f.Add("2006-03-19 04:11:02 c0-0c1s2")
+	f.Add("2006-03-19 04:11:02")
+	f.Add("")
+	f.Add("\x01\x02\x03 not a timestamp at all")
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, perr := ParseEvent(line)
+		if rec.Raw != line {
+			t.Fatalf("raw not preserved: %q != %q", rec.Raw, line)
+		}
+		if (perr != nil) != rec.Corrupted {
+			t.Fatalf("parse error %v but Corrupted=%v", perr, rec.Corrupted)
+		}
+	})
+}

@@ -1,0 +1,222 @@
+// Package faultinject is a deterministic, seeded chaos harness for the
+// log collection path. Where package corrupt damages the *content* of
+// rendered lines (Section 3.2.1's truncation and overwrite), faultinject
+// damages the *transport*: readers that return short reads, fail
+// transiently, tear off the final line mid-record, or garble bytes in
+// flight, and record streams that arrive out of order, duplicated, or
+// with skewed clocks. These are the failure modes a real ingest pipeline
+// at the paper's scale (111.67 GB over 558 days) must survive, and the
+// harness exists so the consumers — internal/ingest and internal/filter —
+// can be hardened against everything it can throw, under test.
+//
+// Determinism: every fault is driven by an explicit seed, and faults that
+// alter stream *content* (garbling, tearing) are decided per byte
+// consumed, never per Read call, so the damaged byte stream is identical
+// regardless of how the consumer chunks its reads. That property is what
+// makes checkpoint/resume testable: a resumed ingest re-reading the same
+// wrapped stream sees byte-identical input.
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"whatsupersay/internal/corrupt"
+)
+
+// TransientError is a recoverable read failure — the kind a retry with
+// backoff should absorb (EAGAIN, a dropped NFS lease, a relay hiccup).
+// It implements the conventional Temporary() classification so consumers
+// can distinguish it from permanent failures without importing this
+// package.
+type TransientError struct {
+	// Op names the failed operation.
+	Op string
+}
+
+// Error implements error.
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("faultinject: transient %s failure", e.Op)
+}
+
+// Temporary marks the error as retryable (the net.Error convention).
+func (e *TransientError) Temporary() bool { return true }
+
+// ErrHardFailure is the permanent failure injected by FailAfter: the
+// disk died, the socket closed for good. Retrying cannot help.
+var ErrHardFailure = fmt.Errorf("faultinject: permanent read failure")
+
+// ReaderConfig selects which transport faults to inject and how often.
+// The zero value injects nothing.
+type ReaderConfig struct {
+	// Seed drives all randomness. Distinct sub-seeds are derived per
+	// fault layer so enabling one fault never changes another's decisions.
+	Seed int64
+	// ShortReads, when set, truncates every Read to a random prefix of
+	// the caller's buffer (at least one byte) — content-neutral, but
+	// merciless to code that assumes full reads.
+	ShortReads bool
+	// TransientErrProb is the per-Read-call probability of returning a
+	// TransientError instead of data. No bytes are consumed by a failed
+	// call, so a retry resumes cleanly.
+	TransientErrProb float64
+	// MaxConsecutiveErrs caps back-to-back transient failures so a
+	// bounded retry budget always eventually succeeds (default 3).
+	MaxConsecutiveErrs int
+	// GarbleProb is the per-byte probability of replacing a byte with
+	// junk from the corruption alphabet. Newlines are never garbled:
+	// framing damage is TearTailBytes's job, and keeping framing intact
+	// makes "which lines were damaged" exactly checkable.
+	GarbleProb float64
+	// TearTailBytes drops the final N bytes of the stream, tearing the
+	// last record mid-line — the torn tail of a log whose writer died.
+	TearTailBytes int
+	// FailAfterBytes, when positive, returns ErrHardFailure permanently
+	// after that many bytes have been delivered — the mid-run death that
+	// checkpoint/resume exists for.
+	FailAfterBytes int64
+}
+
+// Wrap layers the configured faults onto r. Layer order is fixed:
+// content faults (garble, tear) innermost, then delivery faults (short
+// reads, hard failure), then transient errors outermost — so a consumer
+// retrying a transient error never perturbs content decisions.
+func (cfg ReaderConfig) Wrap(r io.Reader) io.Reader {
+	if cfg.GarbleProb > 0 {
+		r = &garbleReader{r: r, rng: rand.New(rand.NewSource(cfg.Seed + 1)), prob: cfg.GarbleProb}
+	}
+	if cfg.TearTailBytes > 0 {
+		r = &tearTailReader{r: r, hold: cfg.TearTailBytes}
+	}
+	if cfg.ShortReads {
+		r = &shortReader{r: r, rng: rand.New(rand.NewSource(cfg.Seed + 2))}
+	}
+	if cfg.FailAfterBytes > 0 {
+		r = &failAfterReader{r: r, remaining: cfg.FailAfterBytes}
+	}
+	if cfg.TransientErrProb > 0 {
+		maxRun := cfg.MaxConsecutiveErrs
+		if maxRun <= 0 {
+			maxRun = 3
+		}
+		r = &flakyReader{r: r, rng: rand.New(rand.NewSource(cfg.Seed + 3)), prob: cfg.TransientErrProb, maxRun: maxRun}
+	}
+	return r
+}
+
+// garbleReader replaces bytes with corruption-alphabet junk, one decision
+// per byte consumed (chunking-independent).
+type garbleReader struct {
+	r    io.Reader
+	rng  *rand.Rand
+	prob float64
+}
+
+func (g *garbleReader) Read(p []byte) (int, error) {
+	n, err := g.r.Read(p)
+	for i := 0; i < n; i++ {
+		garble := g.rng.Float64() < g.prob
+		if garble && p[i] != '\n' {
+			p[i] = corrupt.GarbleByte(g.rng)
+		}
+	}
+	return n, err
+}
+
+// tearTailReader withholds the final hold bytes of the stream: it delays
+// delivery by hold bytes, and at EOF the delayed bytes are discarded.
+type tearTailReader struct {
+	r    io.Reader
+	hold int
+	buf  []byte
+	eof  bool
+	err  error
+}
+
+func (t *tearTailReader) Read(p []byte) (int, error) {
+	// Fill until we can serve len(p) bytes beyond the held tail, or the
+	// source is exhausted.
+	for !t.eof && t.err == nil && len(t.buf) < t.hold+len(p) {
+		chunk := make([]byte, t.hold+len(p)-len(t.buf))
+		n, err := t.r.Read(chunk)
+		t.buf = append(t.buf, chunk[:n]...)
+		switch err {
+		case nil:
+		case io.EOF:
+			t.eof = true
+		default:
+			t.err = err
+		}
+	}
+	avail := len(t.buf) - t.hold
+	if avail <= 0 {
+		if t.err != nil {
+			return 0, t.err
+		}
+		return 0, io.EOF
+	}
+	n := copy(p, t.buf[:avail])
+	t.buf = t.buf[n:]
+	return n, nil
+}
+
+// shortReader truncates each read to a random nonempty prefix.
+type shortReader struct {
+	r   io.Reader
+	rng *rand.Rand
+}
+
+func (s *shortReader) Read(p []byte) (int, error) {
+	// Cap at 512 bytes — the network-ish small chunks that defeat
+	// full-read assumptions — regardless of how big the caller's
+	// buffer is, so a buffered consumer still faces many short reads.
+	max := len(p)
+	if max > 512 {
+		max = 512
+	}
+	if max > 1 {
+		p = p[:1+s.rng.Intn(max)]
+	}
+	return s.r.Read(p)
+}
+
+// failAfterReader delivers remaining bytes, then fails permanently.
+type failAfterReader struct {
+	r         io.Reader
+	remaining int64
+}
+
+func (f *failAfterReader) Read(p []byte) (int, error) {
+	if f.remaining <= 0 {
+		return 0, ErrHardFailure
+	}
+	if int64(len(p)) > f.remaining {
+		p = p[:f.remaining]
+	}
+	n, err := f.r.Read(p)
+	f.remaining -= int64(n)
+	if err == nil && f.remaining <= 0 {
+		err = ErrHardFailure
+	}
+	return n, err
+}
+
+// flakyReader fails whole Read calls transiently, consuming nothing, with
+// a cap on consecutive failures so bounded retries always make progress.
+type flakyReader struct {
+	r      io.Reader
+	rng    *rand.Rand
+	prob   float64
+	maxRun int
+	run    int
+}
+
+func (f *flakyReader) Read(p []byte) (int, error) {
+	if f.run < f.maxRun && f.rng.Float64() < f.prob {
+		f.run++
+		return 0, &TransientError{Op: "read"}
+	}
+	f.run = 0
+	return f.r.Read(p)
+}

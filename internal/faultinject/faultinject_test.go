@@ -1,0 +1,217 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"whatsupersay/internal/logrec"
+)
+
+// drain reads everything from r using the given chunk size, retrying
+// transient errors, and returns the bytes plus the terminal error.
+func drain(t *testing.T, r io.Reader, chunk int) ([]byte, error) {
+	t.Helper()
+	var out []byte
+	buf := make([]byte, chunk)
+	for {
+		n, err := r.Read(buf)
+		out = append(out, buf[:n]...)
+		switch {
+		case err == nil:
+			continue
+		case err == io.EOF:
+			return out, nil
+		default:
+			var te *TransientError
+			if errors.As(err, &te) {
+				continue // retry
+			}
+			return out, err
+		}
+	}
+}
+
+// TestContentDeterminismAcrossChunkings: the damaged byte stream must not
+// depend on how the consumer chunks its reads — the property that makes
+// checkpoint/resume testable.
+func TestContentDeterminismAcrossChunkings(t *testing.T) {
+	src := strings.Repeat("Mar  7 14:30:05 ln42 kernel: message body here\n", 200)
+	cfg := ReaderConfig{Seed: 7, GarbleProb: 0.02, TearTailBytes: 37, ShortReads: true, TransientErrProb: 0.2}
+	var want []byte
+	for i, chunk := range []int{1, 7, 64, 4096} {
+		got, err := drain(t, cfg.Wrap(strings.NewReader(src)), chunk)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", chunk, err)
+		}
+		if i == 0 {
+			want = got
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("chunk %d: damaged stream differs from chunk-1 stream", chunk)
+		}
+	}
+	if len(want) != len(src)-37 {
+		t.Errorf("tear tail: got %d bytes, want %d", len(want), len(src)-37)
+	}
+}
+
+// TestGarblePreservesFraming: garbling never touches newlines, so the
+// line count is invariant.
+func TestGarblePreservesFraming(t *testing.T) {
+	src := strings.Repeat("some log line\n", 500)
+	cfg := ReaderConfig{Seed: 3, GarbleProb: 0.5}
+	got, err := drain(t, cfg.Wrap(strings.NewReader(src)), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotN, wantN := bytes.Count(got, []byte{'\n'}), strings.Count(src, "\n"); gotN != wantN {
+		t.Errorf("newlines: got %d, want %d", gotN, wantN)
+	}
+	if bytes.Equal(got, []byte(src)) {
+		t.Error("GarbleProb=0.5 damaged nothing")
+	}
+}
+
+// TestFlakyBoundedConsecutive: transient failures come in runs no longer
+// than MaxConsecutiveErrs, so a bounded retry budget always progresses.
+func TestFlakyBoundedConsecutive(t *testing.T) {
+	cfg := ReaderConfig{Seed: 11, TransientErrProb: 0.95, MaxConsecutiveErrs: 2}
+	r := cfg.Wrap(strings.NewReader(strings.Repeat("x", 1000)))
+	buf := make([]byte, 10)
+	run := 0
+	total := 0
+	for {
+		n, err := r.Read(buf)
+		total += n
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			var te *TransientError
+			if !errors.As(err, &te) {
+				t.Fatalf("unexpected permanent error: %v", err)
+			}
+			run++
+			if run > 2 {
+				t.Fatal("more than MaxConsecutiveErrs transient failures in a row")
+			}
+			continue
+		}
+		run = 0
+	}
+	if total != 1000 {
+		t.Errorf("delivered %d bytes, want 1000", total)
+	}
+}
+
+// TestFailAfterIsPermanent: the hard failure fires after the budget and
+// keeps firing — retries must not help.
+func TestFailAfterIsPermanent(t *testing.T) {
+	cfg := ReaderConfig{Seed: 1, FailAfterBytes: 10}
+	r := cfg.Wrap(strings.NewReader(strings.Repeat("x", 100)))
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, ErrHardFailure) {
+		t.Fatalf("err = %v, want ErrHardFailure", err)
+	}
+	if len(got) != 10 {
+		t.Errorf("delivered %d bytes before failure, want 10", len(got))
+	}
+	if _, err := r.Read(make([]byte, 1)); !errors.Is(err, ErrHardFailure) {
+		t.Error("hard failure must persist across calls")
+	}
+}
+
+func rec(sec int, seq uint64) logrec.Record {
+	return logrec.Record{
+		Seq:  seq,
+		Time: time.Date(2005, 3, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(sec) * time.Second),
+	}
+}
+
+// TestReorderBoundedSkew: every record's arrival position deviates from
+// true order by at most the skew in time terms — formally, once a record
+// stamped T has arrived, no record stamped earlier than T-skew can still
+// be pending.
+func TestReorderBoundedSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var recs []logrec.Record
+	sec := 0
+	for i := 0; i < 500; i++ {
+		sec += rng.Intn(4)
+		recs = append(recs, rec(sec, uint64(i)))
+	}
+	skew := 10 * time.Second
+	out := ReorderRecords(9, skew, recs)
+	if len(out) != len(recs) {
+		t.Fatalf("reorder changed length: %d != %d", len(out), len(recs))
+	}
+	seen := make(map[uint64]bool)
+	var maxT time.Time
+	moved := false
+	for i, r := range out {
+		if i > 0 && r.Time.Before(out[i-1].Time) {
+			moved = true
+		}
+		if r.Time.After(maxT) {
+			maxT = r.Time
+		}
+		seen[r.Seq] = true
+		// Bounded-skew invariant: nothing older than maxT-skew is missing.
+		for _, orig := range recs {
+			if orig.Time.Before(maxT.Add(-skew)) && !seen[orig.Seq] {
+				t.Fatalf("record seq %d (t=%v) still pending after watermark %v",
+					orig.Seq, orig.Time, maxT.Add(-skew))
+			}
+		}
+	}
+	if !moved {
+		t.Error("reorder produced a fully ordered stream; faults not exercised")
+	}
+}
+
+func TestDuplicate(t *testing.T) {
+	var recs []logrec.Record
+	for i := 0; i < 400; i++ {
+		recs = append(recs, rec(i, uint64(i)))
+	}
+	out := Duplicate(5, 0.25, recs)
+	if len(out) <= len(recs) {
+		t.Fatalf("no duplicates injected: %d", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Seq == out[i-1].Seq && out[i].Time != out[i-1].Time {
+			t.Fatal("duplicate altered the record")
+		}
+	}
+}
+
+func TestSkewClocks(t *testing.T) {
+	var recs []logrec.Record
+	for i := 0; i < 400; i++ {
+		recs = append(recs, rec(i, uint64(i)))
+	}
+	orig := append([]logrec.Record(nil), recs...)
+	n := SkewClocks(5, 0.2, 30*time.Second, recs)
+	if n == 0 {
+		t.Fatal("no clocks skewed")
+	}
+	changed := 0
+	for i := range recs {
+		d := recs[i].Time.Sub(orig[i].Time)
+		if d != 0 {
+			changed++
+		}
+		if d > 30*time.Second || d < -30*time.Second {
+			t.Fatalf("skew %v exceeds bound", d)
+		}
+	}
+	if changed != n {
+		t.Errorf("reported %d skews, observed %d", n, changed)
+	}
+}

@@ -1,0 +1,88 @@
+package faultinject
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"whatsupersay/internal/logrec"
+)
+
+// Record-stream faults: the collection path between a node's logging
+// daemon and the central store reorders (per-source relay queues drain
+// at different rates), duplicates (retransmission after a lost ack), and
+// mis-timestamps (unsynchronized clocks — the paper's Red Storm clocks
+// disagreed by as much as minutes). These operate on parsed records or
+// any stream with a timestamp accessor.
+
+// Reorder returns items in a deliberately disordered arrival order whose
+// deviation from true time order is bounded: each item is assigned an
+// arrival instant timeOf(item)+jitter with jitter in [0, skew), and
+// items are delivered in arrival order. Consumers that tolerate skew of
+// out-of-order delay (e.g. filter.Reordering with Slack >= skew) can
+// restore exact time order.
+func Reorder[T any](seed int64, skew time.Duration, items []T, timeOf func(T) time.Time) []T {
+	if skew <= 0 || len(items) < 2 {
+		return append([]T(nil), items...)
+	}
+	rng := rand.New(rand.NewSource(seed + 4))
+	type keyed struct {
+		item    T
+		arrival time.Time
+		idx     int
+	}
+	ks := make([]keyed, len(items))
+	for i, it := range items {
+		jitter := time.Duration(rng.Int63n(int64(skew)))
+		ks[i] = keyed{item: it, arrival: timeOf(it).Add(jitter), idx: i}
+	}
+	sort.SliceStable(ks, func(i, j int) bool { return ks[i].arrival.Before(ks[j].arrival) })
+	out := make([]T, len(ks))
+	for i, k := range ks {
+		out[i] = k.item
+	}
+	return out
+}
+
+// ReorderRecords is Reorder specialized to parsed log records.
+func ReorderRecords(seed int64, skew time.Duration, recs []logrec.Record) []logrec.Record {
+	return Reorder(seed, skew, recs, func(r logrec.Record) time.Time { return r.Time })
+}
+
+// Duplicate returns a copy of recs with each record independently
+// duplicated with probability prob, the duplicate arriving immediately
+// after the original (retransmit-after-lost-ack). Duplicates keep their
+// sequence number: the collection path does not know it retransmitted.
+func Duplicate(seed int64, prob float64, recs []logrec.Record) []logrec.Record {
+	rng := rand.New(rand.NewSource(seed + 5))
+	out := make([]logrec.Record, 0, len(recs))
+	for _, r := range recs {
+		out = append(out, r)
+		if prob > 0 && rng.Float64() < prob {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// SkewClocks perturbs record timestamps in place by up to ±max with
+// per-record probability prob, returning how many were skewed. The
+// damage is silent — the paper's mis-timestamped messages carried no
+// marker — which is exactly why downstream consumers need defenses
+// rather than trust.
+func SkewClocks(seed int64, prob float64, max time.Duration, recs []logrec.Record) int {
+	if prob <= 0 || max <= 0 {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(seed + 6))
+	n := 0
+	for i := range recs {
+		if rng.Float64() >= prob {
+			continue
+		}
+		delta := time.Duration(rng.Int63n(int64(2*max))) - max
+		recs[i].Time = recs[i].Time.Add(delta)
+		n++
+	}
+	return n
+}

@@ -1,0 +1,115 @@
+package filter
+
+import (
+	"container/heap"
+	"time"
+
+	"whatsupersay/internal/tag"
+)
+
+// The online filter assumes alerts arrive in non-decreasing time order,
+// but a real collection path only approximates that: per-source relay
+// queues drain at different rates, so alerts arrive mildly out of order.
+// Feeding such a stream straight into Stream.Offer silently corrupts the
+// redundancy decision — a late-arriving first report gets dropped as
+// redundant while its earlier-stamped echo survives. Reordering restores
+// exact time order for any stream whose disorder is bounded, using the
+// watermark technique of streaming systems: an alert is released only
+// once no earlier-stamped alert can still arrive.
+
+// Decision pairs an alert with the filter's verdict, emitted once the
+// alert clears the reordering buffer.
+type Decision struct {
+	Alert tag.Alert
+	// Keep reports whether the alert survived (first report of a
+	// failure) — the same verdict batch Simultaneous.Filter would give.
+	Keep bool
+}
+
+// Reordering wraps Stream with a bounded reordering buffer. Slack is the
+// maximum out-of-order delay tolerated: if every alert arrives within
+// Slack of all alerts stamped earlier than it, the decisions are exactly
+// those of batch Algorithm 3.1 on the time-sorted stream. Latency is the
+// price: a decision is withheld until the watermark passes the alert.
+type Reordering struct {
+	// S makes the keep/drop decisions once order is restored.
+	S *Stream
+	// Slack bounds the tolerated skew (and the added decision latency).
+	Slack time.Duration
+
+	h   alertHeap
+	max time.Time // latest event time seen
+}
+
+// NewReordering creates a reordering filter with redundancy window t and
+// out-of-order slack.
+func NewReordering(t, slack time.Duration) *Reordering {
+	return &Reordering{S: NewStream(t), Slack: slack}
+}
+
+// Offer accepts one alert in arrival order and returns the decisions for
+// every alert the watermark released, in event-time order. Alerts whose
+// time is zero (corrupted away) are decided immediately — they carry no
+// ordering information — and are always kept, matching Stream.Offer.
+func (r *Reordering) Offer(a tag.Alert) []Decision {
+	if r.S == nil {
+		r.S = NewStream(0)
+	}
+	if a.Record.Time.IsZero() {
+		return []Decision{{Alert: a, Keep: r.S.Offer(a)}}
+	}
+	heap.Push(&r.h, a)
+	if a.Record.Time.After(r.max) {
+		r.max = a.Record.Time
+	}
+	// Strict watermark: release only alerts stamped strictly earlier
+	// than max-Slack. Any future arrival is stamped within Slack of some
+	// already-seen alert, hence strictly later than every released one —
+	// so equal-time alerts are always released together, in Seq order,
+	// exactly as the batch filter visits them.
+	watermark := r.max.Add(-r.Slack)
+	var out []Decision
+	for r.h.Len() > 0 && r.h.alerts[0].Record.Time.Before(watermark) {
+		b := heap.Pop(&r.h).(tag.Alert)
+		out = append(out, Decision{Alert: b, Keep: r.S.Offer(b)})
+	}
+	return out
+}
+
+// Flush drains the buffer at end of stream, returning the remaining
+// decisions in event-time order.
+func (r *Reordering) Flush() []Decision {
+	if r.S == nil {
+		r.S = NewStream(0)
+	}
+	var out []Decision
+	for r.h.Len() > 0 {
+		b := heap.Pop(&r.h).(tag.Alert)
+		out = append(out, Decision{Alert: b, Keep: r.S.Offer(b)})
+	}
+	return out
+}
+
+// Pending reports how many alerts are buffered awaiting the watermark.
+func (r *Reordering) Pending() int { return r.h.Len() }
+
+// alertHeap is a min-heap in canonical record order (time, then Seq).
+type alertHeap struct {
+	alerts []tag.Alert
+}
+
+func (h alertHeap) Len() int { return len(h.alerts) }
+func (h alertHeap) Less(i, j int) bool {
+	return h.alerts[i].Record.Before(h.alerts[j].Record)
+}
+func (h alertHeap) Swap(i, j int) { h.alerts[i], h.alerts[j] = h.alerts[j], h.alerts[i] }
+
+func (h *alertHeap) Push(x any) { h.alerts = append(h.alerts, x.(tag.Alert)) }
+
+func (h *alertHeap) Pop() any {
+	old := h.alerts
+	n := len(old)
+	a := old[n-1]
+	h.alerts = old[:n-1]
+	return a
+}

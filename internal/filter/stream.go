@@ -40,6 +40,15 @@ func (s *Stream) Offer(a tag.Alert) bool {
 		t = DefaultThreshold
 	}
 	ti := a.Record.Time
+	if ti.IsZero() {
+		// A zero timestamp means the record's time was corrupted away
+		// (Section 3.2.1's mis-timestamped messages). Keep the alert —
+		// with no time there is no basis to call it redundant — and
+		// leave all window state untouched: folding a zero time into
+		// s.last would put every subsequent alert "more than T" ahead
+		// and wrongly clear the table on each arrival.
+		return true
+	}
 	if !s.last.IsZero() && ti.Sub(s.last) > t {
 		clear(s.x)
 	}

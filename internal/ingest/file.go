@@ -113,11 +113,7 @@ func ReadTree(dir string, sys logrec.System, start time.Time) ([]logrec.Record, 
 		if err != nil {
 			return fmt.Errorf("ingest %s: %w", path, err)
 		}
-		stats.Lines += st.Lines
-		stats.ParseErrors += st.ParseErrors
-		stats.Syslog += st.Syslog
-		stats.RAS += st.RAS
-		stats.Event += st.Event
+		stats.add(st)
 		all = append(all, recs...)
 		return nil
 	})

@@ -1,0 +1,62 @@
+package ingest
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"whatsupersay/internal/logrec"
+)
+
+// FuzzReadFunc: on arbitrary byte input the streaming reader must never
+// panic, never error (framing and parsing are total — only real reader
+// failures surface), never drop a line, and always preserve what it
+// read: one record per framed line, sequence numbers contiguous, and the
+// raw form of every non-oversized line intact.
+func FuzzReadFunc(f *testing.F) {
+	f.Add([]byte("Mar  7 14:30:05 ln42 kernel: GM: LANai is not running\n"))
+	f.Add([]byte("2005-06-03-15.42.50.363779 R02-M1-N0 RAS KERNEL FATAL data TLB error interrupt\n"))
+	f.Add([]byte("2006-03-19 04:11:02 c0-0c1s2 ec_heartbeat_stop warn node heartbeat_fault\n"))
+	f.Add([]byte("<6>Mar 19 04:12:00 ddn1 DMT_DINT Failing Disk 2A\n"))
+	f.Add([]byte("torn line with no newline"))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte{0x00, 0xff, 0x0a, 0x7f, 0x0a})
+	f.Add(bytes.Repeat([]byte("x"), 300))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd := Reader{System: logrec.Liberty, Start: time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC), MaxLineBytes: 128}
+		var recs []logrec.Record
+		var stats Stats
+		err := rd.ReadFunc(bytes.NewReader(data), func(rec logrec.Record) error {
+			recs = append(recs, rec)
+			return nil
+		}, &stats)
+		if err != nil {
+			t.Fatalf("ReadFunc errored on byte input: %v", err)
+		}
+		if len(recs) != stats.Lines {
+			t.Fatalf("delivered %d records for %d lines", len(recs), stats.Lines)
+		}
+		// No line vanishes: the framer must account for every
+		// newline-delimited line in the input.
+		wantLines := bytes.Count(data, []byte{'\n'})
+		if len(data) > 0 && data[len(data)-1] != '\n' {
+			wantLines++ // torn tail still delivered
+		}
+		if stats.Lines != wantLines {
+			t.Fatalf("framed %d lines, input has %d", stats.Lines, wantLines)
+		}
+		for i, r := range recs {
+			if r.Seq != uint64(i) {
+				t.Fatalf("seq[%d] = %d: drop or split detected", i, r.Seq)
+			}
+			if len(r.Raw) > 128 {
+				t.Fatalf("record %d exceeds MaxLineBytes: %d bytes", i, len(r.Raw))
+			}
+			if !strings.Contains(string(data), r.Raw) && !r.Corrupted {
+				t.Fatalf("clean record %d carries raw text not present in input", i)
+			}
+		}
+	})
+}

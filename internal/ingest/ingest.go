@@ -29,8 +29,23 @@ type Stats struct {
 	// ParseErrors counts lines that failed to parse (returned as
 	// Corrupted records, never dropped).
 	ParseErrors int
+	// Oversized counts lines longer than MaxLineBytes; each comes back
+	// as one Corrupted record carrying the capped prefix, with the
+	// remainder of the physical line discarded.
+	Oversized int
 	// ByDialect counts lines per detected dialect.
 	Syslog, RAS, Event int
+}
+
+// add accumulates other into s (used when merging per-file stats and
+// when resuming from a checkpoint).
+func (s *Stats) add(other Stats) {
+	s.Lines += other.Lines
+	s.ParseErrors += other.ParseErrors
+	s.Oversized += other.Oversized
+	s.Syslog += other.Syslog
+	s.RAS += other.RAS
+	s.Event += other.Event
 }
 
 // Dialect sniffing: each wire format has an unambiguous leading shape.
@@ -53,6 +68,21 @@ func sniffEvent(line string) bool {
 		line[13] == ':' && line[16] == ':'
 }
 
+// Dialect labels the wire format of one raw line, as sniffed from its
+// leading shape: "ras", "event", or (the fallback) "syslog". It is the
+// classification ReadAll's per-dialect stats use, exported so streaming
+// consumers can tally the same way.
+func Dialect(raw string) string {
+	switch {
+	case sniffRAS(raw):
+		return "ras"
+	case sniffEvent(raw):
+		return "event"
+	default:
+		return "syslog"
+	}
+}
+
 // YearTracker infers the missing year of BSD-syslog timestamps from
 // stream order: when the month jumps backward by more than six months,
 // the stream has crossed New Year.
@@ -64,6 +94,16 @@ type YearTracker struct {
 // NewYearTracker starts tracking at the window's first instant.
 func NewYearTracker(start time.Time) *YearTracker {
 	return &YearTracker{year: start.Year(), lastMonth: start.Month()}
+}
+
+// State exposes the tracker's position so it can be checkpointed.
+func (y *YearTracker) State() (year int, lastMonth time.Month) {
+	return y.year, y.lastMonth
+}
+
+// RestoreYearTracker reconstructs a tracker from checkpointed state.
+func RestoreYearTracker(year int, lastMonth time.Month) *YearTracker {
+	return &YearTracker{year: year, lastMonth: lastMonth}
 }
 
 // Year returns the year to use for a record bearing the given month, and
@@ -83,9 +123,71 @@ type Reader struct {
 	// Start anchors year inference for BSD timestamps; it should be the
 	// collection window's start (Table 2).
 	Start time.Time
-	// MaxLineBytes bounds one line (default 1 MiB); longer lines are
-	// split by bufio.Scanner's token logic and come back corrupted.
+	// MaxLineBytes bounds one line (default 1 MiB); a longer line comes
+	// back as one Corrupted record carrying the capped prefix, with the
+	// remainder of the physical line discarded — ingestion continues.
 	MaxLineBytes int
+}
+
+// lineScanner reads capped newline-delimited lines without ever aborting
+// the stream: an oversized line is capped at max bytes (the rest of the
+// physical line is discarded) and reported truncated, and a final line
+// with no trailing newline — a torn tail — is still delivered. Only real
+// reader errors surface.
+type lineScanner struct {
+	br  *bufio.Reader
+	max int
+	buf []byte
+}
+
+func newLineScanner(r io.Reader, max int) *lineScanner {
+	return &lineScanner{br: bufio.NewReaderSize(r, 64*1024), max: max}
+}
+
+// next returns the next line without its terminator, plus whether the
+// line was oversized-and-capped. At end of stream it returns io.EOF.
+func (ls *lineScanner) next() (line []byte, oversized bool, err error) {
+	ls.buf = ls.buf[:0]
+	discarding := false
+	for {
+		frag, ferr := ls.br.ReadSlice('\n')
+		if !discarding {
+			ls.buf = append(ls.buf, frag...)
+			if len(ls.buf) > ls.max {
+				// Cap the line; keep consuming to the newline so the
+				// next call starts on the next physical line.
+				ls.buf = ls.buf[:ls.max]
+				oversized = true
+				discarding = true
+			}
+		}
+		switch {
+		case ferr == nil:
+			return ls.trim(), oversized, nil
+		case ferr == bufio.ErrBufferFull:
+			continue
+		case ferr == io.EOF:
+			if len(ls.buf) == 0 {
+				return nil, false, io.EOF
+			}
+			return ls.trim(), oversized, nil
+		default:
+			return nil, false, ferr
+		}
+	}
+}
+
+// trim strips the trailing newline (and a preceding carriage return)
+// from the buffered line.
+func (ls *lineScanner) trim() []byte {
+	b := ls.buf
+	if n := len(b); n > 0 && b[n-1] == '\n' {
+		b = b[:n-1]
+	}
+	if n := len(b); n > 0 && b[n-1] == '\r' {
+		b = b[:n-1]
+	}
+	return b
 }
 
 // Read ingests the whole stream, assigning sequence numbers in arrival
@@ -117,12 +219,25 @@ func (rd Reader) ReadFunc(r io.Reader, fn func(logrec.Record) error, stats *Stat
 		start = time.Date(2000, time.January, 1, 0, 0, 0, 0, time.UTC)
 	}
 	years := NewYearTracker(start)
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64*1024), maxLine)
+	ls := newLineScanner(r, maxLine)
 	seq := uint64(0)
-	for sc.Scan() {
-		line := sc.Text()
+	for {
+		raw, oversized, rerr := ls.next()
+		if rerr == io.EOF {
+			return nil
+		}
+		if rerr != nil {
+			return fmt.Errorf("ingest %v: %w", rd.System, rerr)
+		}
+		line := string(raw)
 		rec, perr := rd.parseLine(line, years)
+		if oversized {
+			// The capped prefix may still have parsed a timestamp and
+			// source, but the record is damaged by definition.
+			rec.Corrupted = true
+			perr = true
+			stats.Oversized++
+		}
 		rec.Seq = seq
 		seq++
 		stats.Lines++
@@ -133,10 +248,6 @@ func (rd Reader) ReadFunc(r io.Reader, fn func(logrec.Record) error, stats *Stat
 			return err
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("ingest %v: %w", rd.System, err)
-	}
-	return nil
 }
 
 // parseLine dispatches one line by sniffed dialect and updates dialect

@@ -1,0 +1,310 @@
+package ingest
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"whatsupersay/internal/logrec"
+)
+
+// Resilient ingestion: the paper's logs arrive damaged (Section 3.2.1)
+// and its collection windows span 558 days (Table 2) — at that scale the
+// ingest process itself fails mid-run: readers hiccup, disks die, parser
+// bugs surface on line 400 million. ReadResilient survives all of it:
+// transient reader errors are retried with exponential backoff, damaged
+// lines are quarantined (preserved, never dropped) under an error
+// budget, parser panics are contained per line, context cancellation is
+// honored between lines, and a checkpoint carrying the sequence number
+// and YearTracker state lets a killed run resume exactly where it died.
+
+// ErrBudgetExceeded reports that a run quarantined more lines than its
+// error budget allows — the signal that the input is damaged beyond what
+// the operator declared tolerable, not just routinely corrupted.
+var ErrBudgetExceeded = errors.New("ingest: quarantined lines exceed error budget")
+
+// Checkpoint is the complete resumable state of an ingestion run. A run
+// killed at any point can be restarted from its last checkpoint against
+// the same stream and deliver exactly the records the uninterrupted run
+// would have, because the only state ingestion carries across lines is
+// captured here: the count of fully delivered lines, the next sequence
+// number, and the YearTracker's position (which is what makes a resumed
+// Spirit-scale ingest stamp post-New-Year records with the right year).
+type Checkpoint struct {
+	// Lines is the number of physical lines fully delivered.
+	Lines int `json:"lines"`
+	// Seq is the next sequence number to assign.
+	Seq uint64 `json:"seq"`
+	// Year and LastMonth restore the YearTracker.
+	Year      int        `json:"year"`
+	LastMonth time.Month `json:"last_month"`
+	// Stats is the cumulative run statistics at the checkpoint.
+	Stats Stats `json:"stats"`
+	// Quarantined is the cumulative count of quarantined lines.
+	Quarantined int `json:"quarantined"`
+	// Retries is the cumulative count of retried transient read errors.
+	Retries int `json:"retries"`
+	// Panics is the cumulative count of parser panics contained.
+	Panics int `json:"panics"`
+}
+
+// SaveCheckpoint atomically writes a checkpoint file (write temp +
+// rename), so a crash mid-save never leaves a torn checkpoint — the
+// harness injects exactly that kind of failure elsewhere.
+func SaveCheckpoint(path string, cp Checkpoint) error {
+	data, err := json.MarshalIndent(cp, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadCheckpoint reads a checkpoint file. A missing file returns
+// os.ErrNotExist, which callers treat as "start fresh".
+func LoadCheckpoint(path string) (Checkpoint, error) {
+	var cp Checkpoint
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return cp, err
+	}
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return cp, fmt.Errorf("ingest: corrupt checkpoint %s: %w", path, err)
+	}
+	return cp, nil
+}
+
+// ResilientOptions configures fault tolerance. The zero value retries
+// transient errors a few times, has no error budget, and starts fresh.
+type ResilientOptions struct {
+	// MaxRetries bounds retries per transient reader error (default 5).
+	MaxRetries int
+	// RetryBase is the first backoff delay, doubling per attempt
+	// (default 50ms).
+	RetryBase time.Duration
+	// MaxErrors is the error budget: the run aborts with
+	// ErrBudgetExceeded once more than MaxErrors lines have been
+	// quarantined. Zero or negative means unlimited — corruption is an
+	// object of study, so the default is to keep going.
+	MaxErrors int
+	// Quarantine receives each damaged line (raw, newline-terminated):
+	// unparseable, oversized, or panic-inducing. The record is still
+	// delivered to the callback — quarantine is a copy for later study,
+	// not a diversion. Nil disables.
+	Quarantine io.Writer
+	// Resume restores a prior run's state; the first Resume.Lines
+	// physical lines of the stream are skipped (re-framed but not
+	// re-parsed or re-delivered).
+	Resume *Checkpoint
+	// CheckpointEvery invokes OnCheckpoint after every N delivered
+	// lines (and once at the end). Zero disables periodic checkpoints.
+	CheckpointEvery int
+	// OnCheckpoint persists a checkpoint; an error aborts the run.
+	OnCheckpoint func(Checkpoint) error
+	// Sleep replaces time.Sleep in backoff, for tests. Nil uses
+	// time.Sleep; context cancellation interrupts either way.
+	Sleep func(time.Duration)
+}
+
+// temporary is the conventional retryable-error classification
+// (net.Error and faultinject.TransientError both satisfy it).
+type temporary interface{ Temporary() bool }
+
+// IsTransient reports whether a read error is worth retrying.
+func IsTransient(err error) bool {
+	var t temporary
+	return errors.As(err, &t) && t.Temporary()
+}
+
+// retryReader absorbs transient errors below the line framer: a failed
+// Read is retried with exponential backoff, so the scanner above only
+// ever sees data, EOF, or a permanent error.
+type retryReader struct {
+	r       io.Reader
+	ctx     context.Context
+	max     int
+	base    time.Duration
+	sleep   func(time.Duration)
+	retries *int
+}
+
+func (rr *retryReader) Read(p []byte) (int, error) {
+	delay := rr.base
+	for attempt := 0; ; attempt++ {
+		n, err := rr.r.Read(p)
+		if err == nil || !IsTransient(err) {
+			return n, err
+		}
+		if n > 0 {
+			// Deliver the data; if the fault is real it resurfaces on
+			// the next call with nothing read.
+			return n, nil
+		}
+		if attempt >= rr.max {
+			return 0, err
+		}
+		*rr.retries++
+		select {
+		case <-rr.ctx.Done():
+			return 0, rr.ctx.Err()
+		default:
+		}
+		rr.sleep(delay)
+		delay *= 2
+	}
+}
+
+// safeParse contains parser panics to the offending line: a panicking
+// parse yields a Corrupted record carrying the raw line, exactly like
+// any other unparseable input.
+func (rd Reader) safeParse(line string, years *YearTracker) (rec logrec.Record, perr, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			rec = logrec.Record{System: rd.System, Raw: line, Corrupted: true}
+			perr, panicked = true, true
+		}
+	}()
+	rec, perr = rd.parseLine(line, years)
+	return rec, perr, false
+}
+
+// ReadResilient ingests the stream with full fault tolerance, streaming
+// records to fn in arrival order. It returns the final checkpoint —
+// valid for resumption whether the run completed, was cancelled, hit its
+// error budget, or died on a permanent reader error — and the first
+// fatal error, if any. A record is covered by the checkpoint only after
+// fn has accepted it, so a resumed run never skips or double-delivers.
+func (rd Reader) ReadResilient(ctx context.Context, r io.Reader, fn func(logrec.Record) error, opts ResilientOptions) (Checkpoint, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	maxRetries := opts.MaxRetries
+	if maxRetries <= 0 {
+		maxRetries = 5
+	}
+	base := opts.RetryBase
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	sleep := opts.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	maxLine := rd.MaxLineBytes
+	if maxLine <= 0 {
+		maxLine = 1 << 20
+	}
+	start := rd.Start
+	if start.IsZero() {
+		start = time.Date(2000, time.January, 1, 0, 0, 0, 0, time.UTC)
+	}
+
+	var cp Checkpoint
+	years := NewYearTracker(start)
+	if opts.Resume != nil {
+		cp = *opts.Resume
+		years = RestoreYearTracker(cp.Year, cp.LastMonth)
+	} else {
+		cp.Year, cp.LastMonth = years.State()
+	}
+
+	retries := cp.Retries
+	rr := &retryReader{r: r, ctx: ctx, max: maxRetries, base: base, sleep: sleep, retries: &retries}
+	ls := newLineScanner(rr, maxLine)
+
+	// snap keeps the checkpoint internally consistent on every exit
+	// path. The YearTracker state is safe to snapshot even when the
+	// last parsed line was not delivered (fn error): re-parsing the same
+	// line on resume is idempotent, because the tracker only advances on
+	// a month jump and the rejected line's month is now LastMonth.
+	snap := func() {
+		cp.Retries = retries
+		cp.Year, cp.LastMonth = years.State()
+	}
+
+	// Skip the lines a prior run already delivered. The stream is
+	// re-framed with the same capping rules, so line boundaries — and
+	// therefore everything downstream — are identical to the first run.
+	for skipped := 0; skipped < cp.Lines; skipped++ {
+		if _, _, err := ls.next(); err != nil {
+			if err == io.EOF {
+				return cp, fmt.Errorf("ingest %v: stream ended at line %d, before resume point %d", rd.System, skipped, cp.Lines)
+			}
+			return cp, fmt.Errorf("ingest %v: replaying to resume point: %w", rd.System, err)
+		}
+	}
+
+	checkpoint := func() error {
+		snap()
+		if opts.OnCheckpoint != nil {
+			return opts.OnCheckpoint(cp)
+		}
+		return nil
+	}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			snap()
+			return cp, err
+		}
+		raw, oversized, rerr := ls.next()
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			snap()
+			return cp, fmt.Errorf("ingest %v: %w", rd.System, rerr)
+		}
+		line := string(raw)
+		rec, perr, panicked := rd.safeParse(line, years)
+		if oversized {
+			rec.Corrupted = true
+			perr = true
+		}
+		rec.Seq = cp.Seq
+		if err := fn(rec); err != nil {
+			snap()
+			return cp, err
+		}
+		// The record is delivered: fold the line into the checkpoint.
+		cp.Seq++
+		cp.Lines++
+		cp.Stats.Lines++
+		if oversized {
+			cp.Stats.Oversized++
+		}
+		if panicked {
+			cp.Panics++
+		}
+		if perr {
+			cp.Stats.ParseErrors++
+			cp.Quarantined++
+			if opts.Quarantine != nil {
+				if _, err := io.WriteString(opts.Quarantine, line+"\n"); err != nil {
+					snap()
+					return cp, fmt.Errorf("ingest %v: quarantine: %w", rd.System, err)
+				}
+			}
+			if opts.MaxErrors > 0 && cp.Quarantined > opts.MaxErrors {
+				snap()
+				return cp, fmt.Errorf("%w: %d > %d", ErrBudgetExceeded, cp.Quarantined, opts.MaxErrors)
+			}
+		}
+		if opts.CheckpointEvery > 0 && cp.Lines%opts.CheckpointEvery == 0 {
+			if err := checkpoint(); err != nil {
+				return cp, fmt.Errorf("ingest %v: checkpoint: %w", rd.System, err)
+			}
+		}
+	}
+	if err := checkpoint(); err != nil {
+		return cp, fmt.Errorf("ingest %v: checkpoint: %w", rd.System, err)
+	}
+	return cp, nil
+}

@@ -1,0 +1,23 @@
+package rasdb
+
+import "testing"
+
+// FuzzParse: the RAS-database parser must survive arbitrary bytes
+// without panicking, preserve the raw line, and flag every failure
+// Corrupted — the same total-parse contract as the syslog dialect.
+func FuzzParse(f *testing.F) {
+	f.Add("2005-06-03-15.42.50.363779 R02-M1-N0 RAS KERNEL FATAL data TLB error interrupt")
+	f.Add("2005-06-03-15.42.50.363779 NULL RAS KERNEL INFO generating core")
+	f.Add("2005-06-03-15.42.50.363779 R02 RAS")
+	f.Add("")
+	f.Add("\xff\xfe RAS \x00")
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, perr := Parse(line)
+		if rec.Raw != line {
+			t.Fatalf("raw not preserved: %q != %q", rec.Raw, line)
+		}
+		if (perr != nil) != rec.Corrupted {
+			t.Fatalf("parse error %v but Corrupted=%v", perr, rec.Corrupted)
+		}
+	})
+}

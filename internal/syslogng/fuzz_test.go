@@ -1,0 +1,28 @@
+package syslogng
+
+import (
+	"testing"
+
+	"whatsupersay/internal/logrec"
+)
+
+// FuzzParse: Section 3.2.1 means anything can appear on the wire. The
+// parser must never panic, must preserve the raw line verbatim (dropped
+// data cannot be studied), and must flag every parse failure Corrupted.
+func FuzzParse(f *testing.F) {
+	f.Add("Mar  7 14:30:05 ln42 kernel: GM: LANai is not running")
+	f.Add("<6>Mar  7 14:30:05 ln42 pbs_mom[123]: task_check")
+	f.Add("Mar  7 14:30:05")
+	f.Add("")
+	f.Add("\x00\x01garbage\x7f")
+	f.Add("<999>Mar  7 14:30:05 h x")
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, perr := Parse(line, 2005, logrec.Liberty)
+		if rec.Raw != line {
+			t.Fatalf("raw not preserved: %q != %q", rec.Raw, line)
+		}
+		if (perr != nil) != rec.Corrupted {
+			t.Fatalf("parse error %v but Corrupted=%v", perr, rec.Corrupted)
+		}
+	})
+}
