@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race verify fuzz
+.PHONY: all build test vet race verify bench bench-smoke fuzz
 
 all: verify
 
@@ -21,7 +21,20 @@ test:
 race:
 	$(GO) test -race ./...
 
-verify: build vet race
+verify: build vet race bench-smoke
+
+# Full stage-by-stage benchmark ledger (records/sec, allocs/record,
+# serial-vs-parallel speedup per stage). Writes BENCH_pipeline.json at
+# the repo root — commit the refreshed ledger when performance changes.
+BENCH_SCALE ?= 0.001
+bench:
+	$(GO) run ./cmd/logstudy bench -scale $(BENCH_SCALE) -iters 3 -o BENCH_pipeline.json
+
+# One cheap iteration as part of `make verify`: proves the bench path
+# end-to-end (generate, parse, tag, filter, ledger serialization)
+# without perturbing the committed ledger.
+bench-smoke:
+	$(GO) run ./cmd/logstudy bench -system liberty -scale 0.0001 -iters 1 -o $(if $(TMPDIR),$(TMPDIR),/tmp)/BENCH_smoke.json
 
 # Short exploratory fuzz of every parser and the streaming framer
 # (native Go fuzzing; seed corpora always run under plain `make test`).

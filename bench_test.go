@@ -34,25 +34,32 @@ import (
 const benchScale = 0.0002
 
 var (
-	benchMu      sync.Mutex
+	benchOnce    sync.Once
 	benchStudies map[logrec.System]*core.Study
+	benchErr     error
 )
 
-// studies generates (once) and returns the five benchmark studies.
+// studies generates (once) and returns the five benchmark studies. The
+// sync.Once guard matters under `go test -cpu 1,2,4 -bench`: benchmarks
+// (and RunParallel bodies) may race to be first here, and a failed
+// build must not leave a partial map for the next caller — the map is
+// only published after all five studies exist.
 func studies(b *testing.B) map[logrec.System]*core.Study {
 	b.Helper()
-	benchMu.Lock()
-	defer benchMu.Unlock()
-	if benchStudies != nil {
-		return benchStudies
-	}
-	benchStudies = make(map[logrec.System]*core.Study, 5)
-	for _, sys := range logrec.Systems() {
-		s, err := core.New(simulate.Config{System: sys, Scale: benchScale, Seed: 2007})
-		if err != nil {
-			b.Fatalf("study %v: %v", sys, err)
+	benchOnce.Do(func() {
+		m := make(map[logrec.System]*core.Study, 5)
+		for _, sys := range logrec.Systems() {
+			s, err := core.New(simulate.Config{System: sys, Scale: benchScale, Seed: 2007})
+			if err != nil {
+				benchErr = err
+				return
+			}
+			m[sys] = s
 		}
-		benchStudies[sys] = s
+		benchStudies = m
+	})
+	if benchErr != nil {
+		b.Fatalf("building benchmark studies: %v", benchErr)
 	}
 	return benchStudies
 }

@@ -16,6 +16,7 @@
 //	logstudy mine [-system NAME] [-support N] [-top N]
 //	logstudy jobs [-system NAME] [-category CAT] [-checkpoint D]
 //	logstudy rules [-system NAME] [-export]
+//	logstudy bench [-system NAME|all] [-scale S] [-seed N] [-iters N] [-workers N] [-o FILE]
 package main
 
 import (
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"whatsupersay/internal/anonymize"
+	"whatsupersay/internal/bench"
 	"whatsupersay/internal/catalog"
 	"whatsupersay/internal/cluster"
 	"whatsupersay/internal/core"
@@ -79,6 +81,8 @@ func run(args []string, w io.Writer) error {
 		return runAnonymize(args[1:], w)
 	case "rules":
 		return runRules(args[1:], w)
+	case "bench":
+		return runBench(args[1:], w)
 	case "help", "-h", "--help":
 		usage(w)
 		return nil
@@ -104,7 +108,9 @@ subcommands:
   mine             discover message templates (SLCT-style) and score vs expert tags
   jobs             workload overlay: killed jobs, lost node-hours, RAS metrics
   sweep            filtering-threshold sensitivity (the paper fixes T=5s)
-  rules            print the expert tagging rules (awk-style or file format)`)
+  rules            print the expert tagging rules (awk-style or file format)
+  bench            time each pipeline stage serial vs parallel; write the
+                   BENCH_pipeline.json ledger`)
 }
 
 // studyIndex maps studies by system.
@@ -702,6 +708,52 @@ func runAnonymize(args []string, w io.Writer) error {
 	if *outPath != "" {
 		fmt.Fprintf(w, "anonymized %s lines (%s rewritten) -> %s; audit found %d residual leaks\n",
 			report.Comma(int64(len(lines))), report.Comma(int64(changed)), *outPath, len(leaks))
+	}
+	return nil
+}
+
+// runBench times each pipeline stage serial vs parallel and writes the
+// benchmark ledger.
+func runBench(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	sysName := fs.String("system", "all", "system to benchmark (or all)")
+	iters := fs.Int("iters", 3, "timed iterations per stage (best wins)")
+	workers := fs.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS)")
+	outPath := fs.String("o", "BENCH_pipeline.json", "ledger output path")
+	scale, seed := commonFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	systems := logrec.Systems()
+	if *sysName != "all" {
+		sys, err := logrec.ParseSystem(*sysName)
+		if err != nil {
+			return err
+		}
+		systems = []logrec.System{sys}
+	}
+	led, err := bench.Run(systems, bench.Options{
+		Scale: *scale, Seed: *seed, Iterations: *iters, Workers: *workers,
+	})
+	if err != nil {
+		return err
+	}
+	for _, rep := range led.Reports {
+		fmt.Fprintf(w, "%s: %s records, %s lines\n",
+			rep.System, report.Comma(int64(rep.Records)), report.Comma(int64(rep.Lines)))
+		fmt.Fprintf(w, "  %-9s %14s %14s %8s %14s\n", "stage", "serial rec/s", "parallel rec/s", "speedup", "allocs/rec")
+		for _, s := range rep.Stages {
+			fmt.Fprintf(w, "  %-9s %14.0f %14.0f %7.2fx %14.2f\n",
+				s.Name, s.SerialRecPerSec, s.ParallelRecPerSec, s.Speedup, s.AllocsPerRecord)
+		}
+		fmt.Fprintf(w, "  end-to-end: %.3fs serial, %.3fs parallel (%.2fx on %d procs)\n\n",
+			rep.TotalSerialSec, rep.TotalParallelSec, rep.TotalSpeedup, led.GOMAXPROCS)
+	}
+	if *outPath != "" {
+		if err := led.WriteJSON(*outPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "ledger written to %s\n", *outPath)
 	}
 	return nil
 }

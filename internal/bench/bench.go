@@ -1,0 +1,225 @@
+// Package bench times the pipeline's hot stages — generation, parsing,
+// tagging, filtering — serial versus parallel at a given scale, and
+// writes the results as a machine-readable ledger (BENCH_pipeline.json).
+// The ledger is the repository's performance record: it pins
+// records/sec and allocs/record per stage so a regression shows up as a
+// diff, not a feeling. Timing uses best-of-N wall clock (robust against
+// scheduler noise); allocation counts come from runtime.MemStats deltas
+// around a single run.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"whatsupersay/internal/filter"
+	"whatsupersay/internal/ingest"
+	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/parallel"
+	"whatsupersay/internal/simulate"
+	"whatsupersay/internal/tag"
+)
+
+// Options parameterizes one benchmark run.
+type Options struct {
+	// Scale is the generator volume scale (default simulate.DefaultScale).
+	Scale float64
+	// Seed feeds the generator.
+	Seed int64
+	// Iterations is how many times each stage is timed; the best wall
+	// time wins (default 3).
+	Iterations int
+	// Workers is the parallel worker count (0 = GOMAXPROCS).
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale == 0 {
+		o.Scale = simulate.DefaultScale
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = 3
+	}
+	return o
+}
+
+// Stage is one pipeline stage's measurements.
+type Stage struct {
+	Name    string `json:"name"`
+	Records int    `json:"records"`
+	// SerialSec and ParallelSec are best-of-iterations wall times.
+	SerialSec   float64 `json:"serial_sec"`
+	ParallelSec float64 `json:"parallel_sec"`
+	// SerialRecPerSec / ParallelRecPerSec are Records over the best time.
+	SerialRecPerSec   float64 `json:"serial_records_per_sec"`
+	ParallelRecPerSec float64 `json:"parallel_records_per_sec"`
+	// Speedup is SerialSec / ParallelSec.
+	Speedup float64 `json:"speedup"`
+	// AllocsPerRecord and BytesPerRecord are heap deltas of one parallel
+	// run divided by Records.
+	AllocsPerRecord float64 `json:"allocs_per_record"`
+	BytesPerRecord  float64 `json:"bytes_per_record"`
+}
+
+// Report is one system's stage measurements.
+type Report struct {
+	System  string  `json:"system"`
+	Records int     `json:"records"`
+	Lines   int     `json:"lines"`
+	Alerts  int     `json:"alerts"`
+	Stages  []Stage `json:"stages"`
+	// TotalSerialSec / TotalParallelSec sum the stage times; TotalSpeedup
+	// is their ratio — the end-to-end win.
+	TotalSerialSec   float64 `json:"total_serial_sec"`
+	TotalParallelSec float64 `json:"total_parallel_sec"`
+	TotalSpeedup     float64 `json:"total_speedup"`
+}
+
+// Ledger is the whole benchmark run, as serialized to
+// BENCH_pipeline.json.
+type Ledger struct {
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Workers    int      `json:"workers"`
+	Scale      float64  `json:"scale"`
+	Seed       int64    `json:"seed"`
+	Iterations int      `json:"iterations"`
+	Reports    []Report `json:"reports"`
+}
+
+// timeBest runs fn iters times and returns the best wall time.
+func timeBest(iters int, fn func()) float64 {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < iters; i++ {
+		t0 := time.Now()
+		fn()
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	return best.Seconds()
+}
+
+// allocsOf runs fn once and returns the heap allocation count and byte
+// delta it caused.
+func allocsOf(fn func()) (allocs, bytes float64) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs - before.Mallocs), float64(after.TotalAlloc - before.TotalAlloc)
+}
+
+// stage assembles one Stage from its serial and parallel closures.
+func stage(name string, records, iters int, serial, par func()) Stage {
+	s := Stage{Name: name, Records: records}
+	s.SerialSec = timeBest(iters, serial)
+	s.ParallelSec = timeBest(iters, par)
+	if records > 0 {
+		if s.SerialSec > 0 {
+			s.SerialRecPerSec = float64(records) / s.SerialSec
+		}
+		if s.ParallelSec > 0 {
+			s.ParallelRecPerSec = float64(records) / s.ParallelSec
+		}
+	}
+	if s.ParallelSec > 0 {
+		s.Speedup = s.SerialSec / s.ParallelSec
+	}
+	allocs, bytes := allocsOf(par)
+	if records > 0 {
+		s.AllocsPerRecord = allocs / float64(records)
+		s.BytesPerRecord = bytes / float64(records)
+	}
+	return s
+}
+
+// RunSystem benchmarks one system's pipeline.
+func RunSystem(sys logrec.System, opts Options) (Report, error) {
+	opts = opts.withDefaults()
+	serialCfg := simulate.Config{System: sys, Scale: opts.Scale, Seed: opts.Seed, Workers: 1}
+	parCfg := serialCfg
+	parCfg.Workers = opts.Workers
+
+	// One generation up front supplies the inputs for the later stages.
+	out, err := simulate.Generate(parCfg)
+	if err != nil {
+		return Report{}, fmt.Errorf("bench %v: %w", sys, err)
+	}
+	rep := Report{
+		System:  sys.ShortName(),
+		Records: len(out.Records),
+		Lines:   len(out.Lines),
+	}
+
+	rep.Stages = append(rep.Stages, stage("generate", len(out.Records), opts.Iterations,
+		func() { _, _ = simulate.Generate(serialCfg) },
+		func() { _, _ = simulate.Generate(parCfg) },
+	))
+
+	rd := ingest.Reader{System: sys, Start: out.Start}
+	serialOpts := parallel.Options{Workers: 1}
+	parOpts := parallel.Options{Workers: opts.Workers}
+	rep.Stages = append(rep.Stages, stage("parse", len(out.Lines), opts.Iterations,
+		func() { rd.ParseAll(out.Lines, serialOpts) },
+		func() { rd.ParseAll(out.Lines, parOpts) },
+	))
+
+	tg := tag.NewTagger(sys)
+	var alerts []tag.Alert
+	rep.Stages = append(rep.Stages, stage("tag", len(out.Records), opts.Iterations,
+		func() { tg.TagAllSerial(out.Records) },
+		func() { alerts = tg.TagAllParallel(out.Records, parOpts) },
+	))
+	rep.Alerts = len(alerts)
+
+	// Filtering has no parallel variant (Algorithm 3.1 is a sequential
+	// scan over an already-small stream); it is timed for the stage cost
+	// table with serial == parallel.
+	tag.SortAlerts(alerts)
+	f := filter.Simultaneous{T: filter.DefaultThreshold}
+	run := func() { f.Filter(alerts) }
+	rep.Stages = append(rep.Stages, stage("filter", len(alerts), opts.Iterations, run, run))
+
+	for _, s := range rep.Stages {
+		rep.TotalSerialSec += s.SerialSec
+		rep.TotalParallelSec += s.ParallelSec
+	}
+	if rep.TotalParallelSec > 0 {
+		rep.TotalSpeedup = rep.TotalSerialSec / rep.TotalParallelSec
+	}
+	return rep, nil
+}
+
+// Run benchmarks the given systems and assembles the ledger.
+func Run(systems []logrec.System, opts Options) (*Ledger, error) {
+	opts = opts.withDefaults()
+	led := &Ledger{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    opts.Workers,
+		Scale:      opts.Scale,
+		Seed:       opts.Seed,
+		Iterations: opts.Iterations,
+	}
+	for _, sys := range systems {
+		rep, err := RunSystem(sys, opts)
+		if err != nil {
+			return nil, err
+		}
+		led.Reports = append(led.Reports, rep)
+	}
+	return led, nil
+}
+
+// WriteJSON writes the ledger to path, pretty-printed.
+func (l *Ledger) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(l, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

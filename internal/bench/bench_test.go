@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"whatsupersay/internal/logrec"
+)
+
+// TestRunSmoke: a 1-iteration run at a tiny scale produces a complete
+// ledger — every stage present, every rate positive — and round-trips
+// through JSON.
+func TestRunSmoke(t *testing.T) {
+	led, err := Run([]logrec.System{logrec.Liberty}, Options{Scale: 0.0001, Seed: 2, Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(led.Reports) != 1 {
+		t.Fatalf("%d reports, want 1", len(led.Reports))
+	}
+	rep := led.Reports[0]
+	wantStages := []string{"generate", "parse", "tag", "filter"}
+	if len(rep.Stages) != len(wantStages) {
+		t.Fatalf("%d stages, want %d", len(rep.Stages), len(wantStages))
+	}
+	for i, s := range rep.Stages {
+		if s.Name != wantStages[i] {
+			t.Errorf("stage %d = %q, want %q", i, s.Name, wantStages[i])
+		}
+		if s.Records <= 0 {
+			t.Errorf("stage %s: no records", s.Name)
+		}
+		if s.SerialRecPerSec <= 0 || s.ParallelRecPerSec <= 0 {
+			t.Errorf("stage %s: nonpositive rate (%v, %v)", s.Name, s.SerialRecPerSec, s.ParallelRecPerSec)
+		}
+	}
+	if rep.TotalSerialSec <= 0 || rep.TotalSpeedup <= 0 {
+		t.Errorf("bad totals: %+v", rep)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_pipeline.json")
+	if err := led.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Ledger
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("ledger does not round-trip: %v", err)
+	}
+	if back.Reports[0].System != "liberty" {
+		t.Errorf("system = %q", back.Reports[0].System)
+	}
+}

@@ -112,16 +112,29 @@ type Category struct {
 	// fields randomized.
 	Gen func(rng *rand.Rand) string
 
-	re *regexp.Regexp
+	re  *regexp.Regexp
+	pre prefilter
 }
 
 // Regexp returns the compiled pattern. Compilation happens once, at
 // catalog construction.
 func (c *Category) Regexp() *regexp.Regexp { return c.re }
 
+// PrefilterLiterals returns the required literal substrings extracted
+// from Pattern at catalog load: every body the rule matches contains
+// all of them, so the tagger checks them with strings.Contains before
+// touching the regexp engine. Exact reports that the pattern is a pure
+// literal, for which containment alone decides the match and the
+// regexp never runs.
+func (c *Category) PrefilterLiterals() (lits []string, exact bool) {
+	return append([]string(nil), c.pre.lits...), c.pre.exact
+}
+
 // Matches reports whether the category's rule tags the record: the body
 // must match Pattern, and the facility/program constraints (when set) must
-// hold.
+// hold. The body check short-circuits through the literal prefilter —
+// a record that lacks the rule's mandatory substrings is rejected
+// without any regexp execution.
 func (c *Category) Matches(r logrec.Record) bool {
 	if c.Facility != "" && r.Facility != c.Facility {
 		return false
@@ -129,8 +142,12 @@ func (c *Category) Matches(r logrec.Record) bool {
 	if c.Program != "" && r.Program != c.Program {
 		return false
 	}
-	return c.re.MatchString(r.Body)
+	return c.matchBody(r.Body)
 }
+
+// MatchesBody applies only the body rule (prefilter + regexp), for
+// callers that have already handled the field constraints.
+func (c *Category) MatchesBody(body string) bool { return c.matchBody(body) }
 
 // Key returns the per-study unique key "system/name".
 func (c *Category) Key() string {
@@ -158,6 +175,7 @@ func build() []*Category {
 	all = append(all, libertyCategories()...)
 	for _, c := range all {
 		c.re = regexp.MustCompile(c.Pattern)
+		c.pre = compilePrefilter(c.Pattern)
 		if c.System == logrec.BlueGeneL {
 			c.Dialect = DialectRAS
 		}

@@ -14,6 +14,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"whatsupersay/internal/ddn"
@@ -140,8 +141,34 @@ type lineScanner struct {
 	buf []byte
 }
 
+// scannerPool recycles lineScanners — the 64 KiB bufio buffer and the
+// line scratch buffer dominate the framer's allocations, and ingestion
+// creates one scanner per file segment (many, when resuming). A pooled
+// scanner whose scratch grew past maxPooledBuf is dropped rather than
+// pinned in the pool.
+var scannerPool = sync.Pool{New: func() any { return new(lineScanner) }}
+
+const maxPooledBuf = 1 << 20
+
 func newLineScanner(r io.Reader, max int) *lineScanner {
-	return &lineScanner{br: bufio.NewReaderSize(r, 64*1024), max: max}
+	ls := scannerPool.Get().(*lineScanner)
+	if ls.br == nil {
+		ls.br = bufio.NewReaderSize(r, 64*1024)
+	} else {
+		ls.br.Reset(r)
+	}
+	ls.max = max
+	ls.buf = ls.buf[:0]
+	return ls
+}
+
+// release returns the scanner to the pool. The caller must not touch the
+// scanner — or any []byte returned by next — afterwards.
+func (ls *lineScanner) release() {
+	if cap(ls.buf) > maxPooledBuf {
+		ls.buf = nil
+	}
+	scannerPool.Put(ls)
 }
 
 // next returns the next line without its terminator, plus whether the
@@ -220,6 +247,7 @@ func (rd Reader) ReadFunc(r io.Reader, fn func(logrec.Record) error, stats *Stat
 	}
 	years := NewYearTracker(start)
 	ls := newLineScanner(r, maxLine)
+	defer ls.release()
 	seq := uint64(0)
 	for {
 		raw, oversized, rerr := ls.next()

@@ -1,38 +1,18 @@
-package ingest
+package ingest_test
 
 import (
 	"strings"
 	"testing"
 	"time"
 
+	"whatsupersay/internal/ingest"
 	"whatsupersay/internal/logrec"
 	"whatsupersay/internal/simulate"
 	"whatsupersay/internal/tag"
 )
 
-func TestSniffers(t *testing.T) {
-	cases := []struct {
-		line       string
-		ras, event bool
-	}{
-		{"2005-06-03-15.42.50.363779 R02-M1-N0 RAS KERNEL FATAL x", true, false},
-		{"2006-03-19 04:11:02 c0-0c1s2 ec_heartbeat_stop x", false, true},
-		{"Mar  7 14:30:05 ln42 kernel: x", false, false},
-		{"", false, false},
-		{"2006-03-19", false, false},
-	}
-	for _, tc := range cases {
-		if got := sniffRAS(tc.line); got != tc.ras {
-			t.Errorf("sniffRAS(%q) = %v", tc.line, got)
-		}
-		if got := sniffEvent(tc.line); got != tc.event {
-			t.Errorf("sniffEvent(%q) = %v", tc.line, got)
-		}
-	}
-}
-
 func TestYearTracker(t *testing.T) {
-	y := NewYearTracker(time.Date(2004, time.December, 12, 0, 0, 0, 0, time.UTC))
+	y := ingest.NewYearTracker(time.Date(2004, time.December, 12, 0, 0, 0, 0, time.UTC))
 	if got := y.Year(time.December); got != 2004 {
 		t.Errorf("December = %d, want 2004", got)
 	}
@@ -60,7 +40,7 @@ func TestReadMixedDialects(t *testing.T) {
 		"<2>Mar 19 04:12:00 ddn1 DMT_DINT Failing Disk 2A",
 		"total garbage line",
 	}, "\n") + "\n"
-	recs, stats, err := ReadAll(strings.NewReader(input), logrec.RedStorm, time.Date(2006, 3, 19, 0, 0, 0, 0, time.UTC))
+	recs, stats, err := ingest.ReadAll(strings.NewReader(input), logrec.RedStorm, time.Date(2006, 3, 19, 0, 0, 0, 0, time.UTC))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +77,7 @@ func TestReadYearRollover(t *testing.T) {
 		"Dec 30 10:00:00 sn300 kernel: a",
 		"Jan  2 10:00:00 sn300 kernel: b",
 	}, "\n") + "\n"
-	recs, _, err := ReadAll(strings.NewReader(input), logrec.Spirit, time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC))
+	recs, _, err := ingest.ReadAll(strings.NewReader(input), logrec.Spirit, time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +95,7 @@ func TestReadYearRollover(t *testing.T) {
 
 func TestReadBGL(t *testing.T) {
 	input := "2005-06-03-15.42.50.363779 R02-M1-N0 RAS KERNEL FATAL data TLB error interrupt\n"
-	recs, stats, err := ReadAll(strings.NewReader(input), logrec.BlueGeneL, time.Date(2005, 6, 3, 0, 0, 0, 0, time.UTC))
+	recs, stats, err := ingest.ReadAll(strings.NewReader(input), logrec.BlueGeneL, time.Date(2005, 6, 3, 0, 0, 0, 0, time.UTC))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +108,7 @@ func TestReadBGL(t *testing.T) {
 }
 
 func TestReadFuncAbort(t *testing.T) {
-	rd := Reader{System: logrec.Liberty}
+	rd := ingest.Reader{System: logrec.Liberty}
 	input := "Mar  7 14:30:05 ln1 kernel: a\nMar  7 14:30:06 ln1 kernel: b\n"
 	calls := 0
 	err := rd.ReadFunc(strings.NewReader(input), func(logrec.Record) error {
@@ -161,7 +141,7 @@ func TestRoundTripGeneratedLog(t *testing.T) {
 		t.Fatal(err)
 	}
 	text := strings.Join(out.Lines, "\n") + "\n"
-	recs, stats, err := ReadAll(strings.NewReader(text), logrec.Liberty, out.Start)
+	recs, stats, err := ingest.ReadAll(strings.NewReader(text), logrec.Liberty, out.Start)
 	if err != nil {
 		t.Fatal(err)
 	}

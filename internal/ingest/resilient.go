@@ -218,6 +218,7 @@ func (rd Reader) ReadResilient(ctx context.Context, r io.Reader, fn func(logrec.
 	retries := cp.Retries
 	rr := &retryReader{r: r, ctx: ctx, max: maxRetries, base: base, sleep: sleep, retries: &retries}
 	ls := newLineScanner(rr, maxLine)
+	defer ls.release()
 
 	// snap keeps the checkpoint internally consistent on every exit
 	// path. The YearTracker state is safe to snapshot even when the

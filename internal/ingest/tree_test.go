@@ -1,10 +1,11 @@
-package ingest
+package ingest_test
 
 import (
 	"path/filepath"
 	"testing"
 	"time"
 
+	"whatsupersay/internal/ingest"
 	"whatsupersay/internal/logrec"
 	"whatsupersay/internal/simulate"
 	"whatsupersay/internal/syslogng"
@@ -25,10 +26,10 @@ func TestTreeRoundTrip(t *testing.T) {
 		}
 		return syslogng.Render(r, false)
 	}
-	if err := WriteTree(filepath.Join(dir, "liberty"), out.Records, render, true); err != nil {
+	if err := ingest.WriteTree(filepath.Join(dir, "liberty"), out.Records, render, true); err != nil {
 		t.Fatal(err)
 	}
-	recs, stats, err := ReadTree(filepath.Join(dir, "liberty"), logrec.Liberty, out.Start)
+	recs, stats, err := ingest.ReadTree(filepath.Join(dir, "liberty"), logrec.Liberty, out.Start)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,25 +46,13 @@ func TestTreeRoundTrip(t *testing.T) {
 	}
 	// Corrupted sources land in the unattributed file rather than
 	// producing garbage file names.
-	if _, err := Open(filepath.Join(dir, "liberty", "_unattributed.log.gz")); err != nil {
+	if _, err := ingest.Open(filepath.Join(dir, "liberty", "_unattributed.log.gz")); err != nil {
 		t.Log("no unattributed file (no source corruption at this scale) — acceptable")
 	}
 }
 
 func TestReadTreeMissingDir(t *testing.T) {
-	if _, _, err := ReadTree(filepath.Join(t.TempDir(), "nope"), logrec.Liberty, time.Now()); err == nil {
+	if _, _, err := ingest.ReadTree(filepath.Join(t.TempDir(), "nope"), logrec.Liberty, time.Now()); err == nil {
 		t.Error("missing directory must error")
-	}
-}
-
-func TestPlainToken(t *testing.T) {
-	cases := map[string]bool{
-		"ln1": true, "tbird-admin1": true, "R02-M1-N0": true,
-		"": false, ".hidden": false, "a/b": false, "x y": false, "#@!": false,
-	}
-	for in, want := range cases {
-		if got := plainToken(in); got != want {
-			t.Errorf("plainToken(%q) = %v, want %v", in, got, want)
-		}
 	}
 }

@@ -1,0 +1,127 @@
+package parallel
+
+import (
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDoCoversAllIndices: every index in [0, n) is visited exactly once
+// for a spread of sizes, chunk sizes, and worker counts.
+func TestDoCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 4096, 10000} {
+		for _, cs := range []int{1, 3, 64, 4096, 8192} {
+			for _, w := range []int{0, 1, 2, 8} {
+				visits := make([]int32, n)
+				Do(n, Options{Workers: w, ChunkSize: cs}, func(lo, hi int) {
+					if lo < 0 || hi > n || lo >= hi {
+						t.Errorf("bad range [%d,%d) for n=%d", lo, hi, n)
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&visits[i], 1)
+					}
+				})
+				for i, v := range visits {
+					if v != 1 {
+						t.Fatalf("n=%d cs=%d w=%d: index %d visited %d times", n, cs, w, i, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFlatMapPreservesOrder: the concatenated output equals the serial
+// map regardless of worker count and chunk size.
+func TestFlatMapPreservesOrder(t *testing.T) {
+	n := 5000
+	want := make([]string, 0, n*2)
+	for i := 0; i < n; i++ {
+		want = append(want, fmt.Sprint(i))
+		if i%3 == 0 { // variable-length chunks exercise reassembly
+			want = append(want, fmt.Sprint(-i))
+		}
+	}
+	mapChunk := func(lo, hi int) []string {
+		var out []string
+		for i := lo; i < hi; i++ {
+			out = append(out, fmt.Sprint(i))
+			if i%3 == 0 {
+				out = append(out, fmt.Sprint(-i))
+			}
+		}
+		return out
+	}
+	for _, cs := range []int{1, 7, 100, 4096, 9999} {
+		for _, w := range []int{1, 2, 4, 16} {
+			got := FlatMap(n, Options{Workers: w, ChunkSize: cs}, mapChunk)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("cs=%d w=%d: FlatMap diverged from serial order", cs, w)
+			}
+		}
+	}
+}
+
+// TestWorkerCountInvariance: output depends on ChunkSize, never Workers.
+func TestWorkerCountInvariance(t *testing.T) {
+	n := 12345
+	fn := func(lo, hi int) []int {
+		out := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			out = append(out, i*i)
+		}
+		return out
+	}
+	base := FlatMap(n, Options{Workers: 1, ChunkSize: 512}, fn)
+	for _, w := range []int{2, 3, 8, 32} {
+		if got := FlatMap(n, Options{Workers: w, ChunkSize: 512}, fn); !reflect.DeepEqual(got, base) {
+			t.Fatalf("workers=%d changed FlatMap output", w)
+		}
+	}
+}
+
+// TestTasksOrder: per-task results are gathered in task order.
+func TestTasksOrder(t *testing.T) {
+	got := Tasks(10, 4, func(i int) []int {
+		out := make([]int, i) // task i yields i copies of i
+		for j := range out {
+			out[j] = i
+		}
+		return out
+	})
+	want := Tasks(10, 1, func(i int) []int {
+		out := make([]int, i)
+		for j := range out {
+			out[j] = i
+		}
+		return out
+	})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tasks order diverged: %v vs %v", got, want)
+	}
+}
+
+// TestZeroAndTiny: degenerate sizes don't hang or panic.
+func TestZeroAndTiny(t *testing.T) {
+	if got := FlatMap(0, Options{}, func(lo, hi int) []int { return []int{1} }); got != nil {
+		t.Errorf("FlatMap(0) = %v, want nil", got)
+	}
+	if got := FlatMap(1, Options{Workers: 8}, func(lo, hi int) []int { return []int{lo} }); len(got) != 1 || got[0] != 0 {
+		t.Errorf("FlatMap(1) = %v", got)
+	}
+	Do(0, Options{}, func(lo, hi int) { t.Error("Do(0) must not call fn") })
+}
+
+func BenchmarkFlatMap(b *testing.B) {
+	n := 1 << 16
+	for i := 0; i < b.N; i++ {
+		FlatMap(n, Options{}, func(lo, hi int) []int {
+			out := make([]int, 0, hi-lo)
+			for j := lo; j < hi; j++ {
+				out = append(out, j)
+			}
+			return out
+		})
+	}
+}

@@ -181,31 +181,44 @@ func mustCat(sys logrec.System, name string) *catalog.Category {
 	return c
 }
 
-// addAlerts dispatches to the per-system alert generators.
-func (g *generator) addAlerts() {
+// alertTasks builds the per-system alert task list. Each task is one
+// category — or one correlated category group, which must share an RNG
+// stream to keep its cross-category structure — and runs on its own
+// derived seed, so the task set (and each task's output) is independent
+// of worker count.
+func (g *generator) alertTasks() []task {
 	switch g.cfg.System {
 	case logrec.BlueGeneL:
-		g.addBGLAlerts()
+		return g.bglAlertTasks()
 	case logrec.Thunderbird:
-		g.addThunderbirdAlerts()
+		return g.thunderbirdAlertTasks()
 	case logrec.RedStorm:
-		g.addRedStormAlerts()
+		return g.redStormAlertTasks()
 	case logrec.Spirit:
-		g.addSpiritAlerts()
+		return g.spiritAlertTasks()
 	case logrec.Liberty:
-		g.addLibertyAlerts()
+		return g.libertyAlertTasks()
 	}
+	return nil
 }
 
-// addBGLAlerts generates the 41 BG/L categories. Incident roots cluster
+// catTask wraps one category generation closure as a labeled task.
+func catTask(c *catalog.Category, run func(s *generator)) task {
+	return task{label: "alert/" + c.Name, run: run}
+}
+
+// bglAlertTasks generates the 41 BG/L categories. Incident roots cluster
 // around shared failure episodes, which is what makes the *filtered* BG/L
 // interarrival distribution bimodal (Figure 6(a)): the first mode is
 // inter-category correlation inside an episode, the second the spacing
-// between episodes. MASNORM ("ciodb exited normally") incidents are
-// placed inside scheduled-downtime windows — the operational-context
-// disambiguation example of Section 3.2.1.
-func (g *generator) addBGLAlerts() {
-	episodes := g.episodeTimes(140)
+// between episodes. The episode times are drawn up front on their own
+// derived RNG and shared read-only by every category task. MASNORM
+// ("ciodb exited normally") incidents are placed inside
+// scheduled-downtime windows — the operational-context disambiguation
+// example of Section 3.2.1.
+func (g *generator) bglAlertTasks() []task {
+	episodes := g.fork("episodes").episodeTimes(140)
+	var tasks []task
 	for _, c := range catalog.BySystem(logrec.BlueGeneL) {
 		tn := defaultTuning()
 		tn.clusterProb = 0.65
@@ -224,7 +237,7 @@ func (g *generator) addBGLAlerts() {
 		case "KERNMNTF":
 			tn.role = cluster.RoleIO
 		case "MASNORM":
-			g.generateMASNORM(c)
+			tasks = append(tasks, catTask(c, func(s *generator) { s.generateMASNORM(c) }))
 			continue
 		case "MASABNORM":
 			tn.role = cluster.RoleService
@@ -232,8 +245,9 @@ func (g *generator) addBGLAlerts() {
 		if c.Facility == "BGLMASTER" {
 			tn.role = cluster.RoleService
 		}
-		g.generateCategory(c, tn, episodes)
+		tasks = append(tasks, catTask(c, func(s *generator) { s.generateCategory(c, tn, episodes) }))
 	}
+	return tasks
 }
 
 // generateMASNORM places the "ciodb exited normally" events inside the
@@ -254,29 +268,30 @@ func (g *generator) generateMASNORM(c *catalog.Category) {
 	}
 }
 
-// addThunderbirdAlerts generates the 10 Thunderbird categories with the
+// thunderbirdAlertTasks generates the 10 Thunderbird categories with the
 // three structures Section 3.3.1 and Section 4 describe: the VAPI floods
 // concentrated on a single node, independent exponential ECC events
 // (Figure 5), and the spatially correlated CPU-clock bug bursts.
-func (g *generator) addThunderbirdAlerts() {
-	sys := logrec.Thunderbird
-	for _, c := range catalog.BySystem(sys) {
+func (g *generator) thunderbirdAlertTasks() []task {
+	var tasks []task
+	for _, c := range catalog.BySystem(logrec.Thunderbird) {
 		switch c.Name {
 		case "VAPI":
-			g.generateVAPI(c)
+			tasks = append(tasks, catTask(c, func(s *generator) { s.generateVAPI(c) }))
 		case "ECC":
-			g.generateECC(c)
+			tasks = append(tasks, catTask(c, func(s *generator) { s.generateECC(c) }))
 		case "CPU":
-			g.generateCPUClock(c)
+			tasks = append(tasks, catTask(c, func(s *generator) { s.generateCPUClock(c) }))
 		case "PBS_CON", "PBS_BFD":
 			tn := defaultTuning()
 			tn.nodes = 3 // shared-server failures seen by several moms
 			tn.gapMean = 2800 * time.Millisecond
-			g.generateCategory(c, tn, nil)
+			tasks = append(tasks, catTask(c, func(s *generator) { s.generateCategory(c, tn, nil) }))
 		default:
-			g.generateCategory(c, defaultTuning(), nil)
+			tasks = append(tasks, catTask(c, func(s *generator) { s.generateCategory(c, defaultTuning(), nil) }))
 		}
 	}
+	return tasks
 }
 
 // generateVAPI reproduces "Between November 10, 2005 and July 10, 2006,
@@ -359,12 +374,12 @@ func itoa(i int) string {
 	return string(buf[pos:])
 }
 
-// addRedStormAlerts generates the 12 Red Storm categories. BUS_PAR is the
-// dominant structure: five enormous DDN controller storms (1.55 M raw
+// redStormAlertTasks generates the 12 Red Storm categories. BUS_PAR is
+// the dominant structure: five enormous DDN controller storms (1.55 M raw
 // messages collapsing to 5 filtered alerts) — the CRIT row of Table 6.
-func (g *generator) addRedStormAlerts() {
-	sys := logrec.RedStorm
-	for _, c := range catalog.BySystem(sys) {
+func (g *generator) redStormAlertTasks() []task {
+	var tasks []task
+	for _, c := range catalog.BySystem(logrec.RedStorm) {
 		tn := defaultTuning()
 		switch c.Name {
 		case "BUS_PAR", "ADDR_ERR":
@@ -378,34 +393,36 @@ func (g *generator) addRedStormAlerts() {
 		case "HBEAT", "TOAST":
 			tn.role = cluster.RoleCompute
 		}
-		g.generateCategory(c, tn, nil)
+		tasks = append(tasks, catTask(c, func(s *generator) { s.generateCategory(c, tn, nil) }))
 	}
+	return tasks
 }
 
-// addSpiritAlerts generates the 8 Spirit categories, dominated by the
+// spiritAlertTasks generates the 8 Spirit categories, dominated by the
 // chronic disk failure of node sn373 ("node id sn373 logged 89,632,571
 // such messages, which was more than half of all Spirit alerts") and the
 // six-day February 28 - March 5 storm of 56.8 M alerts. One coincident
 // independent incident on sn325 is planted inside the sn373 storm — the
 // true positive the simultaneous filter erroneously removes (Section
 // 3.3.2).
-func (g *generator) addSpiritAlerts() {
-	sys := logrec.Spirit
-	for _, c := range catalog.BySystem(sys) {
+func (g *generator) spiritAlertTasks() []task {
+	var tasks []task
+	for _, c := range catalog.BySystem(logrec.Spirit) {
 		switch c.Name {
 		case "EXT_CCISS":
-			g.generateSpiritDisk(c, true)
+			tasks = append(tasks, catTask(c, func(s *generator) { s.generateSpiritDisk(c, true) }))
 		case "EXT_FS":
-			g.generateSpiritDisk(c, false)
+			tasks = append(tasks, catTask(c, func(s *generator) { s.generateSpiritDisk(c, false) }))
 		case "PBS_CON", "PBS_BFD":
 			tn := defaultTuning()
 			tn.nodes = 3
 			tn.gapMean = 2800 * time.Millisecond
-			g.generateCategory(c, tn, nil)
+			tasks = append(tasks, catTask(c, func(s *generator) { s.generateCategory(c, tn, nil) }))
 		default:
-			g.generateCategory(c, defaultTuning(), nil)
+			tasks = append(tasks, catTask(c, func(s *generator) { s.generateCategory(c, defaultTuning(), nil) }))
 		}
 	}
+	return tasks
 }
 
 // generateSpiritDisk splits a disk category's volume between sn373's
@@ -451,21 +468,24 @@ func (g *generator) generateSpiritDisk(c *catalog.Category, withCoincident bool)
 	}
 }
 
-// addLibertyAlerts generates the 6 Liberty categories: the PBS bug of
+// libertyAlertTasks generates the 6 Liberty categories: the PBS bug of
 // Section 3.3.1 (920 killed jobs emitting task_check up to 74 times each,
 // confined to one quarter — the horizontal clusters of Figure 4, with
 // PBS_BFD as its correlated sibling category) and the GM_PAR → GM_LANAI
-// cascade of Figure 3.
-func (g *generator) addLibertyAlerts() {
+// cascade of Figure 3. Each correlated pair is one task: the sibling
+// category's events are derived from the primary's, so they must share
+// an RNG stream.
+func (g *generator) libertyAlertTasks() []task {
 	sys := logrec.Liberty
 	pbsChk := mustCat(sys, "PBS_CHK")
 	pbsBfd := mustCat(sys, "PBS_BFD")
 	gmPar := mustCat(sys, "GM_PAR")
 	gmLanai := mustCat(sys, "GM_LANAI")
 
-	g.generateLibertyPBSBug(pbsChk, pbsBfd)
-	g.generateGMCascade(gmPar, gmLanai)
-
+	tasks := []task{
+		{label: "alert/pbs-bug", run: func(s *generator) { s.generateLibertyPBSBug(pbsChk, pbsBfd) }},
+		{label: "alert/gm-cascade", run: func(s *generator) { s.generateGMCascade(gmPar, gmLanai) }},
+	}
 	for _, c := range catalog.BySystem(sys) {
 		switch c.Name {
 		case "PBS_CHK", "PBS_BFD", "GM_PAR", "GM_LANAI":
@@ -474,11 +494,12 @@ func (g *generator) addLibertyAlerts() {
 			tn := defaultTuning()
 			tn.nodes = 3
 			tn.gapMean = 2800 * time.Millisecond
-			g.generateCategory(c, tn, nil)
+			tasks = append(tasks, catTask(c, func(s *generator) { s.generateCategory(c, tn, nil) }))
 		default:
-			g.generateCategory(c, defaultTuning(), nil)
+			tasks = append(tasks, catTask(c, func(s *generator) { s.generateCategory(c, defaultTuning(), nil) }))
 		}
 	}
+	return tasks
 }
 
 // generateLibertyPBSBug reproduces the job-killing PBS bug: each afflicted

@@ -227,17 +227,24 @@ func bglLoc(g *generator) string {
 	return fmt.Sprintf("R%02d-M%d-N%d", g.rng.Intn(16), g.rng.Intn(2), g.rng.Intn(8))
 }
 
-// addBackground dispatches per-system background generation.
-func (g *generator) addBackground() {
+// backgroundTasks builds the per-system background shard tasks. Each
+// budget is cut into fixed-size shards (see bgShardSize) whose
+// boundaries depend only on the budget, so the shard set — and each
+// shard's derived RNG stream — is identical at any worker count. It
+// runs after the alert tasks have merged, because the BG/L budgets are
+// ratios of the generated alert counts.
+func (g *generator) backgroundTasks() []task {
 	switch g.cfg.System {
 	case logrec.BlueGeneL:
-		g.addBGLBackground()
+		return g.bglBackgroundTasks()
 	case logrec.RedStorm:
-		g.addRedStormBackground()
+		return g.redStormBackgroundTasks()
 	case logrec.Liberty:
-		g.addLibertyBackground()
+		return g.libertyBackgroundTasks()
 	default:
-		g.addSyslogBackground(g.backgroundBudget(), nil)
+		return shardTasks("bg/syslog", g.backgroundBudget(), func(s *generator, count int) {
+			s.addSyslogBackground(count, nil)
+		})
 	}
 }
 
@@ -266,16 +273,16 @@ func (g *generator) addSyslogBackground(n int, pickTime func() time.Time) {
 	}
 }
 
-// addBGLBackground emits the severity-stratified RAS chatter of Table 5.
-// It runs after addAlerts, so ratio-based budgets can count the alert
-// events already generated.
-func (g *generator) addBGLBackground() {
+// bglBackgroundTasks shards the severity-stratified RAS chatter of
+// Table 5. Ratio-based budgets count the alert events already merged.
+func (g *generator) bglBackgroundTasks() []task {
 	alertsBySev := make(map[logrec.Severity]int)
 	for _, e := range g.events {
 		if e.cat != nil {
 			alertsBySev[e.severity]++
 		}
 	}
+	var tasks []task
 	for _, bucket := range bglNonAlertSeverity {
 		var n int
 		if bucket.perAlert > 0 {
@@ -283,43 +290,55 @@ func (g *generator) addBGLBackground() {
 		} else {
 			n = int(float64(bucket.count) * g.cfg.Scale)
 		}
-		tpls := bglBackgroundBySeverity[bucket.sev]
-		for i := 0; i < n; i++ {
-			tpl := tpls[g.rng.Intn(len(tpls))]
+		sev := bucket.sev
+		label := fmt.Sprintf("bg/sev%d", sev)
+		tasks = append(tasks, shardTasks(label, n, func(s *generator, count int) {
+			tpls := bglBackgroundBySeverity[sev]
 			fac := "KERNEL"
-			switch bucket.sev {
+			switch sev {
 			case logrec.SevError:
 				fac = "APP"
 			case logrec.SevFailure:
 				fac = "MMCS"
 			}
-			g.emitBackground(g.uniformTime(), bglLoc(g), bucket.sev, fac, "", tpl.gen(g), catalog.DialectRAS)
-		}
+			for i := 0; i < count; i++ {
+				tpl := tpls[s.rng.Intn(len(tpls))]
+				s.emitBackground(s.uniformTime(), bglLoc(s), sev, fac, "", tpl.gen(s), catalog.DialectRAS)
+			}
+		})...)
 	}
+	return tasks
 }
 
-// addRedStormBackground emits the two Red Storm background streams: the
-// severity-stratified syslog path (Table 6) and the much larger TCP event
-// path, which has no severity analog.
-func (g *generator) addRedStormBackground() {
-	picker := newSourcePicker(g.m)
+// redStormBackgroundTasks shards the two Red Storm background streams:
+// the severity-stratified syslog path (Table 6) and the much larger TCP
+// event path, which has no severity analog.
+func (g *generator) redStormBackgroundTasks() []task {
+	var tasks []task
 	for _, bucket := range redStormNonAlertSeverity {
 		n := int(float64(bucket.count) * g.cfg.Scale)
-		for i := 0; i < n; i++ {
-			tpl := syslogBackground[g.rng.Intn(len(syslogBackground))]
-			g.emitBackground(g.uniformTime(), picker.pick(g), bucket.sev, "daemon", tpl.program, tpl.gen(g), catalog.DialectSyslog)
-		}
+		sev := bucket.sev
+		tasks = append(tasks, shardTasks(fmt.Sprintf("bg/sev%d", sev), n, func(s *generator, count int) {
+			picker := newSourcePicker(s.m)
+			for i := 0; i < count; i++ {
+				tpl := syslogBackground[s.rng.Intn(len(syslogBackground))]
+				s.emitBackground(s.uniformTime(), picker.pick(s), sev, "daemon", tpl.program, tpl.gen(s), catalog.DialectSyslog)
+			}
+		})...)
 	}
 	eventBudget := paperMessages[logrec.RedStorm] - redStormSyslogMessages - paperEventAlerts()
 	n := int(float64(eventBudget) * g.cfg.Scale)
-	for i := 0; i < n; i++ {
-		node := g.m.RandomNodeByRole(g.rng, cluster.RoleCompute).Name
-		body := fmt.Sprintf("ec_node_info src:::%s svc:::%s node health ok", node, node)
-		if g.rng.Intn(8) == 0 {
-			body = fmt.Sprintf("ec_console_log src:::%s svc:::%s normal boot sequence complete", node, node)
+	tasks = append(tasks, shardTasks("bg/event", n, func(s *generator, count int) {
+		for i := 0; i < count; i++ {
+			node := s.m.RandomNodeByRole(s.rng, cluster.RoleCompute).Name
+			body := fmt.Sprintf("ec_node_info src:::%s svc:::%s node health ok", node, node)
+			if s.rng.Intn(8) == 0 {
+				body = fmt.Sprintf("ec_console_log src:::%s svc:::%s normal boot sequence complete", node, node)
+			}
+			s.emitBackground(s.uniformTime(), node, logrec.SeverityUnknown, "", "", body, catalog.DialectEvent)
 		}
-		g.emitBackground(g.uniformTime(), node, logrec.SeverityUnknown, "", "", body, catalog.DialectEvent)
-	}
+	})...)
+	return tasks
 }
 
 // paperEventAlerts sums the raw counts of Red Storm's event-dialect alert
@@ -353,10 +372,11 @@ func libertyRegimes(start time.Time) []regime {
 	}
 }
 
-// addLibertyBackground allocates the background budget across the rate
-// regimes proportionally to duration x factor, with uniform times inside
-// each regime.
-func (g *generator) addLibertyBackground() {
+// libertyBackgroundTasks allocates the background budget across the
+// rate regimes proportionally to duration x factor (a deterministic
+// computation), then shards each regime's count with uniform times
+// inside the regime.
+func (g *generator) libertyBackgroundTasks() []task {
 	n := g.backgroundBudget()
 	regimes := libertyRegimes(g.start)
 	type seg struct {
@@ -378,12 +398,13 @@ func (g *generator) addLibertyBackground() {
 	for _, s := range segs {
 		total += s.weight
 	}
-	picker := newSourcePicker(g.m)
-	for _, s := range segs {
-		count := int(float64(n) * s.weight / total)
-		for i := 0; i < count; i++ {
-			tpl := syslogBackground[g.rng.Intn(len(syslogBackground))]
-			g.emitBackground(g.uniformTimeIn(s.from, s.to), picker.pick(g), logrec.SeverityUnknown, "", tpl.program, tpl.gen(g), catalog.DialectSyslog)
-		}
+	var tasks []task
+	for si, sg := range segs {
+		count := int(float64(n) * sg.weight / total)
+		from, to := sg.from, sg.to
+		tasks = append(tasks, shardTasks(fmt.Sprintf("bg/regime%d", si), count, func(s *generator, shardCount int) {
+			s.addSyslogBackground(shardCount, func() time.Time { return s.uniformTimeIn(from, to) })
+		})...)
 	}
+	return tasks
 }

@@ -1,0 +1,72 @@
+package simulate
+
+import (
+	"reflect"
+	"testing"
+
+	"whatsupersay/internal/logrec"
+)
+
+// TestWorkersByteIdentical: Workers is a throughput knob only. For the
+// same (System, Scale, Seed), every worker count yields byte-identical
+// lines, identical parsed records, and identical ground truth — the
+// contract that makes the parallel generator a safe default. Workers: 1
+// is the serial path (the task loop degenerates to sequential
+// execution), so this also pins parallel ≡ serial.
+func TestWorkersByteIdentical(t *testing.T) {
+	for _, sys := range logrec.Systems() {
+		base := Config{System: sys, Scale: 0.0002, Seed: 41, CorruptionProb: 0.01, Workers: 1}
+		want, err := Generate(base)
+		if err != nil {
+			t.Fatalf("%v: %v", sys, err)
+		}
+		for _, workers := range []int{2, 3, 8, 0} {
+			cfg := base
+			cfg.Workers = workers
+			got, err := Generate(cfg)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", sys, workers, err)
+			}
+			if len(got.Lines) != len(want.Lines) {
+				t.Fatalf("%v workers=%d: %d lines, want %d", sys, workers, len(got.Lines), len(want.Lines))
+			}
+			for i := range got.Lines {
+				if got.Lines[i] != want.Lines[i] {
+					t.Fatalf("%v workers=%d: line %d diverged\n got %q\nwant %q",
+						sys, workers, i, got.Lines[i], want.Lines[i])
+				}
+			}
+			if !reflect.DeepEqual(got.Records, want.Records) {
+				t.Fatalf("%v workers=%d: records diverged", sys, workers)
+			}
+			if !reflect.DeepEqual(got.Truth, want.Truth) {
+				t.Fatalf("%v workers=%d: truth diverged", sys, workers)
+			}
+		}
+	}
+}
+
+// TestIncidentIDsDense: the merge renumbering yields densely numbered,
+// unique incident IDs — every alert line's truth points at a real
+// incident.
+func TestIncidentIDsDense(t *testing.T) {
+	out, err := Generate(Config{System: logrec.Liberty, Scale: 0.0002, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int64]bool, len(out.Truth.Incidents))
+	for _, inc := range out.Truth.Incidents {
+		if inc.ID < 1 || inc.ID > int64(len(out.Truth.Incidents)) {
+			t.Fatalf("incident ID %d outside [1, %d]", inc.ID, len(out.Truth.Incidents))
+		}
+		if seen[inc.ID] {
+			t.Fatalf("duplicate incident ID %d", inc.ID)
+		}
+		seen[inc.ID] = true
+	}
+	for seq, tr := range out.Truth.AlertAt {
+		if !seen[tr.Incident] {
+			t.Fatalf("line %d: alert truth references unknown incident %d", seq, tr.Incident)
+		}
+	}
+}

@@ -25,8 +25,10 @@ import (
 	"whatsupersay/internal/cluster"
 	"whatsupersay/internal/corrupt"
 	"whatsupersay/internal/ddn"
+	"whatsupersay/internal/ingest"
 	"whatsupersay/internal/logrec"
 	"whatsupersay/internal/opcontext"
+	"whatsupersay/internal/parallel"
 	"whatsupersay/internal/rasdb"
 	"whatsupersay/internal/syslogng"
 )
@@ -52,8 +54,13 @@ type Config struct {
 	// keeping background volume scaled down.
 	AlertScale float64
 	// Seed makes the log reproducible. The same (System, Scale, Seed)
-	// always yields byte-identical output.
+	// always yields byte-identical output, regardless of Workers.
 	Seed int64
+	// Workers bounds the goroutines used for event synthesis, rendering,
+	// and re-parsing (0 = GOMAXPROCS). It is a throughput knob only:
+	// every shard draws from its own deterministically derived RNG, so
+	// the output is byte-identical at any worker count.
+	Workers int
 	// CorruptionProb is the per-line damage probability (default 2e-4,
 	// roughly the prevalence the paper describes as routine but rare).
 	CorruptionProb float64
@@ -223,26 +230,33 @@ func Generate(cfg Config) (*Output, error) {
 		end:   m.LogEnd(),
 	}
 	g.truth.AlertAt = make(map[uint64]AlertTruth)
-	g.timeline = g.buildTimeline()
+	g.timeline = g.fork("timeline").buildTimeline()
 
-	g.addAlerts()
-	g.addBackground()
+	// Synthesis fans out across workers in two waves — alert categories,
+	// then background shards (whose BG/L budgets are ratios of the
+	// generated alert counts) — each task on its own derived RNG, merged
+	// in task order. See shard.go for the determinism contract.
+	g.runTasks(g.alertTasks(), cfg.Workers)
+	g.runTasks(g.backgroundTasks(), cfg.Workers)
 
 	sort.SliceStable(g.events, func(i, j int) bool { return g.events[i].t.Before(g.events[j].t) })
 	g.truth.Emitted = len(g.events)
 
+	// Transport and corruption stay serial on the master RNG: both are
+	// order-dependent samples over the whole merged stream.
 	events := g.applyTransport()
 	if cfg.System == logrec.BlueGeneL {
 		events = mailboxOrder(events)
 	}
 
-	lines, truths := g.render(events)
+	opts := parallel.Options{Workers: cfg.Workers}
+	lines, truths := g.render(events, opts)
 	if cfg.CorruptionProb > 0 {
 		res := corrupt.DefaultInjector(cfg.CorruptionProb).Apply(g.rng, lines)
 		g.truth.CorruptedLines = res.Total()
 	}
 
-	records := parseLines(lines, cfg.System, g.start)
+	records := parseLines(lines, cfg.System, g.start, opts)
 	for i, tr := range truths {
 		if tr != nil {
 			g.truth.AlertAt[uint64(i)] = *tr
@@ -328,72 +342,42 @@ func mailboxOrder(events []event) []event {
 }
 
 // render converts events to wire lines, preserving alert truth per line.
-func (g *generator) render(events []event) ([]string, []*AlertTruth) {
-	lines := make([]string, 0, len(events))
-	truths := make([]*AlertTruth, 0, len(events))
+// Rendering is a pure per-event function, so it fills the output slices
+// chunk-parallel in place.
+func (g *generator) render(events []event, opts parallel.Options) ([]string, []*AlertTruth) {
+	lines := make([]string, len(events))
+	truths := make([]*AlertTruth, len(events))
 	withPri := g.cfg.System == logrec.RedStorm
-	for _, e := range events {
-		rec := logrec.Record{
-			Time: e.t, System: g.cfg.System, Source: e.node,
-			Severity: e.severity, Facility: e.facility,
-			Program: e.program, Body: e.body,
+	parallel.Do(len(events), opts, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := events[i]
+			rec := logrec.Record{
+				Time: e.t, System: g.cfg.System, Source: e.node,
+				Severity: e.severity, Facility: e.facility,
+				Program: e.program, Body: e.body,
+			}
+			switch e.dialect {
+			case catalog.DialectRAS:
+				lines[i] = rasdb.Render(rec)
+			case catalog.DialectEvent:
+				lines[i] = ddn.RenderEvent(rec)
+			default:
+				lines[i] = syslogng.Render(rec, withPri)
+			}
+			if e.cat != nil {
+				truths[i] = &AlertTruth{Category: e.cat.Name, Incident: e.incident}
+			}
 		}
-		var line string
-		switch e.dialect {
-		case catalog.DialectRAS:
-			line = rasdb.Render(rec)
-		case catalog.DialectEvent:
-			line = ddn.RenderEvent(rec)
-		default:
-			line = syslogng.Render(rec, withPri)
-		}
-		lines = append(lines, line)
-		if e.cat != nil {
-			truths = append(truths, &AlertTruth{Category: e.cat.Name, Incident: e.incident})
-		} else {
-			truths = append(truths, nil)
-		}
-	}
+	})
 	return lines, truths
 }
 
-// parseLines parses wire lines back into records, sniffing the dialect
-// per line and tracking year rollover for BSD timestamps (which carry no
-// year; Spirit's 558-day window crosses two New Years).
-func parseLines(lines []string, sys logrec.System, start time.Time) []logrec.Record {
-	recs := make([]logrec.Record, 0, len(lines))
-	year := start.Year()
-	lastMonth := start.Month()
-	for i, ln := range lines {
-		var rec logrec.Record
-		switch {
-		case sys == logrec.BlueGeneL:
-			rec, _ = rasdb.Parse(ln)
-		case looksLikeEvent(ln):
-			rec, _ = ddn.ParseEvent(ln)
-		default:
-			rec, _ = syslogng.Parse(ln, year, sys)
-			if !rec.Corrupted {
-				// Year-rollover inference: a jump backward of more
-				// than six months means we crossed New Year.
-				if rec.Time.Month() < lastMonth && lastMonth-rec.Time.Month() > 6 {
-					year++
-					rec, _ = syslogng.Parse(ln, year, sys)
-				}
-				lastMonth = rec.Time.Month()
-			}
-		}
-		rec.System = sys
-		rec.Seq = uint64(i)
-		recs = append(recs, rec)
-	}
+// parseLines parses wire lines back into records through the ingest
+// pipeline's chunk-parallel parser — the same dialect sniffing and
+// year-rollover inference the real reader applies (Spirit's 558-day
+// window crosses two New Years).
+func parseLines(lines []string, sys logrec.System, start time.Time, opts parallel.Options) []logrec.Record {
+	rd := ingest.Reader{System: sys, Start: start}
+	recs, _ := rd.ParseAll(lines, opts)
 	return recs
-}
-
-// looksLikeEvent sniffs the SMW event dialect: "YYYY-MM-DD HH:MM:SS ...".
-func looksLikeEvent(line string) bool {
-	if len(line) < 20 {
-		return false
-	}
-	return line[4] == '-' && line[7] == '-' && line[10] == ' ' && line[13] == ':' && line[16] == ':'
 }

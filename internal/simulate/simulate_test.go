@@ -170,15 +170,18 @@ func TestCategoriesObserved(t *testing.T) {
 }
 
 // TestSmallCategoriesExact: categories under the smallRaw threshold are
-// generated at their exact paper counts (modulo transport loss and
-// corruption, both rare).
+// generated at their exact paper counts (modulo transport loss,
+// corruption, and window-end burst truncation, all rare).
 func TestSmallCategoriesExact(t *testing.T) {
 	out := gen(t, logrec.Liberty)
 	alerts := tagged(t, out)
 	byCat := tag.CountByCategory(alerts)
 	for _, c := range catalog.BySystem(logrec.Liberty) {
 		got := byCat[c.Name]
-		slack := 2 + c.Raw/50 // loss/corruption slack
+		// Slack: UDP loss and corruption scale with volume; a burst
+		// rooted near the window end can additionally truncate a few
+		// messages, so the floor covers one truncated tail plus a drop.
+		slack := 4 + c.Raw/50
 		if got < c.Raw-slack || got > c.Raw {
 			t.Errorf("Liberty %s raw = %d, want ~%d", c.Name, got, c.Raw)
 		}
