@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race verify bench bench-smoke fuzz
+.PHONY: all build test vet race verify bench bench-smoke fuzz fuzz-smoke
 
 all: verify
 
@@ -21,7 +21,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-verify: build vet race bench-smoke
+verify: build vet race bench-smoke fuzz-smoke
 
 # Full stage-by-stage benchmark ledger (records/sec, allocs/record,
 # serial-vs-parallel speedup per stage). Writes BENCH_pipeline.json at
@@ -44,3 +44,12 @@ fuzz:
 	$(GO) test ./internal/rasdb -fuzz FuzzParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/ddn -fuzz FuzzParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/ingest -fuzz FuzzReadFunc -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/filter -fuzz FuzzStreamMatchesBatch -fuzztime $(FUZZTIME)
+
+# Brief fuzz runs as part of `make verify`: a few seconds each on the
+# framer and the online-vs-batch filter differential, enough to explore
+# past the seed corpus on every PR without stalling the gate.
+SMOKE_FUZZTIME ?= 3s
+fuzz-smoke:
+	$(GO) test ./internal/ingest -run '^$$' -fuzz FuzzReadFunc -fuzztime $(SMOKE_FUZZTIME)
+	$(GO) test ./internal/filter -run '^$$' -fuzz FuzzStreamMatchesBatch -fuzztime $(SMOKE_FUZZTIME)

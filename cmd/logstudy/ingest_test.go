@@ -143,4 +143,3 @@ func TestIngestCommandResume(t *testing.T) {
 		t.Errorf("resumed stats %+v != one-shot %+v", final.Stats, oneShot.Stats)
 	}
 }
-

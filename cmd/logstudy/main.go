@@ -17,6 +17,13 @@
 //	logstudy jobs [-system NAME] [-category CAT] [-checkpoint D]
 //	logstudy rules [-system NAME] [-export]
 //	logstudy bench [-system NAME|all] [-scale S] [-seed N] [-iters N] [-workers N] [-o FILE]
+//
+// Every subcommand additionally accepts the global observability flags
+// (before or after the subcommand name):
+//
+//	-metrics FILE  write a JSON snapshot of all pipeline telemetry at exit
+//	-http ADDR     serve Prometheus /metrics and /debug/pprof on ADDR
+//	-v             print the per-stage latency summary table at exit
 package main
 
 import (
@@ -38,6 +45,7 @@ import (
 	"whatsupersay/internal/ingest"
 	"whatsupersay/internal/logrec"
 	"whatsupersay/internal/mining"
+	"whatsupersay/internal/obs"
 	"whatsupersay/internal/report"
 	"whatsupersay/internal/rules"
 	"whatsupersay/internal/simulate"
@@ -51,7 +59,81 @@ func main() {
 	}
 }
 
+// globalOpts are the observability flags every subcommand accepts,
+// written before or after the subcommand name.
+type globalOpts struct {
+	metricsPath string // -metrics: JSON telemetry snapshot at exit
+	httpAddr    string // -http: serve /metrics (Prometheus) and /debug/pprof
+	verbose     bool   // -v: print the per-stage summary table at exit
+}
+
+// extractGlobal strips the global observability flags out of args,
+// leaving the subcommand and its own flags untouched. Both "-flag value"
+// and "-flag=value" spellings are accepted.
+func extractGlobal(args []string) ([]string, globalOpts, error) {
+	var g globalOpts
+	var rest []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if !strings.HasPrefix(a, "-") {
+			rest = append(rest, a)
+			continue
+		}
+		name, val, hasVal := strings.Cut(strings.TrimLeft(a, "-"), "=")
+		switch name {
+		case "metrics", "http":
+			if !hasVal {
+				i++
+				if i >= len(args) {
+					return nil, g, fmt.Errorf("-%s requires a value", name)
+				}
+				val = args[i]
+			}
+			if name == "metrics" {
+				g.metricsPath = val
+			} else {
+				g.httpAddr = val
+			}
+		case "v":
+			g.verbose = true
+		default:
+			rest = append(rest, a)
+		}
+	}
+	return rest, g, nil
+}
+
 func run(args []string, w io.Writer) error {
+	args, g, err := extractGlobal(args)
+	if err != nil {
+		return err
+	}
+	if g.httpAddr != "" {
+		addr, stop, err := obs.Serve(g.httpAddr, obs.Default)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Fprintf(w, "serving /metrics and /debug/pprof on http://%s/\n", addr)
+	}
+	err = dispatch(args, w)
+	if g.verbose {
+		fmt.Fprintln(w)
+		obs.Default.WriteSummary(w)
+	}
+	if g.metricsPath != "" {
+		if werr := obs.Default.WriteJSONFile(g.metricsPath); werr != nil {
+			if err == nil {
+				err = werr
+			}
+		} else {
+			fmt.Fprintf(w, "telemetry snapshot written to %s\n", g.metricsPath)
+		}
+	}
+	return err
+}
+
+func dispatch(args []string, w io.Writer) error {
 	if len(args) == 0 {
 		usage(w)
 		return nil
@@ -110,7 +192,13 @@ subcommands:
   sweep            filtering-threshold sensitivity (the paper fixes T=5s)
   rules            print the expert tagging rules (awk-style or file format)
   bench            time each pipeline stage serial vs parallel; write the
-                   BENCH_pipeline.json ledger`)
+                   BENCH_pipeline.json ledger
+
+global flags (any subcommand, before or after its name):
+  -metrics FILE    write a JSON snapshot of all pipeline telemetry at exit
+  -http ADDR       serve Prometheus /metrics and /debug/pprof on ADDR
+                   (e.g. -http localhost:6060)
+  -v               print the per-stage latency summary table at exit`)
 }
 
 // studyIndex maps studies by system.

@@ -18,10 +18,29 @@ import (
 	"whatsupersay/internal/filter"
 	"whatsupersay/internal/ingest"
 	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/obs"
 	"whatsupersay/internal/parallel"
 	"whatsupersay/internal/simulate"
 	"whatsupersay/internal/tag"
 )
+
+// record publishes one stage's results as labeled gauges in the shared
+// registry, so the bench ledger and production telemetry expose one
+// schema: a `-metrics` snapshot or `/metrics` scrape taken after a
+// bench run carries the same numbers BENCH_pipeline.json does.
+func (s Stage) record(system string) {
+	set := func(metric string, v float64) {
+		name := fmt.Sprintf("%s{system=%q,stage=%q}", metric, system, s.Name)
+		obs.Default.Gauge(name).Set(v)
+	}
+	set("bench_serial_seconds", s.SerialSec)
+	set("bench_parallel_seconds", s.ParallelSec)
+	set("bench_serial_records_per_sec", s.SerialRecPerSec)
+	set("bench_parallel_records_per_sec", s.ParallelRecPerSec)
+	set("bench_speedup", s.Speedup)
+	set("bench_allocs_per_record", s.AllocsPerRecord)
+	set("bench_bytes_per_record", s.BytesPerRecord)
+}
 
 // Options parameterizes one benchmark run.
 type Options struct {
@@ -185,6 +204,7 @@ func RunSystem(sys logrec.System, opts Options) (Report, error) {
 	rep.Stages = append(rep.Stages, stage("filter", len(alerts), opts.Iterations, run, run))
 
 	for _, s := range rep.Stages {
+		s.record(rep.System)
 		rep.TotalSerialSec += s.SerialSec
 		rep.TotalParallelSec += s.ParallelSec
 	}

@@ -1,0 +1,168 @@
+package filter
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"whatsupersay/internal/catalog"
+	"whatsupersay/internal/faultinject"
+	"whatsupersay/internal/tag"
+)
+
+// This file holds the differential tests for the online filter path: on
+// any well-formed (non-zero-time), time-sorted stream, Stream.Offer must
+// hand out exactly the verdicts batch Simultaneous.Filter gives on the
+// same slice, and Reordering must do the same even when the stream is
+// disordered within its slack. Zero-time alerts are deliberately outside
+// the domain: the batch algorithm folds a zero time into its `last`
+// watermark while the online filters treat it out-of-band (see
+// stream.go), so the two are only comparable on well-formed input.
+
+// alertsFromBytes decodes a fuzz payload into a deterministic,
+// time-sorted, well-formed alert stream: two bytes per alert, the first
+// choosing the gap to the previous alert, the second the category and
+// source. The gap encoding is biased toward the interesting region —
+// mostly inside the 5s redundancy window (so the redundant-path window
+// slide is constantly exercised), with dedicated encodings for the
+// exact-threshold boundary, zero gaps (equal timestamps), and long quiet
+// gaps (the wholesale-clear optimization).
+func alertsFromBytes(tb testing.TB, data []byte) []tag.Alert {
+	cats := []*catalog.Category{
+		cat(tb, "PBS_CHK"), cat(tb, "GM_PAR"), cat(tb, "PBS_CON"), cat(tb, "PBS_BFD"),
+	}
+	srcs := []string{"a", "b", "c"}
+	var in []tag.Alert
+	offset := 0.0
+	for i := 0; i+1 < len(data); i += 2 {
+		b0, b1 := data[i], data[i+1]
+		switch {
+		case b0 >= 0xF0:
+			offset += 30 + float64(b0&0x0F)*10 // long quiet gap: clears the table
+		case b0&0x0F == 0x0F:
+			offset += 5 // exactly T: the strict-inequality boundary
+		default:
+			offset += float64(b0&0x0F) * 0.45 // 0–6.3s, mostly inside the window
+		}
+		in = append(in, mk(cats[int(b1)%len(cats)], srcs[int(b1>>4)%len(srcs)], offset, uint64(i/2)))
+	}
+	return in
+}
+
+// batchVerdicts runs batch Algorithm 3.1 and returns keep/drop per Seq.
+func batchVerdicts(in []tag.Alert) map[uint64]bool {
+	kept := make(map[uint64]bool, len(in))
+	for _, a := range (Simultaneous{T: 5 * time.Second}).Filter(in) {
+		kept[a.Record.Seq] = true
+	}
+	return kept
+}
+
+// FuzzStreamMatchesBatch is the differential fuzz target: for every
+// generated stream, (1) Stream.Offer on the sorted stream and (2)
+// Reordering on a bounded-skew disordering of it must both reproduce the
+// batch verdicts exactly, and Reordering's decisions must come out in
+// event-time order with nothing left buffered. The seed corpus runs
+// under plain `go test`, so the differential is always in CI; `make
+// fuzz-smoke` explores beyond it.
+func FuzzStreamMatchesBatch(f *testing.F) {
+	// Seeds: a ~1.4s drizzle spanning several windows (redundant-path
+	// slide), exact-threshold boundaries, a quiet gap mid-stream, and a
+	// burst of equal timestamps across categories and sources.
+	f.Add([]byte{0x03, 0x00, 0x03, 0x01, 0x03, 0x10, 0x03, 0x00, 0x03, 0x21, 0x03, 0x02})
+	f.Add([]byte{0x0F, 0x00, 0x0F, 0x00, 0x0F, 0x11})
+	f.Add([]byte{0x02, 0x00, 0xF4, 0x00, 0x01, 0x00, 0x01, 0x13})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x10, 0x00, 0x21, 0x03, 0x00, 0x00, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in := alertsFromBytes(t, data)
+		if len(in) == 0 {
+			return
+		}
+		want := batchVerdicts(in)
+
+		// Differential 1: the plain online filter on the sorted stream.
+		s := NewStream(5 * time.Second)
+		for _, a := range in {
+			if got := s.Offer(a); got != want[a.Record.Seq] {
+				t.Fatalf("Stream.Offer(seq %d @%v) = %v, batch says %v",
+					a.Record.Seq, a.Record.Time, got, want[a.Record.Seq])
+			}
+		}
+
+		// Differential 2: the reordering filter on a disordered stream
+		// whose skew is bounded by its slack.
+		var seed int64
+		for _, b := range data {
+			seed = seed*131 + int64(b)
+		}
+		skew := 4 * time.Second
+		disordered := faultinject.Reorder(seed, skew, in,
+			func(a tag.Alert) time.Time { return a.Record.Time })
+		r := NewReordering(5*time.Second, skew)
+		var decisions []Decision
+		for _, a := range disordered {
+			decisions = append(decisions, r.Offer(a)...)
+		}
+		decisions = append(decisions, r.Flush()...)
+		if len(decisions) != len(in) {
+			t.Fatalf("Reordering decided %d of %d alerts", len(decisions), len(in))
+		}
+		if r.Pending() != 0 {
+			t.Fatalf("Reordering left %d alerts buffered after Flush", r.Pending())
+		}
+		for i, d := range decisions {
+			if d.Keep != want[d.Alert.Record.Seq] {
+				t.Fatalf("Reordering(seq %d) = %v, batch says %v",
+					d.Alert.Record.Seq, d.Keep, want[d.Alert.Record.Seq])
+			}
+			if i > 0 && d.Alert.Record.Time.Before(decisions[i-1].Alert.Record.Time) {
+				t.Fatalf("decision %d out of event-time order", i)
+			}
+		}
+	})
+}
+
+// TestStreamMatchesBatchOnSortedStreams is the property form of the
+// differential (quick.Check over seeded random streams), so CI covers a
+// wider input family than the fuzz seed corpus alone.
+func TestStreamMatchesBatchOnSortedStreams(t *testing.T) {
+	f := func(seed int64) bool {
+		in := seededAlerts(t, seed, 400)
+		want := batchVerdicts(in)
+		s := NewStream(5 * time.Second)
+		for _, a := range in {
+			if s.Offer(a) != want[a.Record.Seq] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStreamRedundantPathSlidesWindow pins the window slide on the
+// redundant path (stream.go): a DROPPED alert still refreshes its
+// category's last-report time, exactly as batch Algorithm 3.1 does, so
+// a drizzle of sub-threshold repeats coalesces no matter how long it
+// runs.
+func TestStreamRedundantPathSlidesWindow(t *testing.T) {
+	c := cat(t, "PBS_CHK")
+	s := NewStream(5 * time.Second)
+	if !s.Offer(mk(c, "a", 0, 0)) {
+		t.Fatal("first alert must survive")
+	}
+	if s.Offer(mk(c, "b", 3, 1)) {
+		t.Fatal("3s repeat must be dropped")
+	}
+	// 6s is within T of the DROPPED 3s report but not of the kept 0s
+	// report: only the slide makes it redundant.
+	if s.Offer(mk(c, "a", 6, 2)) {
+		t.Error("redundant path failed to slide the window")
+	}
+	// After a genuine quiet gap the category fires again.
+	if !s.Offer(mk(c, "a", 20, 3)) {
+		t.Error("quiet gap must reset the window")
+	}
+}

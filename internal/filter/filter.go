@@ -12,12 +12,19 @@ package filter
 import (
 	"time"
 
+	"whatsupersay/internal/obs"
 	"whatsupersay/internal/tag"
 )
 
 // DefaultThreshold is the T = 5 s used throughout the paper, "in
 // correspondence with previous work".
 const DefaultThreshold = 5 * time.Second
+
+// Batch-filter telemetry, folded in once per Filter call.
+var (
+	mFilterIn   = obs.Default.Counter("filter_alerts_in_total")
+	mFilterKept = obs.Default.Counter("filter_alerts_kept_total")
+)
 
 // Algorithm filters a time-sorted alert stream, returning the survivors
 // in order.
@@ -50,6 +57,7 @@ func (f Simultaneous) Name() string { return "simultaneous" }
 
 // Filter implements Algorithm 3.1 verbatim.
 func (f Simultaneous) Filter(alerts []tag.Alert) []tag.Alert {
+	sp := obs.Default.StartSpan("filter")
 	t := f.T
 	if t <= 0 {
 		t = DefaultThreshold
@@ -71,6 +79,9 @@ func (f Simultaneous) Filter(alerts []tag.Alert) []tag.Alert {
 		x[ci] = ti
 		out = append(out, a)
 	}
+	sp.End()
+	mFilterIn.Add(int64(len(alerts)))
+	mFilterKept.Add(int64(len(out)))
 	return out
 }
 

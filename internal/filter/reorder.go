@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"time"
 
+	"whatsupersay/internal/obs"
 	"whatsupersay/internal/tag"
 )
 
@@ -16,6 +17,14 @@ import (
 // exact time order for any stream whose disorder is bounded, using the
 // watermark technique of streaming systems: an alert is released only
 // once no earlier-stamped alert can still arrive.
+
+// Reordering-buffer telemetry: how many alerts the watermark has
+// released, and the instantaneous buffer depth (the latency the buffer
+// is charging the stream).
+var (
+	mReorderReleased = obs.Default.Counter("reorder_released_total")
+	mReorderPending  = obs.Default.Gauge("reorder_pending")
+)
 
 // Decision pairs an alert with the filter's verdict, emitted once the
 // alert clears the reordering buffer.
@@ -31,6 +40,21 @@ type Decision struct {
 // Slack of all alerts stamped earlier than it, the decisions are exactly
 // those of batch Algorithm 3.1 on the time-sorted stream. Latency is the
 // price: a decision is withheld until the watermark passes the alert.
+//
+// Ordering contract: decisions for time-stamped alerts are emitted in
+// event-time order (across Offer and Flush). Zero-time alerts —
+// corrupted timestamps — carry no event time to order by, so they are
+// decided out-of-band, immediately at arrival, and may therefore appear
+// between two buffered alerts' decisions; see Offer.
+//
+// Reuse contract: a Reordering instance filters ONE logical stream.
+// Flush drains the buffer but deliberately leaves the watermark and the
+// inner Stream's redundancy state in place (a late tail delivered after
+// an end-of-stream flush must still be judged against the stream it
+// belongs to). To filter a second, unrelated stream with the same
+// instance — whose timestamps may start before the first stream's
+// maximum — call Reset first, or early alerts of the new stream would be
+// released immediately against the stale watermark, out of order.
 type Reordering struct {
 	// S makes the keep/drop decisions once order is restored.
 	S *Stream
@@ -50,7 +74,10 @@ func NewReordering(t, slack time.Duration) *Reordering {
 // Offer accepts one alert in arrival order and returns the decisions for
 // every alert the watermark released, in event-time order. Alerts whose
 // time is zero (corrupted away) are decided immediately — they carry no
-// ordering information — and are always kept, matching Stream.Offer.
+// ordering information, so buffering them could not sequence them
+// anywhere meaningful — and are always kept, matching Stream.Offer. Such
+// a decision is emitted at arrival even while earlier-stamped alerts sit
+// in the buffer; only the time-stamped decisions are mutually ordered.
 func (r *Reordering) Offer(a tag.Alert) []Decision {
 	if r.S == nil {
 		r.S = NewStream(0)
@@ -73,11 +100,16 @@ func (r *Reordering) Offer(a tag.Alert) []Decision {
 		b := heap.Pop(&r.h).(tag.Alert)
 		out = append(out, Decision{Alert: b, Keep: r.S.Offer(b)})
 	}
+	mReorderReleased.Add(int64(len(out)))
+	mReorderPending.Set(float64(r.h.Len()))
 	return out
 }
 
 // Flush drains the buffer at end of stream, returning the remaining
-// decisions in event-time order.
+// decisions in event-time order. Flush does NOT reset the filter: the
+// watermark and the inner Stream's redundancy state survive, so a late
+// tail of the same stream is still judged correctly. Call Reset before
+// reusing the instance for a different stream.
 func (r *Reordering) Flush() []Decision {
 	if r.S == nil {
 		r.S = NewStream(0)
@@ -87,7 +119,30 @@ func (r *Reordering) Flush() []Decision {
 		b := heap.Pop(&r.h).(tag.Alert)
 		out = append(out, Decision{Alert: b, Keep: r.S.Offer(b)})
 	}
+	mReorderReleased.Add(int64(len(out)))
+	mReorderPending.Set(0)
 	return out
+}
+
+// Reset prepares the instance for a new, unrelated stream: it discards
+// any buffered alerts, clears the watermark, and resets the inner
+// Stream's redundancy state (preserving its configured window). Without
+// it, a second stream whose timestamps start earlier than the first
+// stream's maximum would have its early alerts released immediately —
+// in arrival rather than event-time order — against the stale
+// watermark.
+func (r *Reordering) Reset() {
+	// Zero the backing array before truncating so the dropped alerts'
+	// record strings are released to the GC.
+	for i := range r.h.alerts {
+		r.h.alerts[i] = tag.Alert{}
+	}
+	r.h.alerts = r.h.alerts[:0]
+	r.max = time.Time{}
+	if r.S != nil {
+		r.S.Reset()
+	}
+	mReorderPending.Set(0)
 }
 
 // Pending reports how many alerts are buffered awaiting the watermark.
@@ -110,6 +165,11 @@ func (h *alertHeap) Pop() any {
 	old := h.alerts
 	n := len(old)
 	a := old[n-1]
+	// Zero the vacated slot before shrinking: the slice's backing array
+	// lives as long as the buffer does, and a stale tag.Alert there
+	// pins the full raw record string (and the category pointer) long
+	// after the alert was decided.
+	old[n-1] = tag.Alert{}
 	h.alerts = old[:n-1]
 	return a
 }

@@ -1,6 +1,7 @@
 package filter
 
 import (
+	"container/heap"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -120,6 +121,122 @@ func TestReorderingZeroTime(t *testing.T) {
 	}
 	if got := r.Flush(); len(got) != 1 {
 		t.Errorf("flush = %d decisions, want 1", len(got))
+	}
+}
+
+// TestReorderingZeroTimeOutOfBand pins the settled ordering contract:
+// a zero-time alert offered while earlier-stamped alerts sit buffered
+// is decided immediately (out-of-band) and does not disturb, reorder,
+// or flush the buffered time-stamped alerts, whose own decisions stay
+// in event-time order.
+func TestReorderingZeroTimeOutOfBand(t *testing.T) {
+	r := NewReordering(5*time.Second, 10*time.Second)
+	c := cat(t, "PBS_CHK")
+	// Two buffered alerts, not yet past the watermark.
+	if ds := r.Offer(mk(c, "a", 0, 1)); len(ds) != 0 {
+		t.Fatal("alert released before watermark")
+	}
+	if ds := r.Offer(mk(c, "b", 3, 2)); len(ds) != 0 {
+		t.Fatal("alert released before watermark")
+	}
+	zero := mk(c, "c", 0, 3)
+	zero.Record.Time = time.Time{}
+	ds := r.Offer(zero)
+	if len(ds) != 1 || ds[0].Alert.Record.Seq != 3 || !ds[0].Keep {
+		t.Fatalf("zero-time alert not decided out-of-band: %+v", ds)
+	}
+	if r.Pending() != 2 {
+		t.Fatalf("buffered alerts disturbed: pending = %d, want 2", r.Pending())
+	}
+	// The buffered alerts drain later, still in event-time order.
+	got := r.Flush()
+	if len(got) != 2 || got[0].Alert.Record.Seq != 1 || got[1].Alert.Record.Seq != 2 {
+		t.Fatalf("flush order wrong: %+v", got)
+	}
+}
+
+// TestReorderingResetBetweenStreams is the reuse-after-Flush satellite:
+// without Reset, the first stream's watermark (r.max) survives Flush,
+// so a second stream starting earlier than that maximum is released
+// immediately in the wrong order and judged against stale redundancy
+// state. With Reset, back-to-back streams each get exactly the batch
+// verdicts.
+func TestReorderingResetBetweenStreams(t *testing.T) {
+	c := cat(t, "PBS_CHK")
+	// Stream one ends late (t=1000s): watermark far in the future.
+	first := []tag.Alert{mk(c, "a", 990, 0), mk(c, "a", 1000, 1)}
+	// Stream two starts at t=0 — entirely before stream one's max — and
+	// contains a redundancy pattern whose correct verdicts depend on
+	// fresh state: keep, drop, keep-after-gap.
+	second := []tag.Alert{mk(c, "a", 0, 10), mk(c, "b", 2, 11), mk(c, "a", 60, 12)}
+	wantKeep := map[uint64]bool{10: true, 11: false, 12: true}
+
+	r := NewReordering(5*time.Second, 8*time.Second)
+	for _, a := range first {
+		r.Offer(a)
+	}
+	r.Flush()
+
+	r.Reset()
+	if r.Pending() != 0 {
+		t.Fatal("Reset left alerts buffered")
+	}
+	var decisions []Decision
+	for _, a := range second {
+		if ds := r.Offer(a); len(ds) != 0 {
+			// Nothing may be released early: the new watermark must have
+			// restarted from zero, and second's span (60s) minus slack
+			// (8s) does release the first two — that's fine; what must
+			// NOT happen is release on the very first Offer.
+			decisions = append(decisions, ds...)
+		}
+	}
+	decisions = append(decisions, r.Flush()...)
+	if len(decisions) != len(second) {
+		t.Fatalf("decided %d alerts, want %d", len(decisions), len(second))
+	}
+	for i, d := range decisions {
+		if d.Keep != wantKeep[d.Alert.Record.Seq] {
+			t.Errorf("seq %d: keep = %v, want %v (stale state leaked across Reset)",
+				d.Alert.Record.Seq, d.Keep, wantKeep[d.Alert.Record.Seq])
+		}
+		if i > 0 && d.Alert.Record.Time.Before(decisions[i-1].Alert.Record.Time) {
+			t.Errorf("decision %d out of event-time order", i)
+		}
+	}
+
+	// The regression itself: WITHOUT Reset the stale watermark releases
+	// the new stream's first alert on its first Offer.
+	r2 := NewReordering(5*time.Second, 8*time.Second)
+	for _, a := range first {
+		r2.Offer(a)
+	}
+	r2.Flush()
+	if ds := r2.Offer(mk(c, "a", 0, 20)); len(ds) == 0 {
+		t.Error("expected the stale watermark to misbehave without Reset; " +
+			"if this fails the reuse semantics changed — update the docs")
+	}
+}
+
+// TestAlertHeapPopReleasesSlot is the memory-retention satellite: Pop
+// must zero the vacated backing-array slot so the popped alert's record
+// string is not pinned for the lifetime of the buffer.
+func TestAlertHeapPopReleasesSlot(t *testing.T) {
+	c := cat(t, "PBS_CHK")
+	var h alertHeap
+	for i := 0; i < 4; i++ {
+		a := mk(c, "src", float64(i), uint64(i))
+		a.Record.Raw = "a very long raw record line that must not be pinned"
+		heap.Push(&h, a)
+	}
+	for h.Len() > 0 {
+		n := h.Len()
+		heap.Pop(&h)
+		// Inspect the vacated slot in the backing array.
+		slot := h.alerts[:n][n-1]
+		if slot.Record.Raw != "" || slot.Category != nil {
+			t.Fatalf("Pop left alert data in vacated slot: %+v", slot)
+		}
 	}
 }
 

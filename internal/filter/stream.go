@@ -3,7 +3,16 @@ package filter
 import (
 	"time"
 
+	"whatsupersay/internal/obs"
 	"whatsupersay/internal/tag"
+)
+
+// Online-filter telemetry: per-offer counters on the streaming path
+// (one atomic add each; the batch path is counted separately).
+var (
+	mStreamOffered = obs.Default.Counter("stream_offered_total")
+	mStreamKept    = obs.Default.Counter("stream_kept_total")
+	mStreamZero    = obs.Default.Counter("stream_zero_time_total")
 )
 
 // Stream is the online form of Algorithm 3.1, for deployments that
@@ -31,6 +40,14 @@ func NewStream(t time.Duration) *Stream {
 // Offer processes one alert in arrival order and reports whether it
 // survives (true = first report of a failure). Alerts must be offered in
 // non-decreasing time order, as they arrive from a collection path.
+//
+// On any time-sorted stream of well-formed (non-zero-time) alerts, the
+// verdicts are exactly those of batch Simultaneous.Filter on the same
+// slice — including the window slide on the redundant path, where a
+// dropped alert still refreshes its category's last-report time
+// (enforced by the differential tests in differential_test.go).
+// Zero-time alerts are outside the batch algorithm's domain and get the
+// defensive treatment described below.
 func (s *Stream) Offer(a tag.Alert) bool {
 	if s.x == nil {
 		s.x = make(map[string]time.Time)
@@ -39,6 +56,7 @@ func (s *Stream) Offer(a tag.Alert) bool {
 	if t <= 0 {
 		t = DefaultThreshold
 	}
+	mStreamOffered.Inc()
 	ti := a.Record.Time
 	if ti.IsZero() {
 		// A zero timestamp means the record's time was corrupted away
@@ -47,6 +65,8 @@ func (s *Stream) Offer(a tag.Alert) bool {
 		// leave all window state untouched: folding a zero time into
 		// s.last would put every subsequent alert "more than T" ahead
 		// and wrongly clear the table on each arrival.
+		mStreamZero.Inc()
+		mStreamKept.Inc()
 		return true
 	}
 	if !s.last.IsZero() && ti.Sub(s.last) > t {
@@ -59,6 +79,7 @@ func (s *Stream) Offer(a tag.Alert) bool {
 		return false
 	}
 	s.x[ci] = ti
+	mStreamKept.Inc()
 	return true
 }
 

@@ -19,9 +19,29 @@ import (
 
 	"whatsupersay/internal/ddn"
 	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/obs"
 	"whatsupersay/internal/rasdb"
 	"whatsupersay/internal/syslogng"
 )
+
+// Ingestion telemetry. The streaming paths (ReadFunc, ReadResilient)
+// update the counters per line — each update is one atomic add on a
+// pointer resolved once at init — and the batch path (ParseAll) folds
+// its per-chunk stats in once at the end, so the instrumented parse
+// stage stays within the bench overhead budget (DESIGN.md §9).
+var (
+	mLines     = obs.Default.Counter("ingest_lines_total")
+	mParseErrs = obs.Default.Counter("ingest_parse_errors_total")
+	mOversized = obs.Default.Counter("ingest_oversized_total")
+	mLineBytes = obs.Default.Histogram("ingest_line_bytes", obs.Bytes)
+)
+
+// recordStats folds one batch run's stats into the ingest counters.
+func recordStats(s Stats) {
+	mLines.Add(int64(s.Lines))
+	mParseErrs.Add(int64(s.ParseErrors))
+	mOversized.Add(int64(s.Oversized))
+}
 
 // Stats summarizes one ingestion run.
 type Stats struct {
@@ -258,6 +278,7 @@ func (rd Reader) ReadFunc(r io.Reader, fn func(logrec.Record) error, stats *Stat
 			return fmt.Errorf("ingest %v: %w", rd.System, rerr)
 		}
 		line := string(raw)
+		mLineBytes.Observe(int64(len(raw)))
 		rec, perr := rd.parseLine(line, years)
 		if oversized {
 			// The capped prefix may still have parsed a timestamp and
@@ -265,12 +286,15 @@ func (rd Reader) ReadFunc(r io.Reader, fn func(logrec.Record) error, stats *Stat
 			rec.Corrupted = true
 			perr = true
 			stats.Oversized++
+			mOversized.Inc()
 		}
 		rec.Seq = seq
 		seq++
 		stats.Lines++
+		mLines.Inc()
 		if perr {
 			stats.ParseErrors++
+			mParseErrs.Inc()
 		}
 		if err := fn(rec); err != nil {
 			return err

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/obs"
 	"whatsupersay/internal/parallel"
 	"whatsupersay/internal/syslogng"
 )
@@ -53,6 +54,8 @@ func rollsOver(last, m time.Month) bool {
 // chunk-parallel, assigning sequence numbers in slice order. It is the
 // batch analogue of ReadFunc: identical records, identical stats.
 func (rd Reader) ParseAll(lines []string, opts parallel.Options) ([]logrec.Record, Stats) {
+	sp := obs.Default.StartSpan("parse")
+	defer sp.End()
 	start := rd.Start
 	if start.IsZero() {
 		start = time.Date(2000, time.January, 1, 0, 0, 0, 0, time.UTC)
@@ -144,6 +147,9 @@ func (rd Reader) ParseAll(lines []string, opts parallel.Options) ([]logrec.Recor
 		recs = append(recs, pc.recs...)
 		stats.add(pc.stats)
 	}
+	// One fold into the ingest counters per call, not per line: the
+	// batch path is the benched hot loop.
+	recordStats(stats)
 	return recs, stats
 }
 
@@ -189,8 +195,10 @@ func ReadAllParallel(r io.Reader, sys logrec.System, start time.Time, opts paral
 		if !recs[i].Corrupted {
 			recs[i].Corrupted = true
 			stats.ParseErrors++
+			mParseErrs.Inc()
 		}
 		stats.Oversized++
+		mOversized.Inc()
 	}
 	tallyDialects(recs, sys, &stats)
 	logrec.SortRecords(recs)

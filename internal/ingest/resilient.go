@@ -10,6 +10,16 @@ import (
 	"time"
 
 	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/obs"
+)
+
+// Fault-path telemetry: how often the resilience machinery actually
+// fires. These are per-event (rare by construction), not per-line.
+var (
+	mRetries     = obs.Default.Counter("ingest_retries_total")
+	mQuarantined = obs.Default.Counter("ingest_quarantined_total")
+	mPanics      = obs.Default.Counter("ingest_parser_panics_total")
+	mCheckpoints = obs.Default.Counter("ingest_checkpoints_total")
 )
 
 // Resilient ingestion: the paper's logs arrive damaged (Section 3.2.1)
@@ -151,6 +161,7 @@ func (rr *retryReader) Read(p []byte) (int, error) {
 			return 0, err
 		}
 		*rr.retries++
+		mRetries.Inc()
 		select {
 		case <-rr.ctx.Done():
 			return 0, rr.ctx.Err()
@@ -182,6 +193,8 @@ func (rd Reader) safeParse(line string, years *YearTracker) (rec logrec.Record, 
 // fatal error, if any. A record is covered by the checkpoint only after
 // fn has accepted it, so a resumed run never skips or double-delivers.
 func (rd Reader) ReadResilient(ctx context.Context, r io.Reader, fn func(logrec.Record) error, opts ResilientOptions) (Checkpoint, error) {
+	sp := obs.Default.StartSpan("ingest")
+	defer sp.End()
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -244,6 +257,7 @@ func (rd Reader) ReadResilient(ctx context.Context, r io.Reader, fn func(logrec.
 
 	checkpoint := func() error {
 		snap()
+		mCheckpoints.Inc()
 		if opts.OnCheckpoint != nil {
 			return opts.OnCheckpoint(cp)
 		}
@@ -264,6 +278,7 @@ func (rd Reader) ReadResilient(ctx context.Context, r io.Reader, fn func(logrec.
 			return cp, fmt.Errorf("ingest %v: %w", rd.System, rerr)
 		}
 		line := string(raw)
+		mLineBytes.Observe(int64(len(raw)))
 		rec, perr, panicked := rd.safeParse(line, years)
 		if oversized {
 			rec.Corrupted = true
@@ -278,15 +293,20 @@ func (rd Reader) ReadResilient(ctx context.Context, r io.Reader, fn func(logrec.
 		cp.Seq++
 		cp.Lines++
 		cp.Stats.Lines++
+		mLines.Inc()
 		if oversized {
 			cp.Stats.Oversized++
+			mOversized.Inc()
 		}
 		if panicked {
 			cp.Panics++
+			mPanics.Inc()
 		}
 		if perr {
 			cp.Stats.ParseErrors++
+			mParseErrs.Inc()
 			cp.Quarantined++
+			mQuarantined.Inc()
 			if opts.Quarantine != nil {
 				if _, err := io.WriteString(opts.Quarantine, line+"\n"); err != nil {
 					snap()

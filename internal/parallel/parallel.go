@@ -17,7 +17,36 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"whatsupersay/internal/obs"
 )
+
+// Pool telemetry, recorded into the process registry: per-chunk
+// latency, instantaneous queue depth, and the busy-vs-available worker
+// time from which utilization is derived (utilization =
+// parallel_busy_nanos_total / parallel_worker_nanos_total). All updates
+// are atomic and per-chunk (never per-item), so the cost is two clock
+// reads and a handful of atomic adds per DefaultChunkSize items — see
+// DESIGN.md §9 for the measured overhead.
+var (
+	poolChunks    = obs.Default.Counter("parallel_chunks_total")
+	poolChunkTime = obs.Default.Histogram("parallel_chunk_seconds", obs.Seconds)
+	poolQueue     = obs.Default.Gauge("parallel_queue_depth")
+	poolBusy      = obs.Default.Counter("parallel_busy_nanos_total")
+	poolWorker    = obs.Default.Counter("parallel_worker_nanos_total")
+)
+
+// runChunk times one chunk and folds it into the pool telemetry.
+func runChunk(fn func(lo, hi int), lo, hi int) {
+	t0 := time.Now()
+	fn(lo, hi)
+	d := time.Since(t0)
+	poolChunks.Inc()
+	poolChunkTime.Observe(int64(d))
+	poolBusy.Add(int64(d))
+	poolQueue.Add(-1)
+}
 
 // DefaultChunkSize is the per-chunk work-item count when Options leaves
 // it zero. Big enough to amortize scheduling, small enough to load
@@ -78,13 +107,16 @@ func Do(n int, opts Options, fn func(lo, hi int)) {
 	cs := opts.chunkSize()
 	chunks := opts.Chunks(n)
 	w := opts.workers(chunks)
+	poolQueue.Add(float64(chunks))
+	t0 := time.Now()
 	if w == 1 {
 		// Serial fast path: same chunk boundaries, no goroutines.
 		for c := 0; c < chunks; c++ {
 			lo := c * cs
 			hi := min(lo+cs, n)
-			fn(lo, hi)
+			runChunk(fn, lo, hi)
 		}
+		poolWorker.Add(int64(time.Since(t0)))
 		return
 	}
 	var next atomic.Int64
@@ -100,11 +132,14 @@ func Do(n int, opts Options, fn func(lo, hi int)) {
 				}
 				lo := c * cs
 				hi := min(lo+cs, n)
-				fn(lo, hi)
+				runChunk(fn, lo, hi)
 			}
 		}()
 	}
 	wg.Wait()
+	// Worker-time denominator: w workers were available for the whole
+	// wall duration of this Do.
+	poolWorker.Add(int64(time.Since(t0)) * int64(w))
 }
 
 // FlatMap runs fn over each chunk of [0, n) and concatenates the

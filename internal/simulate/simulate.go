@@ -27,6 +27,7 @@ import (
 	"whatsupersay/internal/ddn"
 	"whatsupersay/internal/ingest"
 	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/obs"
 	"whatsupersay/internal/opcontext"
 	"whatsupersay/internal/parallel"
 	"whatsupersay/internal/rasdb"
@@ -214,6 +215,8 @@ func (g *generator) scaled(paperCount, minKeep int) int {
 
 // Generate produces the synthetic log for one system.
 func Generate(cfg Config) (*Output, error) {
+	sp := obs.Default.StartSpan("generate")
+	defer sp.End()
 	cfg = cfg.withDefaults()
 	if cfg.Scale <= 0 || cfg.Scale > 1 {
 		return nil, fmt.Errorf("simulate: scale %v out of range (0,1]", cfg.Scale)
@@ -266,6 +269,8 @@ func Generate(cfg Config) (*Output, error) {
 	sort.Slice(g.truth.Incidents, func(i, j int) bool {
 		return g.truth.Incidents[i].Time.Before(g.truth.Incidents[j].Time)
 	})
+	obs.Default.Counter("simulate_lines_total").Add(int64(len(lines)))
+	obs.Default.Counter("simulate_dropped_total").Add(int64(g.truth.Dropped))
 	return &Output{
 		Config:  cfg,
 		Machine: m,

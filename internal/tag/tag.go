@@ -15,7 +15,15 @@ import (
 
 	"whatsupersay/internal/catalog"
 	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/obs"
 	"whatsupersay/internal/parallel"
+)
+
+// Tagging telemetry: records scanned and alerts produced, folded in
+// once per TagAll call (never per record).
+var (
+	mTagRecords = obs.Default.Counter("tag_records_total")
+	mTagAlerts  = obs.Default.Counter("tag_alerts_total")
 )
 
 // Alert is a record that an expert rule tagged, with its category.
@@ -104,8 +112,9 @@ func (t *Tagger) TagAll(recs []logrec.Record) []Alert {
 // TagAllParallel is TagAll with explicit pool options, for callers
 // that pin the worker count (benchmarks, equivalence tests).
 func (t *Tagger) TagAllParallel(recs []logrec.Record, opts parallel.Options) []Alert {
+	sp := obs.Default.StartSpan("tag")
 	rate := t.estimateRate(recs)
-	return parallel.FlatMap(len(recs), opts, func(lo, hi int) []Alert {
+	out := parallel.FlatMap(len(recs), opts, func(lo, hi int) []Alert {
 		out := make([]Alert, 0, alertCap(hi-lo, rate))
 		for i := lo; i < hi; i++ {
 			if c, ok := t.Tag(recs[i]); ok {
@@ -114,17 +123,25 @@ func (t *Tagger) TagAllParallel(recs []logrec.Record, opts parallel.Options) []A
 		}
 		return out
 	})
+	sp.End()
+	mTagRecords.Add(int64(len(recs)))
+	mTagAlerts.Add(int64(len(out)))
+	return out
 }
 
 // TagAllSerial is the single-threaded reference path: one pass, output
 // preallocated from the sampled alert-rate estimate.
 func (t *Tagger) TagAllSerial(recs []logrec.Record) []Alert {
+	sp := obs.Default.StartSpan("tag")
 	out := make([]Alert, 0, alertCap(len(recs), t.estimateRate(recs)))
 	for _, r := range recs {
 		if c, ok := t.Tag(r); ok {
 			out = append(out, Alert{Record: r, Category: c})
 		}
 	}
+	sp.End()
+	mTagRecords.Add(int64(len(recs)))
+	mTagAlerts.Add(int64(len(out)))
 	return out
 }
 
