@@ -1,0 +1,83 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"whatsupersay/internal/cluster"
+	"whatsupersay/internal/core"
+	"whatsupersay/internal/ingest"
+	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/report"
+	"whatsupersay/internal/simulate"
+	"whatsupersay/internal/store"
+)
+
+// runBuildStore runs the batch pipeline once — generate (or ingest a
+// real log with -in), tag, filter — and persists the result as a
+// segment store that `logstudy serve` answers from without ever
+// re-running the pipeline.
+func runBuildStore(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("build-store", flag.ContinueOnError)
+	sysName := fs.String("system", "liberty", "system to build (bgl, tbird, redstorm, spirit, liberty)")
+	dir := fs.String("dir", "", "store directory to create or append to (required)")
+	inPath := fs.String("in", "", "ingest this log file instead of generating synthetically")
+	flushEvery := fs.Int("flush-every", store.DefaultFlushEvery, "seal a segment every N entries")
+	syncAppends := fs.Bool("sync", false, "fsync the wal after every append batch")
+	scale, seed := commonFlags(fs)
+	if help, err := parseFlags(fs, args); help || err != nil {
+		return err
+	}
+	if *dir == "" {
+		return usageError("build-store: -dir is required")
+	}
+	sys, err := logrec.ParseSystem(*sysName)
+	if err != nil {
+		return err
+	}
+
+	var s *core.Study
+	if *inPath != "" {
+		f, err := ingest.Open(*inPath)
+		if err != nil {
+			return err
+		}
+		m, err := cluster.New(sys)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		recs, stats, err := ingest.ReadAll(f, sys, m.LogStart)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "ingested %s lines (%d parse errors) from %s\n",
+			report.Comma(int64(stats.Lines)), stats.ParseErrors, *inPath)
+		s = core.FromRecords(sys, recs)
+	} else if s, err = core.New(simulate.Config{System: sys, Scale: *scale, Seed: *seed}); err != nil {
+		return err
+	}
+
+	st, err := store.Create(*dir, sys, store.Options{FlushEvery: *flushEvery, SyncAppends: *syncAppends})
+	if err != nil {
+		return err
+	}
+	entries := store.FromAlerts(s.Alerts, s.Filtered)
+	if err := st.Append(entries...); err != nil {
+		st.Close()
+		return err
+	}
+	if err := st.Seal(); err != nil {
+		st.Close()
+		return err
+	}
+	nSegs := len(st.Segments())
+	if err := st.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "stored %s alerts (%s kept by Algorithm 3.1) in %d segments under %s\n",
+		report.Comma(int64(len(entries))), report.Comma(int64(len(s.Filtered))), nSegs, *dir)
+	return nil
+}

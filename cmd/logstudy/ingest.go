@@ -33,11 +33,11 @@ func runIngest(args []string, w io.Writer) error {
 	every := fs.Int("checkpoint-every", 100000, "checkpoint interval in lines (with -resume)")
 	retryBase := fs.Duration("retry-base", 0, "first retry backoff delay for transient reader errors (default 50ms)")
 	injectSpec := fs.String("inject", "", `chaos spec, e.g. "seed=7,short,transient=0.05,garble=0.001,tear=40"`)
-	if err := fs.Parse(args); err != nil {
+	if help, err := parseFlags(fs, args); help || err != nil {
 		return err
 	}
 	if *inPath == "" {
-		return fmt.Errorf("ingest: -in is required")
+		return usageError("ingest: -in is required")
 	}
 	sys, err := logrec.ParseSystem(*sysName)
 	if err != nil {

@@ -17,6 +17,11 @@
 //	logstudy jobs [-system NAME] [-category CAT] [-checkpoint D]
 //	logstudy rules [-system NAME] [-export]
 //	logstudy bench [-system NAME|all] [-scale S] [-seed N] [-iters N] [-workers N] [-o FILE]
+//	logstudy build-store -dir DIR [-system NAME] [-scale S] [-seed N] [-in FILE]
+//	logstudy serve -dir DIR [-addr ADDR] [-system NAME]
+//
+// Exit status is 0 on success (including -h/help), 1 on a runtime
+// failure, and 2 on a command-line usage error.
 //
 // Every subcommand additionally accepts the global observability flags
 // (before or after the subcommand name):
@@ -28,6 +33,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -53,9 +59,52 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "logstudy:", err)
-		os.Exit(1)
+	os.Exit(runMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// runMain maps a run's outcome onto the process exit code contract
+// shared by every subcommand: 0 on success (including -h/help), 1 on a
+// runtime failure, 2 on a command-line usage mistake. Errors always
+// land on errw (stderr), never stdout.
+func runMain(args []string, out, errw io.Writer) int {
+	err := run(args, out)
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, errBadFlags):
+		// The flag package already printed the specific problem.
+		return 2
+	default:
+		fmt.Fprintln(errw, "logstudy:", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			return 2
+		}
+		return 1
+	}
+}
+
+// errBadFlags marks a flag-parse failure the flag package has already
+// reported to stderr; runMain exits 2 without printing it again.
+var errBadFlags = errors.New("invalid flags")
+
+// usageError is a command-line usage mistake (missing subcommand,
+// missing required flag): printed to stderr and exits 2.
+type usageError string
+
+func (e usageError) Error() string { return string(e) }
+
+// parseFlags normalizes the three outcomes every subcommand's flag
+// parse shares: -h/-help prints the flag help and succeeds (exit 0),
+// a bad flag becomes errBadFlags (exit 2), and success proceeds.
+func parseFlags(fs *flag.FlagSet, args []string) (help bool, err error) {
+	switch err := fs.Parse(args); {
+	case err == nil:
+		return false, nil
+	case errors.Is(err, flag.ErrHelp):
+		return true, nil
+	default:
+		return false, fmt.Errorf("%s: %w", fs.Name(), errBadFlags)
 	}
 }
 
@@ -85,7 +134,7 @@ func extractGlobal(args []string) ([]string, globalOpts, error) {
 			if !hasVal {
 				i++
 				if i >= len(args) {
-					return nil, g, fmt.Errorf("-%s requires a value", name)
+					return nil, g, usageError(fmt.Sprintf("-%s requires a value", name))
 				}
 				val = args[i]
 			}
@@ -136,7 +185,7 @@ func run(args []string, w io.Writer) error {
 func dispatch(args []string, w io.Writer) error {
 	if len(args) == 0 {
 		usage(w)
-		return nil
+		return usageError("a subcommand is required")
 	}
 	switch args[0] {
 	case "tables":
@@ -165,12 +214,16 @@ func dispatch(args []string, w io.Writer) error {
 		return runRules(args[1:], w)
 	case "bench":
 		return runBench(args[1:], w)
+	case "build-store":
+		return runBuildStore(args[1:], w)
+	case "serve":
+		return runServe(args[1:], w)
 	case "help", "-h", "--help":
 		usage(w)
 		return nil
 	default:
 		usage(w)
-		return fmt.Errorf("unknown subcommand %q", args[0])
+		return usageError(fmt.Sprintf("unknown subcommand %q", args[0]))
 	}
 }
 
@@ -193,6 +246,11 @@ subcommands:
   rules            print the expert tagging rules (awk-style or file format)
   bench            time each pipeline stage serial vs parallel; write the
                    BENCH_pipeline.json ledger
+  build-store      run the pipeline once and persist tagged + filtered
+                   alerts as a segment-indexed store (-dir)
+  serve            answer /api/query, /api/aggregate, /api/segments, and
+                   POST /api/ingest over a store, without re-running the
+                   pipeline
 
 global flags (any subcommand, before or after its name):
   -metrics FILE    write a JSON snapshot of all pipeline telemetry at exit
@@ -221,7 +279,7 @@ func runTables(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
 	which := fs.String("t", "all", "table to print (1-6 or all)")
 	scale, seed := commonFlags(fs)
-	if err := fs.Parse(args); err != nil {
+	if help, err := parseFlags(fs, args); help || err != nil {
 		return err
 	}
 	want := func(t string) bool { return *which == "all" || *which == t }
@@ -278,7 +336,7 @@ func runFigures(args []string, w io.Writer) error {
 	adaptive := fs.Bool("adaptive", false, "use per-category adaptive thresholds for figure 6")
 	csvDir := fs.String("csv", "", "also write each figure's series as CSV into this directory")
 	scale, seed := commonFlags(fs)
-	if err := fs.Parse(args); err != nil {
+	if help, err := parseFlags(fs, args); help || err != nil {
 		return err
 	}
 	want := func(f string) bool { return *which == "all" || *which == f }
@@ -403,7 +461,7 @@ func runGenerate(args []string, w io.Writer) error {
 	outPath := fs.String("o", "", "output file (default stdout)")
 	treeDir := fs.String("tree", "", "write the per-source directory layout of Section 3.1 into this directory instead")
 	scale, seed := commonFlags(fs)
-	if err := fs.Parse(args); err != nil {
+	if help, err := parseFlags(fs, args); help || err != nil {
 		return err
 	}
 	sys, err := logrec.ParseSystem(*sysName)
@@ -451,7 +509,7 @@ func runCompareFilters(args []string, w io.Writer) error {
 	adaptive := fs.Bool("adaptive", false, "include the adaptive-threshold filter")
 	correlation := fs.Bool("correlation", false, "include the correlation-aware filter and print its learned groups")
 	scale, seed := commonFlags(fs)
-	if err := fs.Parse(args); err != nil {
+	if help, err := parseFlags(fs, args); help || err != nil {
 		return err
 	}
 	sys, err := logrec.ParseSystem(*sysName)
@@ -510,7 +568,7 @@ func runRules(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("rules", flag.ContinueOnError)
 	sysName := fs.String("system", "all", "system whose rules to print")
 	export := fs.Bool("export", false, "emit the loadable rule-file format instead of the awk view")
-	if err := fs.Parse(args); err != nil {
+	if help, err := parseFlags(fs, args); help || err != nil {
 		return err
 	}
 	systems := logrec.Systems()
@@ -543,11 +601,11 @@ func runAnalyze(args []string, w io.Writer) error {
 	inPath := fs.String("in", "", "log file to analyze (required)")
 	sysName := fs.String("system", "liberty", "system the log belongs to")
 	rulesPath := fs.String("rules", "", "optional custom rule file (default: built-in expert rules)")
-	if err := fs.Parse(args); err != nil {
+	if help, err := parseFlags(fs, args); help || err != nil {
 		return err
 	}
 	if *inPath == "" {
-		return fmt.Errorf("analyze: -in is required")
+		return usageError("analyze: -in is required")
 	}
 	sys, err := logrec.ParseSystem(*sysName)
 	if err != nil {
@@ -633,7 +691,7 @@ func runDiscover(args []string, w io.Writer) error {
 	window := fs.Duration("window", 30*time.Second, "spatial clustering window")
 	minEvents := fs.Int("min", 20, "minimum raw alerts for a category to be scored")
 	scale, seed := commonFlags(fs)
-	if err := fs.Parse(args); err != nil {
+	if help, err := parseFlags(fs, args); help || err != nil {
 		return err
 	}
 	sys, err := logrec.ParseSystem(*sysName)
@@ -668,7 +726,7 @@ func runMine(args []string, w io.Writer) error {
 	top := fs.Int("top", 15, "templates to print")
 	maxBodies := fs.Int("max", 100000, "maximum bodies to mine (0 = all)")
 	scale, seed := commonFlags(fs)
-	if err := fs.Parse(args); err != nil {
+	if help, err := parseFlags(fs, args); help || err != nil {
 		return err
 	}
 	sys, err := logrec.ParseSystem(*sysName)
@@ -702,7 +760,7 @@ func runJobs(args []string, w io.Writer) error {
 	category := fs.String("category", "PBS_CHK", "job-fatal alert category")
 	checkpoint := fs.Duration("checkpoint", time.Hour, "checkpoint interval for the lost-work comparison")
 	scale, seed := commonFlags(fs)
-	if err := fs.Parse(args); err != nil {
+	if help, err := parseFlags(fs, args); help || err != nil {
 		return err
 	}
 	sys, err := logrec.ParseSystem(*sysName)
@@ -729,7 +787,7 @@ func runSweep(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	sysName := fs.String("system", "spirit", "system to sweep on")
 	scale, seed := commonFlags(fs)
-	if err := fs.Parse(args); err != nil {
+	if help, err := parseFlags(fs, args); help || err != nil {
 		return err
 	}
 	sys, err := logrec.ParseSystem(*sysName)
@@ -757,11 +815,11 @@ func runAnonymize(args []string, w io.Writer) error {
 	inPath := fs.String("in", "", "log file to anonymize (required)")
 	outPath := fs.String("o", "", "output file (default stdout)")
 	key := fs.String("key", "", "secret pseudonymization key (required)")
-	if err := fs.Parse(args); err != nil {
+	if help, err := parseFlags(fs, args); help || err != nil {
 		return err
 	}
 	if *inPath == "" || *key == "" {
-		return fmt.Errorf("anonymize: -in and -key are required")
+		return usageError("anonymize: -in and -key are required")
 	}
 	data, err := os.ReadFile(*inPath)
 	if err != nil {
@@ -809,7 +867,7 @@ func runBench(args []string, w io.Writer) error {
 	workers := fs.Int("workers", 0, "parallel worker count (0 = GOMAXPROCS)")
 	outPath := fs.String("o", "BENCH_pipeline.json", "ledger output path")
 	scale, seed := commonFlags(fs)
-	if err := fs.Parse(args); err != nil {
+	if help, err := parseFlags(fs, args); help || err != nil {
 		return err
 	}
 	systems := logrec.Systems()

@@ -14,8 +14,8 @@ func testArgs(args ...string) []string {
 
 func TestUsageAndUnknown(t *testing.T) {
 	var b strings.Builder
-	if err := run(nil, &b); err != nil {
-		t.Fatalf("no-arg run: %v", err)
+	if err := run(nil, &b); err == nil {
+		t.Error("no-arg run must be a usage error")
 	}
 	if !strings.Contains(b.String(), "subcommands") {
 		t.Error("usage missing")
@@ -26,6 +26,44 @@ func TestUsageAndUnknown(t *testing.T) {
 	b.Reset()
 	if err := run([]string{"help"}, &b); err != nil || !strings.Contains(b.String(), "compare-filters") {
 		t.Error("help output wrong")
+	}
+	if !strings.Contains(b.String(), "build-store") || !strings.Contains(b.String(), "serve") {
+		t.Error("usage missing the store subcommands")
+	}
+}
+
+// TestExitCodes pins the process exit contract: 0 success and help,
+// 1 runtime failure, 2 usage mistakes — and errors on stderr, never
+// stdout.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"success", []string{"tables", "-t", "1"}, 0},
+		{"help subcommand", []string{"help"}, 0},
+		{"subcommand -h", []string{"tables", "-h"}, 0},
+		{"no subcommand", nil, 2},
+		{"unknown subcommand", []string{"bogus"}, 2},
+		{"bad flag", []string{"tables", "-no-such-flag"}, 2},
+		{"bad flag value", []string{"tables", "-scale", "x"}, 2},
+		{"missing required flag", []string{"analyze"}, 2},
+		{"missing global value", []string{"tables", "-metrics"}, 2},
+		{"runtime failure", []string{"analyze", "-in", "/no/such/file"}, 1},
+		{"bad system", []string{"generate", "-system", "marsrover"}, 1},
+	}
+	for _, tc := range cases {
+		var out, errw strings.Builder
+		if got := runMain(tc.args, &out, &errw); got != tc.want {
+			t.Errorf("%s: exit %d, want %d (stderr: %s)", tc.name, got, tc.want, errw.String())
+		}
+		if tc.want == 1 && errw.Len() == 0 {
+			t.Errorf("%s: runtime failure printed nothing to stderr", tc.name)
+		}
+		if tc.want != 0 && strings.Contains(out.String(), "logstudy:") {
+			t.Errorf("%s: error text leaked to stdout", tc.name)
+		}
 	}
 }
 

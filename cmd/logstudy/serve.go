@@ -1,0 +1,373 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"whatsupersay/internal/cluster"
+	"whatsupersay/internal/filter"
+	"whatsupersay/internal/ingest"
+	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/obs"
+	"whatsupersay/internal/query"
+	"whatsupersay/internal/report"
+	"whatsupersay/internal/store"
+	"whatsupersay/internal/tag"
+)
+
+// runServe answers alert queries out of a store built by `build-store`
+// (or filled through POST /api/ingest), so interarrival quantiles,
+// top-k sources, and filter-reduction ratios come back without
+// re-running the batch pipeline. The API is JSON over HTTP:
+//
+//	GET  /api/query      matching entries (filter params + limit)
+//	GET  /api/aggregate  the standard aggregation over the match
+//	GET  /api/segments   the store's sealed-segment inventory
+//	POST /api/ingest     raw log lines -> tag -> filter -> append
+//	GET  /healthz        liveness
+func runServe(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	dir := fs.String("dir", "", "store directory (required)")
+	addr := fs.String("addr", "localhost:8080", "listen address")
+	sysName := fs.String("system", "", "create the store for this system if the directory is not one yet")
+	flushEvery := fs.Int("flush-every", store.DefaultFlushEvery, "seal a segment every N appended entries")
+	syncAppends := fs.Bool("sync", false, "fsync the wal after every ingest batch")
+	if help, err := parseFlags(fs, args); help || err != nil {
+		return err
+	}
+	if *dir == "" {
+		return usageError("serve: -dir is required")
+	}
+	opts := store.Options{FlushEvery: *flushEvery, SyncAppends: *syncAppends}
+
+	var st *store.Store
+	var rep *store.OpenReport
+	var err error
+	if *sysName != "" {
+		sys, perr := logrec.ParseSystem(*sysName)
+		if perr != nil {
+			return perr
+		}
+		if st, err = store.Create(*dir, sys, opts); err != nil {
+			return err
+		}
+	} else if st, rep, err = store.Open(*dir, opts); err != nil {
+		return err
+	}
+	defer st.Close()
+	if rep != nil {
+		fmt.Fprintf(w, "opened %s store: %d segments, %d tail entries\n",
+			st.System().ShortName(), rep.Segments, rep.TailEntries)
+		for name, reason := range rep.CorruptSegments {
+			fmt.Fprintf(w, "  quarantined %s: %s\n", name, reason)
+		}
+		if rep.TailDroppedBytes > 0 {
+			fmt.Fprintf(w, "  truncated %d torn wal bytes (%s)\n", rep.TailDroppedBytes, rep.TailDamage)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: newAPI(st)}
+	fmt.Fprintf(w, "serving alert store API on http://%s/ (%s entries)\n",
+		ln.Addr(), report.Comma(int64(st.Len())))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "shut down; tail sealed on close")
+	return nil
+}
+
+// api serves one store. Handlers are pure views over the store and the
+// query engine, so the differential tests can drive them through
+// httptest against the batch pipeline's answers.
+type api struct {
+	st  *store.Store
+	eng *query.Engine
+}
+
+// newAPI builds the HTTP handler for one open store.
+func newAPI(st *store.Store) http.Handler {
+	a := &api{st: st, eng: &query.Engine{Store: st}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/query", instrument("/api/query", a.handleQuery))
+	mux.HandleFunc("/api/aggregate", instrument("/api/aggregate", a.handleAggregate))
+	mux.HandleFunc("/api/segments", instrument("/api/segments", a.handleSegments))
+	mux.HandleFunc("/api/ingest", instrument("/api/ingest", a.handleIngest))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"ok":true}`)
+	})
+	return mux
+}
+
+// instrument wraps a handler with per-path request latency and count
+// metrics on the process registry, so `-http` exposes serve telemetry
+// next to the pipeline stages.
+func instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	lat := obs.Default.Histogram(fmt.Sprintf("serve_request_seconds{path=%q}", path), obs.Seconds)
+	count := obs.Default.Counter(fmt.Sprintf("serve_requests_total{path=%q}", path))
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		lat.ObserveSince(start)
+		count.Inc()
+	}
+}
+
+// httpError reports an error as a JSON body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// parseFilter builds a store filter from the shared query parameters:
+// from/to (RFC 3339), source/category/severity (comma-separated), kept.
+func (a *api) parseFilter(q map[string][]string) (store.Filter, error) {
+	var f store.Filter
+	get := func(k string) string {
+		if vs := q[k]; len(vs) > 0 {
+			return vs[0]
+		}
+		return ""
+	}
+	var err error
+	if v := get("from"); v != "" {
+		if f.From, err = time.Parse(time.RFC3339, v); err != nil {
+			return f, fmt.Errorf("bad from: %w", err)
+		}
+	}
+	if v := get("to"); v != "" {
+		if f.To, err = time.Parse(time.RFC3339, v); err != nil {
+			return f, fmt.Errorf("bad to: %w", err)
+		}
+	}
+	f.Sources = splitList(get("source"))
+	f.Categories = splitList(get("category"))
+	for _, name := range splitList(get("severity")) {
+		sev, err := parseSeverity(a.st.System(), name)
+		if err != nil {
+			return f, err
+		}
+		f.Severities = append(f.Severities, sev)
+	}
+	if v := get("kept"); v != "" {
+		kept, err := strconv.ParseBool(v)
+		if err != nil {
+			return f, fmt.Errorf("bad kept: %w", err)
+		}
+		f.Kept = &kept
+	}
+	return f, nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// parseSeverity resolves a severity name on the store's native scale:
+// the BG/L RAS scale for BG/L stores, BSD syslog for the other four.
+func parseSeverity(sys logrec.System, name string) (logrec.Severity, error) {
+	if strings.EqualFold(strings.TrimSpace(name), "UNKNOWN") {
+		return logrec.SeverityUnknown, nil
+	}
+	if sys == logrec.BlueGeneL {
+		return logrec.ParseBGLSeverity(name)
+	}
+	return logrec.ParseSyslogSeverity(name)
+}
+
+// entryJSON is the wire view of one store entry.
+type entryJSON struct {
+	Seq      uint64    `json:"seq"`
+	Time     time.Time `json:"time"`
+	Source   string    `json:"source"`
+	Category string    `json:"category"`
+	Severity string    `json:"severity"`
+	Program  string    `json:"program,omitempty"`
+	Body     string    `json:"body,omitempty"`
+	Kept     bool      `json:"kept"`
+}
+
+func toEntryJSON(en store.Entry) entryJSON {
+	return entryJSON{
+		Seq:      en.Record.Seq,
+		Time:     en.Record.Time,
+		Source:   en.Record.Source,
+		Category: en.Category,
+		Severity: en.Record.Severity.String(),
+		Program:  en.Record.Program,
+		Body:     en.Record.Body,
+		Kept:     en.Kept,
+	}
+}
+
+// handleQuery returns the matching entries in canonical order.
+func (a *api) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	q := r.URL.Query()
+	f, err := a.parseFilter(q)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	limit := 100
+	if v := q.Get("limit"); v != "" {
+		if limit, err = strconv.Atoi(v); err != nil || limit < 0 {
+			httpError(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+	}
+	entries, stats, err := a.eng.Select(f, limit)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	out := make([]entryJSON, 0, len(entries))
+	for _, en := range entries {
+		out = append(out, toEntryJSON(en))
+	}
+	writeJSON(w, map[string]any{"stats": stats, "count": len(out), "entries": out})
+}
+
+// handleAggregate computes the standard aggregation server-side. The
+// "aggregate" field is byte-identical to running query.Aggregate over
+// the batch pipeline's output on the same records — the differential
+// tests in serve_test.go pin that.
+func (a *api) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	q := r.URL.Query()
+	f, err := a.parseFilter(q)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var opts query.AggregateOptions
+	if v := q.Get("topk"); v != "" {
+		if opts.TopK, err = strconv.Atoi(v); err != nil || opts.TopK <= 0 {
+			httpError(w, http.StatusBadRequest, "bad topk %q", v)
+			return
+		}
+	}
+	for _, part := range splitList(q.Get("quantiles")) {
+		p, err := strconv.ParseFloat(part, 64)
+		if err != nil || p <= 0 || p > 1 {
+			httpError(w, http.StatusBadRequest, "bad quantile %q", part)
+			return
+		}
+		opts.Quantiles = append(opts.Quantiles, p)
+	}
+	agg, stats, err := a.eng.Aggregate(f, opts)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, map[string]any{"stats": stats, "aggregate": agg})
+}
+
+// handleSegments reports the store's physical layout.
+func (a *api) handleSegments(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	segs := a.st.Segments()
+	writeJSON(w, map[string]any{
+		"system":        a.st.System().ShortName(),
+		"segments":      segs,
+		"tail_entries":  a.st.TailLen(),
+		"total_entries": a.st.Len(),
+	})
+}
+
+// ingestResponse summarizes one POST /api/ingest batch.
+type ingestResponse struct {
+	Lines       int `json:"lines"`
+	ParseErrors int `json:"parse_errors"`
+	Alerts      int `json:"alerts"`
+	Kept        int `json:"kept"`
+	Appended    int `json:"appended"`
+}
+
+// handleIngest streams raw log lines through the batch pipeline's exact
+// stages — parse, tag, canonical sort, Algorithm 3.1 — and appends the
+// result to the store via the same store.FromAlerts conversion
+// build-store uses, so served aggregates stay differential-equal to the
+// batch pipeline no matter which path loaded the records.
+func (a *api) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	sys := a.st.System()
+	m, err := cluster.New(sys)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	recs, stats, err := ingest.ReadAll(r.Body, sys, m.LogStart)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "ingest: %v", err)
+		return
+	}
+	alerts := tag.NewTagger(sys).TagAll(recs)
+	tag.SortAlerts(alerts)
+	filtered := filter.Simultaneous{T: filter.DefaultThreshold}.Filter(alerts)
+	entries := store.FromAlerts(alerts, filtered)
+	if err := a.st.Append(entries...); err != nil {
+		httpError(w, http.StatusInternalServerError, "append: %v", err)
+		return
+	}
+	writeJSON(w, ingestResponse{
+		Lines:       stats.Lines,
+		ParseErrors: stats.ParseErrors,
+		Alerts:      len(alerts),
+		Kept:        len(filtered),
+		Appended:    len(entries),
+	})
+}

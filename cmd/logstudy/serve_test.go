@@ -1,0 +1,394 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"whatsupersay/internal/cluster"
+	"whatsupersay/internal/core"
+	"whatsupersay/internal/filter"
+	"whatsupersay/internal/ingest"
+	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/query"
+	"whatsupersay/internal/simulate"
+	"whatsupersay/internal/store"
+	"whatsupersay/internal/tag"
+)
+
+// The differential contract under test: every /api/aggregate response
+// must be byte-identical to running query.Aggregate over the batch
+// pipeline's output (store.FromAlerts of the study's alerts) on the
+// same records. The store and the HTTP layer are an optimization,
+// never a semantics change.
+
+const testScale = 0.00005
+
+// newTestStudy runs the batch pipeline once at test scale.
+func newTestStudy(t *testing.T) *core.Study {
+	t.Helper()
+	s, err := core.New(simulate.Config{System: logrec.Liberty, Scale: testScale, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// newTestServer loads the study into a multi-segment store and serves
+// it through the real API handler.
+func newTestServer(t *testing.T, s *core.Study) (*httptest.Server, []store.Entry) {
+	t.Helper()
+	entries := store.FromAlerts(s.Alerts, s.Filtered)
+	if len(entries) < 20 {
+		t.Fatalf("test study too small: %d entries", len(entries))
+	}
+	// A small segment size forces several sealed segments plus a tail,
+	// so queries cross every storage tier.
+	st, err := store.Create(t.TempDir(), logrec.Liberty, store.Options{FlushEvery: len(entries)/3 + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	if err := st.Append(entries...); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newAPI(st))
+	t.Cleanup(srv.Close)
+	return srv, entries
+}
+
+// matchesFilter replicates store.Filter semantics as an independent
+// linear reference for building expected aggregates.
+func matchesFilter(f store.Filter, en store.Entry) bool {
+	tm := en.Record.Time
+	if !f.From.IsZero() && tm.Before(f.From) {
+		return false
+	}
+	if !f.To.IsZero() && !tm.Before(f.To) {
+		return false
+	}
+	if len(f.Categories) > 0 && !containsString(f.Categories, en.Category) {
+		return false
+	}
+	if len(f.Sources) > 0 && !containsString(f.Sources, en.Record.Source) {
+		return false
+	}
+	if len(f.Severities) > 0 {
+		ok := false
+		for _, sev := range f.Severities {
+			if sev == en.Record.Severity {
+				ok = true
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return f.Kept == nil || *f.Kept == en.Kept
+}
+
+func containsString(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func getJSON(t *testing.T, rawURL string, into any) {
+	t.Helper()
+	resp, err := http.Get(rawURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d: %s", rawURL, resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, into); err != nil {
+		t.Fatalf("GET %s: bad JSON: %v", rawURL, err)
+	}
+}
+
+func TestAggregateEndpointMatchesBatchPipeline(t *testing.T) {
+	s := newTestStudy(t)
+	srv, entries := newTestServer(t, s)
+
+	mid := entries[len(entries)/2].Record.Time
+	late := entries[3*len(entries)/4].Record.Time
+	kept := true
+	topCat := entries[0].Category
+
+	cases := []struct {
+		name   string
+		params url.Values
+		f      store.Filter
+		opts   query.AggregateOptions
+	}{
+		{"everything", url.Values{}, store.Filter{}, query.AggregateOptions{}},
+		{
+			"one category",
+			url.Values{"category": {topCat}},
+			store.Filter{Categories: []string{topCat}},
+			query.AggregateOptions{},
+		},
+		{
+			"survivors only",
+			url.Values{"kept": {"true"}},
+			store.Filter{Kept: &kept},
+			query.AggregateOptions{},
+		},
+		{
+			"time window",
+			url.Values{"from": {mid.Format(time.RFC3339Nano)}, "to": {late.Format(time.RFC3339Nano)}},
+			store.Filter{From: mid, To: late},
+			query.AggregateOptions{},
+		},
+		{
+			"custom topk and quantiles",
+			url.Values{"topk": {"3"}, "quantiles": {"0.5,0.95"}},
+			store.Filter{},
+			query.AggregateOptions{TopK: 3, Quantiles: []float64{0.5, 0.95}},
+		},
+	}
+	for _, tc := range cases {
+		var resp struct {
+			Stats     store.ScanStats `json:"stats"`
+			Aggregate json.RawMessage `json:"aggregate"`
+		}
+		getJSON(t, srv.URL+"/api/aggregate?"+tc.params.Encode(), &resp)
+
+		var ref []store.Entry
+		for _, en := range entries {
+			if matchesFilter(tc.f, en) {
+				ref = append(ref, en)
+			}
+		}
+		want, err := json.Marshal(query.Aggregate(ref, tc.opts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(resp.Aggregate) != string(want) {
+			t.Errorf("%s: served aggregate diverges from batch pipeline\nserved: %s\nbatch:  %s",
+				tc.name, resp.Aggregate, want)
+		}
+		if resp.Stats.Matched != len(ref) {
+			t.Errorf("%s: stats.matched = %d, want %d", tc.name, resp.Stats.Matched, len(ref))
+		}
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	s := newTestStudy(t)
+	srv, entries := newTestServer(t, s)
+
+	var resp struct {
+		Count   int `json:"count"`
+		Entries []struct {
+			Seq      uint64    `json:"seq"`
+			Time     time.Time `json:"time"`
+			Category string    `json:"category"`
+			Kept     bool      `json:"kept"`
+		} `json:"entries"`
+	}
+	getJSON(t, srv.URL+"/api/query?limit=10", &resp)
+	if resp.Count != 10 || len(resp.Entries) != 10 {
+		t.Fatalf("limit ignored: count %d", resp.Count)
+	}
+	for i, en := range resp.Entries {
+		if !en.Time.Equal(entries[i].Record.Time) || en.Seq != entries[i].Record.Seq {
+			t.Fatalf("entry %d out of canonical order: %+v", i, en)
+		}
+	}
+
+	cat := entries[0].Category
+	getJSON(t, srv.URL+"/api/query?limit=0&category="+url.QueryEscape(cat), &resp)
+	want := 0
+	for _, en := range entries {
+		if en.Category == cat {
+			want++
+		}
+	}
+	if resp.Count != want {
+		t.Fatalf("category filter: count %d, want %d", resp.Count, want)
+	}
+	for _, en := range resp.Entries {
+		if en.Category != cat {
+			t.Fatalf("filter leaked category %q", en.Category)
+		}
+	}
+}
+
+func TestSegmentsEndpoint(t *testing.T) {
+	s := newTestStudy(t)
+	srv, entries := newTestServer(t, s)
+
+	var resp struct {
+		System       string              `json:"system"`
+		Segments     []store.SegmentInfo `json:"segments"`
+		TailEntries  int                 `json:"tail_entries"`
+		TotalEntries int                 `json:"total_entries"`
+	}
+	getJSON(t, srv.URL+"/api/segments", &resp)
+	if resp.System != "liberty" {
+		t.Errorf("system = %q", resp.System)
+	}
+	if len(resp.Segments) < 2 {
+		t.Errorf("want multiple sealed segments, got %d", len(resp.Segments))
+	}
+	total := resp.TailEntries
+	for _, g := range resp.Segments {
+		total += g.Records
+	}
+	if total != len(entries) || resp.TotalEntries != len(entries) {
+		t.Errorf("inventory %d+tail=%d, want %d", resp.TotalEntries, total, len(entries))
+	}
+}
+
+// TestIngestEndpointMatchesBatchPipeline posts raw log lines into an
+// empty store and checks the served aggregation equals the batch
+// pipeline run directly over the same lines.
+func TestIngestEndpointMatchesBatchPipeline(t *testing.T) {
+	out, err := simulate.Generate(simulate.Config{System: logrec.Liberty, Scale: testScale, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := strings.Join(out.Lines, "\n") + "\n"
+
+	st, err := store.Create(t.TempDir(), logrec.Liberty, store.Options{FlushEvery: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	srv := httptest.NewServer(newAPI(st))
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/api/ingest", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %d: %s", resp.StatusCode, raw)
+	}
+	var ing ingestResponse
+	if err := json.Unmarshal(raw, &ing); err != nil {
+		t.Fatal(err)
+	}
+	if ing.Lines != len(out.Lines) || ing.Appended == 0 || ing.Appended != ing.Alerts {
+		t.Fatalf("ingest summary off: %+v (posted %d lines)", ing, len(out.Lines))
+	}
+
+	// The batch side of the differential: same lines, same stages,
+	// no store or HTTP in the loop.
+	m, err := cluster.New(logrec.Liberty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := ingest.ReadAll(strings.NewReader(body), logrec.Liberty, m.LogStart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alerts := tag.NewTagger(logrec.Liberty).TagAll(recs)
+	tag.SortAlerts(alerts)
+	filtered := filter.Simultaneous{T: filter.DefaultThreshold}.Filter(alerts)
+	want, err := json.Marshal(query.Aggregate(store.FromAlerts(alerts, filtered), query.AggregateOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got struct {
+		Aggregate json.RawMessage `json:"aggregate"`
+	}
+	getJSON(t, srv.URL+"/api/aggregate", &got)
+	if string(got.Aggregate) != string(want) {
+		t.Fatalf("ingested aggregate diverges from batch pipeline\nserved: %s\nbatch:  %s",
+			got.Aggregate, want)
+	}
+}
+
+func TestAPIErrors(t *testing.T) {
+	s := newTestStudy(t)
+	srv, _ := newTestServer(t, s)
+
+	cases := []struct {
+		method, path string
+		want         int
+	}{
+		{"GET", "/api/query?from=yesterday", http.StatusBadRequest},
+		{"GET", "/api/query?limit=nope", http.StatusBadRequest},
+		{"GET", "/api/aggregate?quantiles=1.5", http.StatusBadRequest},
+		{"GET", "/api/aggregate?severity=NOT_A_SEVERITY", http.StatusBadRequest},
+		{"POST", "/api/query", http.StatusMethodNotAllowed},
+		{"GET", "/api/ingest", http.StatusMethodNotAllowed},
+		{"GET", "/healthz", http.StatusOK},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, srv.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s %s: %d, want %d", tc.method, tc.path, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// TestBuildStoreAndServeCommands exercises the two subcommands end to
+// end: build a store from the synthetic pipeline, then reopen it via
+// the API handler path (Open, as runServe does) and check the served
+// totals match the build summary's inputs.
+func TestBuildStoreAndServeCommands(t *testing.T) {
+	dir := t.TempDir() + "/alerts"
+	var b strings.Builder
+	if err := run(testArgs("build-store", "-system", "liberty", "-dir", dir, "-flush-every", "1000"), &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "stored") {
+		t.Fatalf("build summary missing: %s", b.String())
+	}
+	if err := run([]string{"build-store"}, io.Discard); err == nil {
+		t.Error("missing -dir must error")
+	}
+
+	st, rep, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if rep.TailEntries != 0 || len(rep.CorruptSegments) != 0 {
+		t.Fatalf("build-store left a dirty store: %+v", rep)
+	}
+	srv := httptest.NewServer(newAPI(st))
+	defer srv.Close()
+
+	s := newTestStudy(t)
+	want, err := json.Marshal(query.Aggregate(store.FromAlerts(s.Alerts, s.Filtered), query.AggregateOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Aggregate json.RawMessage `json:"aggregate"`
+	}
+	getJSON(t, srv.URL+"/api/aggregate", &got)
+	if string(got.Aggregate) != string(want) {
+		t.Fatalf("served store diverges from the pipeline that built it\nserved: %s\nbatch:  %s",
+			got.Aggregate, want)
+	}
+}

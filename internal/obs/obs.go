@@ -4,7 +4,7 @@
 // cache-line-friendly struct updated with atomic operations — no locks,
 // no allocation, no channels on the record path — so instrumentation
 // does not perturb the BENCH_pipeline.json numbers (the overhead model
-// is documented in DESIGN.md §9 and pinned by benchmarks in this
+// is documented in DESIGN.md §8 and pinned by benchmarks in this
 // package).
 //
 // One registry, three views:

@@ -1,0 +1,256 @@
+// Package query is the engine over the alert store (internal/store): it
+// plans time-range + predicate scans and computes the paper's Section 4
+// aggregations server-side — counts and category/type/severity mixes,
+// top-k sources (Figure 2(b)), interarrival statistics and log-bucketed
+// histograms with quantiles (Figures 5 and 6, via internal/stats), and
+// the filter-reduction ratio of Algorithm 3.1 (Table 2).
+//
+// The store is an optimization, never a semantics change: every
+// aggregation is a pure function over the matched entry set
+// (Aggregate), so the result of serving a query from segments is
+// byte-identical to computing the same function over the in-memory
+// batch pipeline's output on the same records. The differential tests
+// in cmd/logstudy pin that equivalence.
+package query
+
+import (
+	"sort"
+	"time"
+
+	"whatsupersay/internal/catalog"
+	"whatsupersay/internal/stats"
+	"whatsupersay/internal/store"
+)
+
+// DefaultTopK is the top-sources list length when a request does not
+// choose one.
+const DefaultTopK = 10
+
+// DefaultQuantiles are the interarrival quantiles reported when a
+// request does not choose its own.
+var DefaultQuantiles = []float64{0.5, 0.9, 0.99}
+
+// Interarrival log-histogram shape, matching core.Figure6 so a served
+// histogram lines up with the batch figure: decades 10^0..10^7 seconds,
+// two bins per decade.
+const (
+	logHistMinExp        = 0
+	logHistMaxExp        = 7
+	logHistBinsPerDecade = 2
+)
+
+// Engine executes queries against one store.
+type Engine struct {
+	Store *store.Store
+}
+
+// Select returns the entries matching f in canonical (time, sequence)
+// order, truncated to limit when limit > 0, with the scan's work stats.
+func (e *Engine) Select(f store.Filter, limit int) ([]store.Entry, store.ScanStats, error) {
+	entries, st, err := e.collect(f)
+	if err != nil {
+		return nil, st, err
+	}
+	if limit > 0 && len(entries) > limit {
+		entries = entries[:limit]
+	}
+	return entries, st, nil
+}
+
+// Aggregate scans the entries matching f and folds them into the
+// standard aggregation.
+func (e *Engine) Aggregate(f store.Filter, opts AggregateOptions) (Aggregation, store.ScanStats, error) {
+	entries, st, err := e.collect(f)
+	if err != nil {
+		return Aggregation{}, st, err
+	}
+	return Aggregate(entries, opts), st, nil
+}
+
+// collect scans and restores global canonical order: segments are each
+// internally sorted but may interleave in time with one another and
+// with the unsealed tail.
+func (e *Engine) collect(f store.Filter) ([]store.Entry, store.ScanStats, error) {
+	var entries []store.Entry
+	st, err := e.Store.Scan(f, func(en store.Entry) error {
+		entries = append(entries, en)
+		return nil
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		return entries[i].Record.Before(entries[j].Record)
+	})
+	return entries, st, nil
+}
+
+// AggregateOptions shape the aggregation output.
+type AggregateOptions struct {
+	// TopK bounds the top-sources list (default DefaultTopK).
+	TopK int
+	// Quantiles are the interarrival quantiles to report, each in
+	// (0, 1] (default DefaultQuantiles).
+	Quantiles []float64
+}
+
+// SourceCount is one row of the top-sources ranking.
+type SourceCount struct {
+	Source string `json:"source"`
+	Count  int    `json:"count"`
+}
+
+// QuantileValue is one reported interarrival quantile.
+type QuantileValue struct {
+	Q   float64 `json:"q"`
+	Sec float64 `json:"sec"`
+}
+
+// LogHist is the serialized log-bucketed interarrival histogram
+// (stats.LogHistogram, shaped like Figure 6).
+type LogHist struct {
+	MinExp        int   `json:"min_exp"`
+	BinsPerDecade int   `json:"bins_per_decade"`
+	Counts        []int `json:"counts"`
+	Zero          int   `json:"zero"`
+	Over          int   `json:"over"`
+}
+
+// Interarrival summarizes the gaps between successive matched entries,
+// in seconds.
+type Interarrival struct {
+	Count     int             `json:"count"`
+	MeanSec   float64         `json:"mean_sec"`
+	StddevSec float64         `json:"stddev_sec"`
+	MinSec    float64         `json:"min_sec"`
+	MaxSec    float64         `json:"max_sec"`
+	Quantiles []QuantileValue `json:"quantiles"`
+	LogHist   *LogHist        `json:"log_hist,omitempty"`
+}
+
+// Aggregation is the standard server-side aggregation over a matched,
+// canonically ordered entry set. JSON encoding is deterministic (maps
+// marshal with sorted keys), which is what lets the differential tests
+// demand byte equality with the batch pipeline.
+type Aggregation struct {
+	// Total, Kept, Removed count the matched entries and their
+	// Algorithm 3.1 fate; ReductionRatio is Removed/Total (Table 2's
+	// "after filtering" story for the matched slice).
+	Total          int     `json:"total"`
+	Kept           int     `json:"kept"`
+	Removed        int     `json:"removed"`
+	ReductionRatio float64 `json:"reduction_ratio"`
+	// Categories is the distinct category count (Table 2's "Categories"
+	// column for the matched slice).
+	Categories int `json:"categories"`
+	// ByCategory, ByType, BySeverity are the count mixes (Tables 3-6).
+	ByCategory map[string]int `json:"by_category"`
+	ByType     map[string]int `json:"by_type"`
+	BySeverity map[string]int `json:"by_severity"`
+	// TopSources ranks reporting sources by matched count (Figure 2(b)).
+	TopSources []SourceCount `json:"top_sources"`
+	// Interarrival covers the gaps between successive matched entries
+	// (Figures 5 and 6). Nil when fewer than two entries matched.
+	Interarrival *Interarrival `json:"interarrival,omitempty"`
+}
+
+// Aggregate folds a canonically ordered entry set into the standard
+// aggregation. It is a pure function: the engine calls it on entries
+// scanned from segments, the differential tests call it on entries
+// converted straight from the batch pipeline, and the two must agree
+// byte-for-byte.
+func Aggregate(entries []store.Entry, opts AggregateOptions) Aggregation {
+	topK := opts.TopK
+	if topK <= 0 {
+		topK = DefaultTopK
+	}
+	quantiles := opts.Quantiles
+	if len(quantiles) == 0 {
+		quantiles = DefaultQuantiles
+	}
+
+	agg := Aggregation{
+		Total:      len(entries),
+		ByCategory: map[string]int{},
+		ByType:     map[string]int{},
+		BySeverity: map[string]int{},
+	}
+	bySource := map[string]int{}
+	for _, en := range entries {
+		if en.Kept {
+			agg.Kept++
+		}
+		agg.ByCategory[en.Category]++
+		agg.ByType[typeCode(en)]++
+		agg.BySeverity[en.Record.Severity.String()]++
+		bySource[en.Record.Source]++
+	}
+	agg.Removed = agg.Total - agg.Kept
+	if agg.Total > 0 {
+		agg.ReductionRatio = float64(agg.Removed) / float64(agg.Total)
+	}
+	agg.Categories = len(agg.ByCategory)
+	agg.TopSources = topSources(bySource, topK)
+	agg.Interarrival = interarrival(entries, quantiles)
+	return agg
+}
+
+// typeCode maps an entry to its category's H/S/I code via the catalog,
+// or "?" for ad-hoc categories the catalog does not know.
+func typeCode(en store.Entry) string {
+	if c, ok := catalog.Lookup(en.Record.System, en.Category); ok {
+		return c.Type.Code()
+	}
+	return "?"
+}
+
+// topSources ranks sources by count (descending), breaking ties by
+// name so the ranking is deterministic.
+func topSources(counts map[string]int, k int) []SourceCount {
+	out := make([]SourceCount, 0, len(counts))
+	for s, n := range counts {
+		out = append(out, SourceCount{Source: s, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Source < out[j].Source
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// interarrival computes the gap statistics over a canonically ordered
+// entry set, reusing internal/stats end to end.
+func interarrival(entries []store.Entry, quantiles []float64) *Interarrival {
+	if len(entries) < 2 {
+		return nil
+	}
+	ts := make([]time.Time, len(entries))
+	for i, en := range entries {
+		ts[i] = en.Record.Time
+	}
+	times := stats.Interarrivals(ts)
+	ia := &Interarrival{
+		Count:     len(times),
+		MeanSec:   stats.Mean(times),
+		StddevSec: stats.StdDev(times),
+		MinSec:    stats.Min(times),
+		MaxSec:    stats.Max(times),
+	}
+	for _, q := range quantiles {
+		ia.Quantiles = append(ia.Quantiles, QuantileValue{Q: q, Sec: stats.Percentile(times, q*100)})
+	}
+	h := stats.NewLogHistogram(times, logHistMinExp, logHistMaxExp, logHistBinsPerDecade)
+	ia.LogHist = &LogHist{
+		MinExp:        h.MinExp,
+		BinsPerDecade: h.BinsPerDecade,
+		Counts:        h.Counts,
+		Zero:          h.Zero,
+		Over:          h.Over,
+	}
+	return ia
+}

@@ -1,0 +1,206 @@
+package store
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"whatsupersay/internal/faultinject"
+	"whatsupersay/internal/logrec"
+)
+
+// The crash-safety contract under test, using the chaos harness from
+// PR 1: after torn writes or in-flight corruption, reopening the store
+// (a) loses at most the unsealed tail at and after the damage point,
+// (b) never serves a record whose enclosing checksum failed, and
+// (c) reports exactly what it dropped.
+
+// damageFile rewrites path through a fault-injected reader.
+func damageFile(t *testing.T, path string, cfg faultinject.ReaderConfig) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	damaged, err := io.ReadAll(cfg.Wrap(bytes.NewReader(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, damaged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildCrashedStore appends entries without ever sealing and abandons
+// the store (no Close), leaving everything in the wal tail.
+func buildCrashedStore(t *testing.T, dir string, entries []Entry) {
+	t.Helper()
+	st, err := Create(dir, logrec.Thunderbird, Options{FlushEvery: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(entries...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWalTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	entries := makeEntries(t, 200, 21)
+	buildCrashedStore(t, dir, entries)
+	walPath := filepath.Join(dir, walName)
+
+	// Tear the last 37 bytes off the wal — a writer that died mid-frame.
+	damageFile(t, walPath, faultinject.ReaderConfig{Seed: 1, TearTailBytes: 37})
+	torn, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, rep, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if rep.TailDroppedBytes == 0 || rep.TailDamage == "" {
+		t.Fatalf("torn tail not reported: %+v", rep)
+	}
+	got := collect(t, st, Filter{})
+	// At most the torn suffix is lost: what survives is an exact prefix.
+	if len(got) >= len(entries) || len(got) == 0 {
+		t.Fatalf("recovered %d of %d entries; want a proper nonempty prefix", len(got), len(entries))
+	}
+	if want := entriesNoRaw(entries)[:len(got)]; !reflect.DeepEqual(got, want) {
+		t.Fatal("recovered tail is not a prefix of what was appended")
+	}
+	// The wal was physically truncated at the damage point.
+	after, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != torn.Size()-rep.TailDroppedBytes {
+		t.Fatalf("wal size %d after truncation, want %d", after.Size(), torn.Size()-rep.TailDroppedBytes)
+	}
+}
+
+func TestWalGarbledFrameDetectedByChecksum(t *testing.T) {
+	dir := t.TempDir()
+	entries := makeEntries(t, 300, 23)
+	buildCrashedStore(t, dir, entries)
+	walPath := filepath.Join(dir, walName)
+
+	// Flip bytes mid-stream: the damaged frame's CRC fails, and replay
+	// must stop there rather than deliver a garbled record.
+	damageFile(t, walPath, faultinject.ReaderConfig{Seed: 3, GarbleProb: 0.0005})
+
+	st, rep, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	got := collect(t, st, Filter{})
+	want := entriesNoRaw(entries)
+	if len(got) == len(entries) {
+		// The garble dice may have missed; force a hit for determinism's
+		// sake would need a fixed offset — with seed 3 at this size it hits.
+		t.Fatalf("expected garbling to damage the wal (seed drift?); recovered all %d", len(got))
+	}
+	if rep.TailDamage == "" || rep.TailDroppedBytes == 0 {
+		t.Fatalf("damage not reported: %+v", rep)
+	}
+	if !reflect.DeepEqual(got, want[:len(got)]) {
+		t.Fatal("a garbled record leaked past its checksum")
+	}
+}
+
+func TestCorruptSegmentQuarantinedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	entries := makeEntries(t, 600, 25)
+	st, err := Create(dir, logrec.Thunderbird, Options{FlushEvery: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(entries...); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
+	if len(segs) != 3 {
+		t.Fatalf("want 3 segments, got %v", segs)
+	}
+
+	// Garble the middle segment's bytes in flight.
+	damageFile(t, segs[1], faultinject.ReaderConfig{Seed: 5, GarbleProb: 0.001})
+
+	st2, rep, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	name := filepath.Base(segs[1])
+	if _, ok := rep.CorruptSegments[name]; !ok || rep.Segments != 2 {
+		t.Fatalf("corrupt segment not reported: %+v", rep)
+	}
+	if _, err := os.Stat(segs[1] + ".corrupt"); err != nil {
+		t.Fatalf("corrupt segment not quarantined: %v", err)
+	}
+	// Every served record comes from a checksum-verified segment: the
+	// survivors are exactly the first and third seal batches.
+	got := collect(t, st2, Filter{})
+	want := append(append([]Entry(nil), entriesNoRaw(entries)[:200]...), entriesNoRaw(entries)[400:]...)
+	sortEntries(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %d entries, want %d from the two intact segments", len(got), len(want))
+	}
+}
+
+func TestTornSegmentWriteDetected(t *testing.T) {
+	dir := t.TempDir()
+	entries := makeEntries(t, 200, 27)
+	st, err := Create(dir, logrec.Thunderbird, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(entries...); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
+	if len(segs) != 1 {
+		t.Fatalf("want 1 segment, got %v", segs)
+	}
+
+	// Tear the footer off — the torn write rename-into-place protects
+	// against, reproduced by force.
+	damageFile(t, segs[0], faultinject.ReaderConfig{Seed: 7, TearTailBytes: 50})
+
+	st2, rep, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if len(rep.CorruptSegments) != 1 || rep.Segments != 0 {
+		t.Fatalf("torn segment not dropped: %+v", rep)
+	}
+	if got := collect(t, st2, Filter{}); len(got) != 0 {
+		t.Fatalf("served %d records from a torn segment", len(got))
+	}
+	// The store stays writable after quarantine: new appends seal into a
+	// fresh segment number that does not collide.
+	if err := st2.Append(entries[:10]...); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if n := st2.Len(); n != 10 {
+		t.Fatalf("post-recovery store has %d entries, want 10", n)
+	}
+}

@@ -1,0 +1,30 @@
+package store
+
+import (
+	"whatsupersay/internal/tag"
+)
+
+// FromAlerts converts the batch pipeline's output — the tagged alert
+// stream and its Algorithm 3.1 survivors — into store entries: one per
+// raw alert, with Kept marking the survivors. Survivorship is matched
+// by record sequence number, which is unique within a stream.
+//
+// This is the single conversion point both `build-store` and the serve
+// ingest path go through, and the pivot of the differential guarantee:
+// an aggregation over a store must equal the same aggregation over
+// FromAlerts of the batch pipeline on the same records.
+func FromAlerts(alerts, filtered []tag.Alert) []Entry {
+	kept := make(map[uint64]bool, len(filtered))
+	for _, a := range filtered {
+		kept[a.Record.Seq] = true
+	}
+	out := make([]Entry, 0, len(alerts))
+	for _, a := range alerts {
+		out = append(out, Entry{
+			Record:   a.Record,
+			Category: a.Category.Name,
+			Kept:     kept[a.Record.Seq],
+		})
+	}
+	return out
+}

@@ -1,0 +1,476 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"time"
+
+	"whatsupersay/internal/logrec"
+)
+
+// Segment wire format (little-endian, varint-heavy):
+//
+//	header   magic "ALSG" | version u8 | system u8
+//	records  count entries back-to-back, sorted by (time, seq):
+//	           seq uvarint | Δt-nanos-from-min uvarint |
+//	           sourceID catID progID facID uvarint | severity uvarint |
+//	           flags u8 (kept, corrupted) | body string
+//	dicts    four string tables: sources, categories, programs, facilities
+//	postings per source id, per category id: posting set over record
+//	         ordinals; then distinct severities, each (value, posting set)
+//	sparse   one entry per indexInterval records: (byte offset into the
+//	index    records region, Δt-nanos of the block's first record) —
+//	         enough to seek a time-range scan or decode one index block
+//	         for a postings hit without touching the rest of the segment
+//	footer   fixed 64 bytes: recordsOff dictsOff postingsOff indexOff
+//	         count u64 ×5 | minNanos maxNanos u64 ×2 | crc32(file[:crc])
+//	         u32 | magic "GSLA" u32
+//
+// The footer checksum covers every byte before it, so a torn or bit-
+// flipped segment is detected on open and excluded wholesale; records
+// are only ever served from segments whose checksum verified.
+
+const (
+	segMagic    = "ALSG"
+	segEndMagic = "GSLA"
+	segVersion  = 1
+	segHdrLen   = 6
+	// footer: 5 offsets/counts + 2 timestamps (u64) + crc (u32) + magic (u32).
+	segFooterLen = 5*8 + 2*8 + 4 + 4
+
+	// indexInterval is the sparse-index stride: one index point per this
+	// many records. Postings scans decode at most indexInterval-1 extra
+	// records to reach a hit; time seeks land within one block.
+	indexInterval = 64
+)
+
+// Entry is one stored alert: the tagged record, its category, and
+// whether it survived Algorithm 3.1 (the simultaneous filter). Record.Raw
+// is not persisted — the structured fields are the unit of analysis, and
+// the wire text is reproducible from the generator when needed.
+type Entry struct {
+	Record   logrec.Record
+	Category string
+	Kept     bool
+}
+
+// entryBefore orders entries canonically: time, then sequence number.
+func entryBefore(a, b Entry) bool { return a.Record.Before(b.Record) }
+
+// sortEntries sorts entries into canonical order.
+func sortEntries(entries []Entry) {
+	sort.SliceStable(entries, func(i, j int) bool { return entryBefore(entries[i], entries[j]) })
+}
+
+// segment is one sealed, immutable, checksum-verified block of entries.
+// The encoded blob stays resident; records are decoded on demand during
+// scans, postings and dictionaries are decoded once at open.
+type segment struct {
+	name string
+	sys  logrec.System
+	blob []byte
+
+	count              int
+	minNanos, maxNanos int64
+	recordsOff         int
+
+	sources, categories  []string
+	programs, facilities []string
+	srcIDs, catIDs       map[string]uint32
+	srcPost, catPost     [][]uint32
+	sevPost              map[logrec.Severity][]uint32
+
+	// idxOffsets[i] / idxNanos[i] locate record ordinal i*indexInterval.
+	idxOffsets []uint32
+	idxNanos   []int64
+}
+
+const entryFlagKept, entryFlagCorrupted = 1, 2
+
+// buildSegment encodes entries (which must be sorted; Seal sorts) into
+// the segment wire form.
+func buildSegment(sys logrec.System, entries []Entry) []byte {
+	var (
+		e                enc
+		srcD, catD       dict
+		progD, facD      dict
+		sevOrds          = map[logrec.Severity][]uint32{}
+		idxOffs          []uint32
+		idxNanos         []int64
+		minN             = entries[0].Record.Time.UnixNano()
+		maxN             = entries[len(entries)-1].Record.Time.UnixNano()
+		srcOrds, catOrds [][]uint32
+	)
+	e.b = append(e.b, segMagic...)
+	e.byte(segVersion)
+	e.byte(byte(sys))
+
+	recordsOff := len(e.b)
+	post := func(lists *[][]uint32, id uint32, ord uint32) {
+		for uint32(len(*lists)) <= id {
+			*lists = append(*lists, nil)
+		}
+		(*lists)[id] = append((*lists)[id], ord)
+	}
+	for i, en := range entries {
+		nanos := en.Record.Time.UnixNano()
+		if i%indexInterval == 0 {
+			idxOffs = append(idxOffs, uint32(len(e.b)-recordsOff))
+			idxNanos = append(idxNanos, nanos)
+		}
+		srcID := srcD.id(en.Record.Source)
+		catID := catD.id(en.Category)
+		post(&srcOrds, srcID, uint32(i))
+		post(&catOrds, catID, uint32(i))
+		sevOrds[en.Record.Severity] = append(sevOrds[en.Record.Severity], uint32(i))
+
+		e.uvarint(en.Record.Seq)
+		e.uvarint(uint64(nanos - minN))
+		e.uvarint(uint64(srcID))
+		e.uvarint(uint64(catID))
+		e.uvarint(uint64(progD.id(en.Record.Program)))
+		e.uvarint(uint64(facD.id(en.Record.Facility)))
+		e.uvarint(uint64(en.Record.Severity))
+		var flags byte
+		if en.Kept {
+			flags |= entryFlagKept
+		}
+		if en.Record.Corrupted {
+			flags |= entryFlagCorrupted
+		}
+		e.byte(flags)
+		e.str(en.Record.Body)
+	}
+
+	dictsOff := len(e.b)
+	appendDict(&e, srcD.vals)
+	appendDict(&e, catD.vals)
+	appendDict(&e, progD.vals)
+	appendDict(&e, facD.vals)
+
+	postingsOff := len(e.b)
+	for _, ords := range srcOrds {
+		appendPostings(&e, ords, len(entries))
+	}
+	for _, ords := range catOrds {
+		appendPostings(&e, ords, len(entries))
+	}
+	sevs := make([]logrec.Severity, 0, len(sevOrds))
+	for s := range sevOrds {
+		sevs = append(sevs, s)
+	}
+	sort.Slice(sevs, func(i, j int) bool { return sevs[i] < sevs[j] })
+	e.uvarint(uint64(len(sevs)))
+	for _, s := range sevs {
+		e.uvarint(uint64(s))
+		appendPostings(&e, sevOrds[s], len(entries))
+	}
+
+	indexOff := len(e.b)
+	e.uvarint(uint64(len(idxOffs)))
+	for i := range idxOffs {
+		e.uvarint(uint64(idxOffs[i]))
+		e.uvarint(uint64(idxNanos[i] - minN))
+	}
+
+	e.u64(uint64(recordsOff))
+	e.u64(uint64(dictsOff))
+	e.u64(uint64(postingsOff))
+	e.u64(uint64(indexOff))
+	e.u64(uint64(len(entries)))
+	e.u64(uint64(minN))
+	e.u64(uint64(maxN))
+	e.u32(crc32.ChecksumIEEE(e.b))
+	e.b = append(e.b, segEndMagic...)
+	return e.b
+}
+
+// parseSegment validates blob (magic, version, footer checksum) and
+// decodes its metadata — dictionaries, postings, sparse index. Records
+// stay encoded. Any validation failure returns an error; a segment that
+// fails here is never served from.
+func parseSegment(name string, blob []byte) (*segment, error) {
+	if len(blob) < segHdrLen+segFooterLen {
+		return nil, fmt.Errorf("store: segment %s: truncated (%d bytes)", name, len(blob))
+	}
+	if string(blob[:4]) != segMagic {
+		return nil, fmt.Errorf("store: segment %s: bad magic", name)
+	}
+	if blob[4] != segVersion {
+		return nil, fmt.Errorf("store: segment %s: unsupported version %d", name, blob[4])
+	}
+	if string(blob[len(blob)-4:]) != segEndMagic {
+		return nil, fmt.Errorf("store: segment %s: torn tail (end marker missing)", name)
+	}
+	crcOff := len(blob) - 8
+	wantCRC := binary.LittleEndian.Uint32(blob[crcOff:])
+	if got := crc32.ChecksumIEEE(blob[:crcOff]); got != wantCRC {
+		return nil, fmt.Errorf("store: segment %s: checksum mismatch (got %08x want %08x)", name, got, wantCRC)
+	}
+
+	f := blob[len(blob)-segFooterLen : crcOff]
+	u := func(i int) uint64 { return binary.LittleEndian.Uint64(f[i*8:]) }
+	g := &segment{
+		name:       name,
+		sys:        logrec.System(blob[5]),
+		blob:       blob,
+		recordsOff: int(u(0)),
+		count:      int(u(4)),
+		minNanos:   int64(u(5)),
+		maxNanos:   int64(u(6)),
+	}
+	dictsOff, postingsOff, indexOff := int(u(1)), int(u(2)), int(u(3))
+	bodyLen := len(blob) - segFooterLen
+	if g.recordsOff != segHdrLen || dictsOff < g.recordsOff || postingsOff < dictsOff ||
+		indexOff < postingsOff || indexOff > bodyLen {
+		return nil, fmt.Errorf("store: segment %s: inconsistent section offsets", name)
+	}
+
+	d := &dec{b: blob, off: dictsOff}
+	g.sources = decodeDict(d)
+	g.categories = decodeDict(d)
+	g.programs = decodeDict(d)
+	g.facilities = decodeDict(d)
+	if d.err != nil || d.off != postingsOff {
+		return nil, fmt.Errorf("store: segment %s: bad dictionaries", name)
+	}
+	g.srcIDs = indexStrings(g.sources)
+	g.catIDs = indexStrings(g.categories)
+
+	g.srcPost = make([][]uint32, len(g.sources))
+	for i := range g.srcPost {
+		g.srcPost[i] = decodePostings(d)
+	}
+	g.catPost = make([][]uint32, len(g.categories))
+	for i := range g.catPost {
+		g.catPost[i] = decodePostings(d)
+	}
+	nSev := d.uvarint()
+	if d.err == nil && nSev <= 256 {
+		g.sevPost = make(map[logrec.Severity][]uint32, nSev)
+		for i := uint64(0); i < nSev; i++ {
+			sev := logrec.Severity(d.uvarint())
+			g.sevPost[sev] = decodePostings(d)
+		}
+	} else {
+		d.fail("severity postings")
+	}
+	if d.err != nil || d.off != indexOff {
+		return nil, fmt.Errorf("store: segment %s: bad postings", name)
+	}
+
+	nIdx := d.uvarint()
+	want := (g.count + indexInterval - 1) / indexInterval
+	if d.err != nil || int(nIdx) != want {
+		return nil, fmt.Errorf("store: segment %s: bad sparse index", name)
+	}
+	g.idxOffsets = make([]uint32, 0, nIdx)
+	g.idxNanos = make([]int64, 0, nIdx)
+	for i := uint64(0); i < nIdx; i++ {
+		g.idxOffsets = append(g.idxOffsets, uint32(d.uvarint()))
+		g.idxNanos = append(g.idxNanos, g.minNanos+int64(d.uvarint()))
+	}
+	if d.err != nil || d.off != bodyLen {
+		return nil, fmt.Errorf("store: segment %s: bad sparse index", name)
+	}
+	return g, nil
+}
+
+func indexStrings(vals []string) map[string]uint32 {
+	m := make(map[string]uint32, len(vals))
+	for i, v := range vals {
+		m[v] = uint32(i)
+	}
+	return m
+}
+
+// decodeAt decodes the record at absolute blob offset off, returning
+// the entry and the offset of the record after it.
+func (g *segment) decodeAt(off int) (Entry, int, error) {
+	d := &dec{b: g.blob, off: off}
+	seq := d.uvarint()
+	nanos := g.minNanos + int64(d.uvarint())
+	srcID, catID := d.uvarint(), d.uvarint()
+	progID, facID := d.uvarint(), d.uvarint()
+	sev := d.uvarint()
+	flags := d.byte()
+	body := d.str()
+	if d.err != nil {
+		return Entry{}, 0, d.err
+	}
+	if srcID >= uint64(len(g.sources)) || catID >= uint64(len(g.categories)) ||
+		progID >= uint64(len(g.programs)) || facID >= uint64(len(g.facilities)) {
+		return Entry{}, 0, fmt.Errorf("store: segment %s: dict id out of range at offset %d", g.name, off)
+	}
+	return Entry{
+		Record: logrec.Record{
+			Seq:       seq,
+			Time:      time.Unix(0, nanos).UTC(),
+			System:    g.sys,
+			Source:    g.sources[srcID],
+			Facility:  g.facilities[facID],
+			Severity:  logrec.Severity(sev),
+			Program:   g.programs[progID],
+			Body:      body,
+			Corrupted: flags&entryFlagCorrupted != 0,
+		},
+		Category: g.categories[catID],
+		Kept:     flags&entryFlagKept != 0,
+	}, d.off, nil
+}
+
+// candidates plans the postings side of a scan: for each dimension the
+// filter constrains, union the requested values' posting sets, then
+// intersect across dimensions. It returns (nil, false) when the filter
+// names no indexed dimension (the scan must walk the time range) and
+// (possibly empty, true) when postings fully decide the candidate set.
+func (g *segment) candidates(f Filter) ([]uint32, bool) {
+	constrained := false
+	var acc []uint32
+	apply := func(lists [][]uint32) {
+		u := unionSorted(lists)
+		if !constrained {
+			acc, constrained = u, true
+			return
+		}
+		acc = intersectSorted(acc, u)
+	}
+	if len(f.Sources) > 0 {
+		lists := make([][]uint32, 0, len(f.Sources))
+		for _, s := range f.Sources {
+			if id, ok := g.srcIDs[s]; ok {
+				lists = append(lists, g.srcPost[id])
+			}
+		}
+		apply(lists)
+	}
+	if len(f.Categories) > 0 {
+		lists := make([][]uint32, 0, len(f.Categories))
+		for _, c := range f.Categories {
+			if id, ok := g.catIDs[c]; ok {
+				lists = append(lists, g.catPost[id])
+			}
+		}
+		apply(lists)
+	}
+	if len(f.Severities) > 0 {
+		lists := make([][]uint32, 0, len(f.Severities))
+		for _, s := range f.Severities {
+			if p, ok := g.sevPost[s]; ok {
+				lists = append(lists, p)
+			}
+		}
+		apply(lists)
+	}
+	return acc, constrained
+}
+
+// scan emits the segment's entries matching f, in canonical order,
+// accounting its work in st. The caller has already pruned the segment
+// against the filter's time range.
+func (g *segment) scan(f Filter, st *ScanStats, emit func(Entry) error) error {
+	ords, constrained := g.candidates(f)
+	if constrained {
+		return g.scanOrdinals(ords, f, st, emit)
+	}
+	return g.scanRange(f, st, emit)
+}
+
+// scanRange walks the time window sequentially, seeking the start block
+// through the sparse index and stopping at the first record past To.
+func (g *segment) scanRange(f Filter, st *ScanStats, emit func(Entry) error) error {
+	block := 0
+	if !f.From.IsZero() {
+		from := f.From.UnixNano()
+		// Last index block whose first record is at or before From.
+		block = sort.Search(len(g.idxNanos), func(i int) bool { return g.idxNanos[i] > from })
+		if block > 0 {
+			block--
+		}
+	}
+	if block >= len(g.idxOffsets) {
+		return nil
+	}
+	off := g.recordsOff + int(g.idxOffsets[block])
+	start := off
+	defer func() { st.BytesScanned += int64(off - start) }()
+	for ord := block * indexInterval; ord < g.count; ord++ {
+		en, next, err := g.decodeAt(off)
+		if err != nil {
+			return err
+		}
+		off = next
+		st.RecordsScanned++
+		if !f.To.IsZero() && !en.Record.Time.Before(f.To) {
+			return nil
+		}
+		if !f.From.IsZero() && en.Record.Time.Before(f.From) {
+			continue
+		}
+		if !f.matchUnindexed(en) {
+			continue
+		}
+		st.Matched++
+		if err := emit(en); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scanOrdinals decodes exactly the index blocks containing candidate
+// ordinals, sequentially within each block.
+func (g *segment) scanOrdinals(ords []uint32, f Filter, st *ScanStats, emit func(Entry) error) error {
+	var fromN, toN int64
+	if !f.From.IsZero() {
+		fromN = f.From.UnixNano()
+	}
+	if !f.To.IsZero() {
+		toN = f.To.UnixNano()
+	}
+	i := 0
+	for i < len(ords) {
+		block := int(ords[i]) / indexInterval
+		// Time-prune whole blocks: the block's records span
+		// [idxNanos[block], idxNanos[block+1]).
+		if toN != 0 && g.idxNanos[block] >= toN {
+			return nil // blocks are time-ordered; nothing later can match
+		}
+		end := i
+		for end < len(ords) && int(ords[end])/indexInterval == block {
+			end++
+		}
+		if fromN != 0 && block+1 < len(g.idxNanos) && g.idxNanos[block+1] <= fromN {
+			i = end // the whole block predates the window
+			continue
+		}
+		off := g.recordsOff + int(g.idxOffsets[block])
+		start := off
+		want := ords[i:end]
+		for ord := block * indexInterval; len(want) > 0 && ord < g.count; ord++ {
+			en, next, err := g.decodeAt(off)
+			if err != nil {
+				return err
+			}
+			off = next
+			st.RecordsScanned++
+			if uint32(ord) != want[0] {
+				continue
+			}
+			want = want[1:]
+			nanos := en.Record.Time.UnixNano()
+			if (fromN != 0 && nanos < fromN) || (toN != 0 && nanos >= toN) || !f.matchUnindexed(en) {
+				continue
+			}
+			st.Matched++
+			if err := emit(en); err != nil {
+				return err
+			}
+		}
+		st.BytesScanned += int64(off - start)
+		i = end
+	}
+	return nil
+}

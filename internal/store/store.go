@@ -1,0 +1,554 @@
+// Package store is an embedded, append-only, time-partitioned segment
+// store for tagged and filtered alerts — the persistence tier under the
+// query engine (internal/query) and the `logstudy serve` / `build-store`
+// subcommands. A store is a directory:
+//
+//	MANIFEST            store identity (format version, system)
+//	seg-00000000.seg    sealed, immutable, checksum-footed segments
+//	seg-00000001.seg      (sorted records + dictionaries + posting sets
+//	...                    + sparse time index; see segment.go)
+//	wal.log             the unsealed tail, as CRC-framed appends
+//
+// Crash safety: segments are written to a temp file, fsynced, renamed
+// into place, and the directory fsynced, so a sealed segment is either
+// wholly present and checksum-valid or absent. The tail rides in the
+// wal; on open, replay stops at the first torn or corrupt frame and the
+// file is truncated there, so a crash (or a fault-injected tear) loses
+// at most the damaged suffix of the unsealed tail — and a record is
+// never served unless its enclosing checksum verified. Segments whose
+// footer checksum fails are quarantined (renamed *.corrupt) and
+// reported, never silently read around.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/obs"
+)
+
+// Store telemetry, on the process registry so `logstudy -http` exposes
+// it alongside the pipeline stages.
+var (
+	mScanSegments = obs.Default.Counter("store_scan_segments_total")
+	mScanRecords  = obs.Default.Counter("store_scan_records_total")
+	mScanBytes    = obs.Default.Counter("store_scan_bytes_total")
+	mSealEntries  = obs.Default.Counter("store_seal_entries_total")
+	gSegments     = obs.Default.Gauge("store_segments")
+	gTailEntries  = obs.Default.Gauge("store_tail_entries")
+)
+
+const (
+	manifestName = "MANIFEST"
+	walName      = "wal.log"
+	segPattern   = "seg-%08d.seg"
+)
+
+// DefaultFlushEvery is the default segment size, in entries.
+const DefaultFlushEvery = 50000
+
+// Options tune a store.
+type Options struct {
+	// FlushEvery seals the tail into a segment once it holds this many
+	// entries (default DefaultFlushEvery).
+	FlushEvery int
+	// SyncAppends fsyncs the wal after every Append batch. Off by
+	// default: the durability unit is then the seal (always fsynced),
+	// and an OS crash may lose the buffered tail — the same trade
+	// syslog itself makes. Process crashes lose nothing either way.
+	SyncAppends bool
+}
+
+func (o Options) flushEvery() int {
+	if o.FlushEvery > 0 {
+		return o.FlushEvery
+	}
+	return DefaultFlushEvery
+}
+
+// manifest is the store's on-disk identity.
+type manifest struct {
+	Version int    `json:"version"`
+	System  string `json:"system"`
+}
+
+// OpenReport says what Open found and, after damage, what it dropped —
+// the operator-facing accounting the fault model requires.
+type OpenReport struct {
+	// Segments and TailEntries are the healthy inventory.
+	Segments    int
+	TailEntries int
+	// CorruptSegments lists segments that failed validation and were
+	// quarantined as *.corrupt (name -> reason).
+	CorruptSegments map[string]string
+	// TailDroppedBytes is how much of the wal was truncated as torn or
+	// corrupt; TailDamage describes the first bad frame when nonzero.
+	TailDroppedBytes int64
+	TailDamage       string
+}
+
+// Store is one open alert store. All methods are safe for concurrent
+// use: appends and seals serialize behind a mutex, scans snapshot the
+// immutable segment list and the tail and then run lock-free.
+type Store struct {
+	dir  string
+	sys  logrec.System
+	opts Options
+
+	mu      sync.RWMutex
+	segs    []*segment
+	tail    []Entry
+	wal     *os.File
+	nextSeg int
+}
+
+// Create initializes a store directory for sys (creating it if needed)
+// and opens it. Creating over an existing store of the same system
+// reopens it for appending; a different system is an error.
+func Create(dir string, sys logrec.System, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	m, err := readManifest(dir)
+	switch {
+	case err == nil:
+		if m.System != sys.ShortName() {
+			return nil, fmt.Errorf("store: %s already holds a %s store", dir, m.System)
+		}
+	case errors.Is(err, fs.ErrNotExist):
+		if err := writeManifest(dir, manifest{Version: segVersion, System: sys.ShortName()}); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, err
+	}
+	st, _, err := Open(dir, opts)
+	return st, err
+}
+
+// Open opens an existing store directory, validating every sealed
+// segment's checksum and replaying (and, if damaged, truncating) the
+// wal tail. The report says what was recovered and what was dropped.
+func Open(dir string, opts Options) (*Store, *OpenReport, error) {
+	m, err := readManifest(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	sys, err := logrec.ParseSystem(m.System)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	s := &Store{dir: dir, sys: sys, opts: opts}
+	rep := &OpenReport{CorruptSegments: map[string]string{}}
+
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.Strings(names)
+	for _, path := range names {
+		name := filepath.Base(path)
+		var n int
+		if _, err := fmt.Sscanf(name, segPattern, &n); err == nil && n >= s.nextSeg {
+			s.nextSeg = n + 1
+		}
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		g, err := parseSegment(name, blob)
+		if err != nil {
+			// Quarantine, never serve: keep the bytes for forensics but
+			// move them out of the segment namespace.
+			rep.CorruptSegments[name] = err.Error()
+			if rerr := os.Rename(path, path+".corrupt"); rerr != nil {
+				return nil, nil, rerr
+			}
+			continue
+		}
+		s.segs = append(s.segs, g)
+	}
+	rep.Segments = len(s.segs)
+
+	walPath := filepath.Join(dir, walName)
+	raw, err := os.ReadFile(walPath)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, nil, err
+	}
+	entries, good, damage := replayWal(raw, sys)
+	if damage != nil {
+		rep.TailDroppedBytes = int64(len(raw) - good)
+		rep.TailDamage = damage.Error()
+		if err := os.Truncate(walPath, int64(good)); err != nil {
+			return nil, nil, err
+		}
+	}
+	s.tail = entries
+	rep.TailEntries = len(entries)
+
+	s.wal, err = os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.publishSizes()
+	return s, rep, nil
+}
+
+// System returns the machine whose alerts the store holds.
+func (s *Store) System() logrec.System { return s.sys }
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Len returns the total entry count, sealed plus tail.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := len(s.tail)
+	for _, g := range s.segs {
+		n += g.count
+	}
+	return n
+}
+
+// Append durably logs entries to the wal and adds them to the tail,
+// sealing a segment whenever the tail reaches FlushEvery entries. The
+// entries' System field is normalized to the store's system.
+func (s *Store) Append(entries ...Entry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var frames []byte
+	for i := range entries {
+		entries[i].Record.System = s.sys
+		frames = appendWalFrame(frames, entries[i])
+	}
+	if _, err := s.wal.Write(frames); err != nil {
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	if s.opts.SyncAppends {
+		if err := s.wal.Sync(); err != nil {
+			return err
+		}
+	}
+	s.tail = append(s.tail, entries...)
+	for len(s.tail) >= s.opts.flushEvery() {
+		if err := s.sealLocked(s.opts.flushEvery()); err != nil {
+			return err
+		}
+	}
+	s.publishSizes()
+	return nil
+}
+
+// Seal flushes the whole tail into a sealed segment (no-op when empty).
+func (s *Store) Seal() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.sealLocked(len(s.tail)); err != nil {
+		return err
+	}
+	s.publishSizes()
+	return nil
+}
+
+// sealLocked seals the first n tail entries: sort, encode, write to a
+// temp file, fsync, rename into place, fsync the directory, then drop
+// the sealed prefix and rewrite the wal to the remainder.
+func (s *Store) sealLocked(n int) error {
+	if n <= 0 || len(s.tail) == 0 {
+		return nil
+	}
+	if n > len(s.tail) {
+		n = len(s.tail)
+	}
+	sp := obs.Default.StartSpan("store_seal")
+	defer sp.End()
+
+	// Seal the n oldest entries by canonical order, keeping the rest.
+	sortEntries(s.tail)
+	batch, rest := s.tail[:n], s.tail[n:]
+	blob := buildSegment(s.sys, batch)
+
+	name := fmt.Sprintf(segPattern, s.nextSeg)
+	path := filepath.Join(s.dir, name)
+	if err := atomicWrite(path, blob); err != nil {
+		return fmt.Errorf("store: seal %s: %w", name, err)
+	}
+	g, err := parseSegment(name, blob)
+	if err != nil {
+		// Can't happen for bytes we just built; treat as corruption bug.
+		return fmt.Errorf("store: seal %s: self-check failed: %w", name, err)
+	}
+	s.segs = append(s.segs, g)
+	s.nextSeg++
+	mSealEntries.Add(int64(n))
+
+	// The wal now only needs to cover the remainder.
+	s.tail = append([]Entry(nil), rest...)
+	return s.rewriteWalLocked()
+}
+
+// rewriteWalLocked replaces the wal's contents with frames for the
+// current tail (typically empty right after a seal).
+func (s *Store) rewriteWalLocked() error {
+	var frames []byte
+	for _, en := range s.tail {
+		frames = appendWalFrame(frames, en)
+	}
+	if err := s.wal.Truncate(0); err != nil {
+		return err
+	}
+	if len(frames) > 0 {
+		if _, err := s.wal.Write(frames); err != nil {
+			return err
+		}
+	}
+	return s.wal.Sync()
+}
+
+// Close seals any remaining tail and closes the wal.
+func (s *Store) Close() error {
+	if err := s.Seal(); err != nil {
+		s.wal.Close()
+		return err
+	}
+	return s.wal.Close()
+}
+
+// Filter selects entries for Scan. Zero fields are unconstrained; the
+// time window is [From, To).
+type Filter struct {
+	From, To   time.Time
+	Sources    []string
+	Categories []string
+	Severities []logrec.Severity
+	// Kept, when non-nil, selects only entries that survived (true) or
+	// were removed by (false) Algorithm 3.1.
+	Kept *bool
+}
+
+// matchUnindexed applies the predicates postings do not cover (the Kept
+// flag) to a decoded entry. Time and the indexed dimensions are handled
+// by the segment scan itself; the tail scan calls match instead.
+func (f Filter) matchUnindexed(en Entry) bool {
+	return f.Kept == nil || *f.Kept == en.Kept
+}
+
+// match applies every predicate to a decoded entry (the tail path,
+// where nothing is indexed).
+func (f Filter) match(en Entry) bool {
+	t := en.Record.Time
+	if !f.From.IsZero() && t.Before(f.From) {
+		return false
+	}
+	if !f.To.IsZero() && !t.Before(f.To) {
+		return false
+	}
+	if len(f.Sources) > 0 && !containsStr(f.Sources, en.Record.Source) {
+		return false
+	}
+	if len(f.Categories) > 0 && !containsStr(f.Categories, en.Category) {
+		return false
+	}
+	if len(f.Severities) > 0 && !containsSev(f.Severities, en.Record.Severity) {
+		return false
+	}
+	return f.matchUnindexed(en)
+}
+
+func containsStr(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func containsSev(xs []logrec.Severity, x logrec.Severity) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// ScanStats accounts one scan's work — the observability the query
+// layer reports per request.
+type ScanStats struct {
+	Segments        int   `json:"segments"`
+	SegmentsScanned int   `json:"segments_scanned"`
+	SegmentsPruned  int   `json:"segments_pruned"`
+	TailEntries     int   `json:"tail_entries"`
+	RecordsScanned  int   `json:"records_scanned"`
+	BytesScanned    int64 `json:"bytes_scanned"`
+	Matched         int   `json:"matched"`
+}
+
+// Scan streams every entry matching f to fn: sealed segments first (in
+// seal order, each internally time-sorted), then the unsealed tail.
+// Callers needing global canonical order sort the collected results
+// (the query engine does). fn returning an error aborts the scan.
+func (s *Store) Scan(f Filter, fn func(Entry) error) (ScanStats, error) {
+	sp := obs.Default.StartSpan("store_scan")
+	defer sp.End()
+
+	s.mu.RLock()
+	segs := append([]*segment(nil), s.segs...)
+	tail := append([]Entry(nil), s.tail...)
+	s.mu.RUnlock()
+
+	var st ScanStats
+	st.Segments = len(segs)
+	for _, g := range segs {
+		if !f.From.IsZero() && g.maxNanos < f.From.UnixNano() {
+			st.SegmentsPruned++
+			continue
+		}
+		if !f.To.IsZero() && g.minNanos >= f.To.UnixNano() {
+			st.SegmentsPruned++
+			continue
+		}
+		st.SegmentsScanned++
+		if err := g.scan(f, &st, fn); err != nil {
+			return st, err
+		}
+	}
+	st.TailEntries = len(tail)
+	for _, en := range tail {
+		st.RecordsScanned++
+		if !f.match(en) {
+			continue
+		}
+		st.Matched++
+		if err := fn(en); err != nil {
+			return st, err
+		}
+	}
+	mScanSegments.Add(int64(st.SegmentsScanned))
+	mScanRecords.Add(int64(st.RecordsScanned))
+	mScanBytes.Add(st.BytesScanned)
+	return st, nil
+}
+
+// SegmentInfo describes one sealed segment for the /api/segments view.
+type SegmentInfo struct {
+	Name       string    `json:"name"`
+	Records    int       `json:"records"`
+	Bytes      int       `json:"bytes"`
+	Start      time.Time `json:"start"`
+	End        time.Time `json:"end"`
+	Sources    int       `json:"sources"`
+	Categories int       `json:"categories"`
+}
+
+// Segments lists the sealed segments in seal order.
+func (s *Store) Segments() []SegmentInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]SegmentInfo, 0, len(s.segs))
+	for _, g := range s.segs {
+		out = append(out, SegmentInfo{
+			Name:       g.name,
+			Records:    g.count,
+			Bytes:      len(g.blob),
+			Start:      unixNano(g.minNanos),
+			End:        unixNano(g.maxNanos),
+			Sources:    len(g.sources),
+			Categories: len(g.categories),
+		})
+	}
+	return out
+}
+
+// TailLen returns the unsealed tail's entry count.
+func (s *Store) TailLen() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.tail)
+}
+
+// publishSizes refreshes the store gauges; callers hold mu.
+func (s *Store) publishSizes() {
+	gSegments.Set(float64(len(s.segs)))
+	gTailEntries.Set(float64(len(s.tail)))
+}
+
+func unixNano(n int64) time.Time { return time.Unix(0, n).UTC() }
+
+// atomicWrite writes data to path via a temp file, fsync, and rename,
+// then fsyncs the directory so the rename itself is durable.
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory, making a just-renamed entry durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func readManifest(dir string) (manifest, error) {
+	var m manifest
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, fmt.Errorf("bad manifest: %w", err)
+	}
+	if m.Version != segVersion {
+		return m, fmt.Errorf("manifest version %d not supported", m.Version)
+	}
+	return m, nil
+}
+
+func writeManifest(dir string, m manifest) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	return atomicWrite(filepath.Join(dir, manifestName), append(data, '\n'))
+}

@@ -1,0 +1,300 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"whatsupersay/internal/logrec"
+)
+
+// makeEntries builds a deterministic synthetic entry stream: n entries
+// over a few hours, a handful of sources/categories/severities, ~40%
+// kept, already in canonical order.
+func makeEntries(t *testing.T, n int, seed int64) []Entry {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	base := time.Date(2004, 3, 1, 0, 0, 0, 0, time.UTC)
+	sources := []string{"sn373", "admin1", "cn12", "cn13", "sm0"}
+	cats := []string{"ECC", "KERNDTLB", "PBS_CON", "GM_PAR"}
+	sevs := []logrec.Severity{logrec.SeverityUnknown, logrec.SevErr, logrec.SevFatal}
+	out := make([]Entry, 0, n)
+	cur := base
+	for i := 0; i < n; i++ {
+		cur = cur.Add(time.Duration(rng.Intn(30)) * time.Second)
+		out = append(out, Entry{
+			Record: logrec.Record{
+				Seq:      uint64(i),
+				Time:     cur,
+				System:   logrec.Thunderbird,
+				Source:   sources[rng.Intn(len(sources))],
+				Severity: sevs[rng.Intn(len(sevs))],
+				Program:  "kernel",
+				Body:     fmt.Sprintf("synthetic body %d %08x", i, rng.Uint32()),
+			},
+			Category: cats[rng.Intn(len(cats))],
+			Kept:     rng.Float64() < 0.4,
+		})
+	}
+	return out
+}
+
+// collect scans the store with f and returns the matches in canonical
+// order (the engine's contract, replicated here for direct store tests).
+func collect(t *testing.T, s *Store, f Filter) []Entry {
+	t.Helper()
+	var got []Entry
+	if _, err := s.Scan(f, func(en Entry) error {
+		got = append(got, en)
+		return nil
+	}); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	sortEntries(got)
+	return got
+}
+
+// linearFilter is the reference implementation Scan must agree with.
+func linearFilter(entries []Entry, f Filter) []Entry {
+	var out []Entry
+	for _, en := range entries {
+		if f.match(en) {
+			out = append(out, en)
+		}
+	}
+	return out
+}
+
+func TestRoundTripAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	entries := makeEntries(t, 1000, 1)
+	st, err := Create(dir, logrec.Thunderbird, Options{FlushEvery: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(entries...); err != nil {
+		t.Fatal(err)
+	}
+	// 1000 entries at FlushEvery=300 → 3 sealed segments + 100 in the tail.
+	if got := len(st.Segments()); got != 3 {
+		t.Fatalf("segments = %d, want 3", got)
+	}
+	if got := st.TailLen(); got != 100 {
+		t.Fatalf("tail = %d, want 100", got)
+	}
+	if got := collect(t, st, Filter{}); !reflect.DeepEqual(got, entriesNoRaw(entries)) {
+		t.Fatalf("pre-close scan mismatch: got %d entries", len(got))
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rep, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if rep.Segments != 4 || rep.TailEntries != 0 || len(rep.CorruptSegments) != 0 {
+		t.Fatalf("open report = %+v", rep)
+	}
+	if st2.System() != logrec.Thunderbird {
+		t.Fatalf("system = %v", st2.System())
+	}
+	if got := collect(t, st2, Filter{}); !reflect.DeepEqual(got, entriesNoRaw(entries)) {
+		t.Fatalf("post-reopen scan mismatch: got %d entries, want %d", len(got), len(entries))
+	}
+}
+
+// entriesNoRaw strips the fields the store intentionally does not
+// persist (Record.Raw) so DeepEqual compares what the store promises.
+func entriesNoRaw(entries []Entry) []Entry {
+	out := make([]Entry, len(entries))
+	for i, en := range entries {
+		en.Record.Raw = ""
+		out[i] = en
+	}
+	return out
+}
+
+func TestScanMatchesLinearReference(t *testing.T) {
+	dir := t.TempDir()
+	entries := makeEntries(t, 2000, 7)
+	st, err := Create(dir, logrec.Thunderbird, Options{FlushEvery: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Append(entries...); err != nil {
+		t.Fatal(err)
+	}
+	ref := entriesNoRaw(entries)
+	mid := entries[len(entries)/2].Record.Time
+	late := entries[3*len(entries)/4].Record.Time
+	kept, notKept := true, false
+	filters := []Filter{
+		{},
+		{From: mid},
+		{To: mid},
+		{From: mid, To: late},
+		{Categories: []string{"ECC"}},
+		{Categories: []string{"ECC", "GM_PAR"}},
+		{Sources: []string{"sn373"}},
+		{Sources: []string{"sn373", "cn12"}, Categories: []string{"PBS_CON"}},
+		{Severities: []logrec.Severity{logrec.SevFatal}},
+		{Kept: &kept},
+		{Kept: &notKept, Categories: []string{"KERNDTLB"}, From: mid},
+		{Sources: []string{"no-such-node"}},
+		{Categories: []string{"ECC"}, Severities: []logrec.Severity{logrec.SevErr, logrec.SeverityUnknown}, From: mid, To: late},
+	}
+	for i, f := range filters {
+		want := linearFilter(ref, f)
+		got := collect(t, st, f)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("filter %d: got %d entries, want %d", i, len(got), len(want))
+		}
+	}
+}
+
+func TestScanStatsPruning(t *testing.T) {
+	dir := t.TempDir()
+	entries := makeEntries(t, 900, 3)
+	st, err := Create(dir, logrec.Thunderbird, Options{FlushEvery: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Append(entries...); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	// A window entirely before the log prunes every segment.
+	stt, err := st.Scan(Filter{To: entries[0].Record.Time}, func(Entry) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stt.SegmentsPruned != stt.Segments || stt.SegmentsScanned != 0 {
+		t.Errorf("want all %d segments pruned, got %+v", stt.Segments, stt)
+	}
+	// A narrow window in the last segment prunes the earlier ones.
+	last := entries[len(entries)-1].Record.Time
+	stt, err = st.Scan(Filter{From: last}, func(Entry) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stt.SegmentsScanned != 1 || stt.SegmentsPruned != 2 {
+		t.Errorf("want 1 scanned / 2 pruned, got %+v", stt)
+	}
+	// A predicate scan decodes only the blocks holding candidates.
+	stt, err = st.Scan(Filter{Sources: []string{"sm0"}}, func(Entry) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stt.Matched == 0 || stt.RecordsScanned >= len(entries) {
+		t.Errorf("postings scan should skip blocks: %+v", stt)
+	}
+}
+
+func TestTailSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	entries := makeEntries(t, 120, 5)
+	st, err := Create(dir, logrec.Thunderbird, Options{FlushEvery: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(entries...); err != nil {
+		t.Fatal(err)
+	}
+	// Simulated crash: drop the store without Close, so nothing sealed.
+	st2, rep, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if rep.Segments != 0 || rep.TailEntries != len(entries) || rep.TailDroppedBytes != 0 {
+		t.Fatalf("open report = %+v", rep)
+	}
+	if got := collect(t, st2, Filter{}); !reflect.DeepEqual(got, entriesNoRaw(entries)) {
+		t.Fatalf("tail recovery mismatch: got %d entries", len(got))
+	}
+}
+
+func TestCreateRefusesOtherSystem(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Create(dir, logrec.Spirit, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if _, err := Create(dir, logrec.Liberty, Options{}); err == nil {
+		t.Fatal("creating a liberty store over a spirit store must fail")
+	}
+	// Same system reopens.
+	st2, err := Create(dir, logrec.Spirit, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+}
+
+func TestOpenWithoutManifestFails(t *testing.T) {
+	if _, _, err := Open(t.TempDir(), Options{}); err == nil {
+		t.Fatal("open of a non-store directory must fail")
+	}
+}
+
+func TestSealIsAtomicOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	entries := makeEntries(t, 100, 9)
+	st, err := Create(dir, logrec.Thunderbird, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(entries...); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if len(tmps) != 0 {
+		t.Fatalf("temp files left behind: %v", tmps)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
+	if len(segs) != 1 {
+		t.Fatalf("want 1 sealed segment, got %v", segs)
+	}
+}
+
+func TestPostingsCodec(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(500)
+		var ords []uint32
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.3 {
+				ords = append(ords, uint32(i))
+			}
+		}
+		var e enc
+		appendPostings(&e, ords, n)
+		d := &dec{b: e.b}
+		got := decodePostings(d)
+		if d.err != nil {
+			t.Fatalf("trial %d: decode error %v", trial, d.err)
+		}
+		if len(got) == 0 && len(ords) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, ords) {
+			t.Fatalf("trial %d: postings round-trip mismatch", trial)
+		}
+	}
+}
