@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race verify bench bench-smoke fuzz fuzz-smoke
+.PHONY: all build test vet race verify verify-race bench bench-smoke fuzz fuzz-smoke
 
 all: verify
 
@@ -20,6 +20,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Focused race pass over the storage/compaction/cache concurrency
+# surface, with -count=1 so the concurrent append/scan/seal/compact
+# stress test and the crash-window recovery suite actually re-run
+# instead of replaying cached results. This is the gate for the store's
+# locking protocol (compactMu before mu) and the aggregate cache.
+verify-race:
+	$(GO) test -race -count=1 ./internal/store/... ./internal/query/... ./cmd/logstudy/...
 
 verify: build vet race bench-smoke fuzz-smoke
 

@@ -25,6 +25,7 @@ func runBuildStore(args []string, w io.Writer) error {
 	inPath := fs.String("in", "", "ingest this log file instead of generating synthetically")
 	flushEvery := fs.Int("flush-every", store.DefaultFlushEvery, "seal a segment every N entries")
 	syncAppends := fs.Bool("sync", false, "fsync the wal after every append batch")
+	compact := fs.Bool("compact", false, "compact the store after loading (merge small segments)")
 	scale, seed := commonFlags(fs)
 	if help, err := parseFlags(fs, args); help || err != nil {
 		return err
@@ -72,6 +73,16 @@ func runBuildStore(args []string, w io.Writer) error {
 	if err := st.Seal(); err != nil {
 		st.Close()
 		return err
+	}
+	if *compact {
+		cst, err := st.Compact()
+		if err != nil {
+			st.Close()
+			return err
+		}
+		if cst.Compactions > 0 {
+			fmt.Fprintf(w, "compacted %d segments into %d\n", cst.SegmentsIn, cst.Compactions)
+		}
 	}
 	nSegs := len(st.Segments())
 	if err := st.Close(); err != nil {

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/store"
+)
+
+// TestAggregateByteIdenticalAcrossCompactionAndCache is the PR's
+// acceptance differential: for a battery of filters, the /api/aggregate
+// "aggregate" payload is byte-identical (a) before compaction, (b)
+// after compaction, and (c) on a cache hit — compaction and the cache
+// are pure optimizations, never semantics changes. The "stats" side
+// channel legitimately reflects the storage layout (fewer, larger
+// segments after a merge), so it is pinned only between a
+// post-compaction miss and its cache hit, where the store is unchanged
+// and the full body must match to the byte.
+func TestAggregateByteIdenticalAcrossCompactionAndCache(t *testing.T) {
+	s := newTestStudy(t)
+	entries := store.FromAlerts(s.Alerts, s.Filtered)
+	st, err := store.Create(t.TempDir(), logrec.Liberty, store.Options{FlushEvery: len(entries)/6 + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Append(entries...); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newAPI(st, apiOptions{CacheSize: 32}))
+	defer srv.Close()
+
+	// get returns the full response body and the raw bytes of its
+	// "aggregate" field.
+	get := func(params url.Values) (body, agg string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/api/aggregate?" + params.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("aggregate: %d %v: %s", resp.StatusCode, err, raw)
+		}
+		var fields struct {
+			Aggregate json.RawMessage `json:"aggregate"`
+		}
+		if err := json.Unmarshal(raw, &fields); err != nil {
+			t.Fatalf("aggregate response is not JSON: %v: %s", err, raw)
+		}
+		return string(raw), string(fields.Aggregate)
+	}
+
+	kept := "true"
+	batteries := []url.Values{
+		{},
+		{"category": {entries[0].Category}},
+		{"kept": {kept}},
+		{"topk": {"3"}, "quantiles": {"0.5,0.95"}},
+		{"source": {entries[0].Record.Source}},
+	}
+
+	before := make([]string, len(batteries))
+	for i, p := range batteries {
+		_, before[i] = get(p)
+	}
+
+	segsBefore := len(st.Segments())
+	cst, err := st.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cst.Compactions == 0 || len(st.Segments()) >= segsBefore {
+		t.Fatalf("compaction did not restructure the store: %+v", cst)
+	}
+
+	for i, p := range batteries {
+		missBody, afterCompact := get(p) // fresh fingerprint: recomputed from the merged layout
+		if afterCompact != before[i] {
+			t.Errorf("battery %d: aggregate changed across compaction\nbefore: %s\nafter:  %s", i, before[i], afterCompact)
+		}
+		hitBody, cacheHit := get(p) // unchanged store: served from the cache
+		if cacheHit != before[i] {
+			t.Errorf("battery %d: cache hit aggregate diverges\nmiss: %s\nhit:  %s", i, before[i], cacheHit)
+		}
+		if hitBody != missBody {
+			t.Errorf("battery %d: cached full body (stats included) diverges from its miss\nmiss: %s\nhit:  %s", i, missBody, hitBody)
+		}
+	}
+}
+
+// TestIngestBodyLimitReturns413 pins the -max-body contract: an
+// oversized POST /api/ingest is rejected with 413 and a JSON error, and
+// nothing from it reaches the store.
+func TestIngestBodyLimitReturns413(t *testing.T) {
+	st, err := store.Create(t.TempDir(), logrec.Liberty, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	srv := httptest.NewServer(newAPI(st, apiOptions{MaxBody: 512}))
+	defer srv.Close()
+
+	big := strings.Repeat("x", 2048)
+	resp, err := http.Post(srv.URL+"/api/ingest", "text/plain", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413: %s", resp.StatusCode, body)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("413 body is not a JSON error: %s", body)
+	}
+	if st.Len() != 0 {
+		t.Fatalf("rejected body reached the store: %d entries", st.Len())
+	}
+
+	// A body under the cap still works end to end.
+	resp, err = http.Post(srv.URL+"/api/ingest", "text/plain", strings.NewReader("not a log line\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("small body rejected: %d", resp.StatusCode)
+	}
+}
+
+// TestCompactCommand drives the subcommand end to end: build a store
+// with many small segments, compact it, and check the inventory shrank
+// without changing the served aggregate.
+func TestCompactCommand(t *testing.T) {
+	dir := t.TempDir() + "/alerts"
+	if err := run(testArgs("build-store", "-system", "liberty", "-dir", dir, "-flush-every", "300"), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segsBefore := len(st.Segments())
+	wantEntries := st.Len()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if segsBefore < 2 {
+		t.Fatalf("fixture store too coarse: %d segments", segsBefore)
+	}
+
+	var b strings.Builder
+	if err := run([]string{"compact", "-dir", dir}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "compacted") {
+		t.Fatalf("no compaction summary: %s", b.String())
+	}
+
+	st2, rep, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if rep.SupersededSegments != 0 || rep.TailDedupedEntries != 0 {
+		t.Fatalf("compact left recovery work: %+v", rep)
+	}
+	if got := len(st2.Segments()); got >= segsBefore {
+		t.Fatalf("segments %d, want fewer than %d", got, segsBefore)
+	}
+	if st2.Len() != wantEntries {
+		t.Fatalf("entries %d, want %d", st2.Len(), wantEntries)
+	}
+
+	// Usage contract: missing -dir is exit-code-2 material.
+	if err := run([]string{"compact"}, io.Discard); err == nil {
+		t.Error("missing -dir must error")
+	}
+}

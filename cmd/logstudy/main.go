@@ -17,8 +17,9 @@
 //	logstudy jobs [-system NAME] [-category CAT] [-checkpoint D]
 //	logstudy rules [-system NAME] [-export]
 //	logstudy bench [-system NAME|all] [-scale S] [-seed N] [-iters N] [-workers N] [-o FILE]
-//	logstudy build-store -dir DIR [-system NAME] [-scale S] [-seed N] [-in FILE]
-//	logstudy serve -dir DIR [-addr ADDR] [-system NAME]
+//	logstudy build-store -dir DIR [-system NAME] [-scale S] [-seed N] [-in FILE] [-compact]
+//	logstudy serve -dir DIR [-addr ADDR] [-system NAME] [-max-body N] [-cache N] [-compact-every D] [-retention D]
+//	logstudy compact -dir DIR [-target N] [-retention D]
 //
 // Exit status is 0 on success (including -h/help), 1 on a runtime
 // failure, and 2 on a command-line usage error.
@@ -218,6 +219,8 @@ func dispatch(args []string, w io.Writer) error {
 		return runBuildStore(args[1:], w)
 	case "serve":
 		return runServe(args[1:], w)
+	case "compact":
+		return runCompact(args[1:], w)
 	case "help", "-h", "--help":
 		usage(w)
 		return nil
@@ -251,6 +254,8 @@ subcommands:
   serve            answer /api/query, /api/aggregate, /api/segments, and
                    POST /api/ingest over a store, without re-running the
                    pipeline
+  compact          merge a store's small segments into large sorted ones
+                   and apply the retention horizon (-dir)
 
 global flags (any subcommand, before or after its name):
   -metrics FILE    write a JSON snapshot of all pipeline telemetry at exit

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -42,13 +43,24 @@ func runServe(args []string, w io.Writer) error {
 	sysName := fs.String("system", "", "create the store for this system if the directory is not one yet")
 	flushEvery := fs.Int("flush-every", store.DefaultFlushEvery, "seal a segment every N appended entries")
 	syncAppends := fs.Bool("sync", false, "fsync the wal after every ingest batch")
+	maxBody := fs.Int64("max-body", defaultMaxBody, "largest POST /api/ingest body accepted, in bytes (413 beyond it)")
+	cacheSize := fs.Int("cache", query.DefaultCacheSize, "aggregate-result cache entries (0 disables the cache)")
+	compactEvery := fs.Duration("compact-every", 0, "run retention + compaction in the background on this interval (0 = never)")
+	compactTarget := fs.Int("compact-target", 0, "merged-segment size goal, in entries (default 4x flush-every)")
+	retention := fs.Duration("retention", 0, "drop segments older than this horizon before the newest record (0 = keep everything)")
 	if help, err := parseFlags(fs, args); help || err != nil {
 		return err
 	}
 	if *dir == "" {
 		return usageError("serve: -dir is required")
 	}
-	opts := store.Options{FlushEvery: *flushEvery, SyncAppends: *syncAppends}
+	opts := store.Options{
+		FlushEvery:    *flushEvery,
+		SyncAppends:   *syncAppends,
+		CompactTarget: *compactTarget,
+		CompactEvery:  *compactEvery,
+		Retention:     *retention,
+	}
 
 	var st *store.Store
 	var rep *store.OpenReport
@@ -65,22 +77,19 @@ func runServe(args []string, w io.Writer) error {
 		return err
 	}
 	defer st.Close()
-	if rep != nil {
-		fmt.Fprintf(w, "opened %s store: %d segments, %d tail entries\n",
-			st.System().ShortName(), rep.Segments, rep.TailEntries)
-		for name, reason := range rep.CorruptSegments {
-			fmt.Fprintf(w, "  quarantined %s: %s\n", name, reason)
-		}
-		if rep.TailDroppedBytes > 0 {
-			fmt.Fprintf(w, "  truncated %d torn wal bytes (%s)\n", rep.TailDroppedBytes, rep.TailDamage)
-		}
-	}
+	reportOpen(w, st, rep)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: newAPI(st)}
+	srv := &http.Server{
+		Handler: newAPI(st, apiOptions{MaxBody: *maxBody, CacheSize: *cacheSize}),
+		// Slowloris defense: a client must finish its headers promptly
+		// and cannot park an idle keep-alive connection forever.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	fmt.Fprintf(w, "serving alert store API on http://%s/ (%s entries)\n",
 		ln.Addr(), report.Comma(int64(st.Len())))
 
@@ -102,17 +111,41 @@ func runServe(args []string, w io.Writer) error {
 	return nil
 }
 
+// defaultMaxBody bounds POST /api/ingest bodies: large enough for any
+// reasonable batch, small enough that one request cannot balloon the
+// server's memory (ingest buffers the parsed records).
+const defaultMaxBody = int64(32 << 20)
+
+// apiOptions tune the HTTP layer.
+type apiOptions struct {
+	// MaxBody caps POST /api/ingest bodies in bytes (defaultMaxBody
+	// when zero; negative disables the cap — tests only).
+	MaxBody int64
+	// CacheSize enables the aggregate-result cache with this many
+	// entries (0 disables it).
+	CacheSize int
+}
+
 // api serves one store. Handlers are pure views over the store and the
 // query engine, so the differential tests can drive them through
 // httptest against the batch pipeline's answers.
 type api struct {
-	st  *store.Store
-	eng *query.Engine
+	st      *store.Store
+	eng     *query.Engine
+	maxBody int64
 }
 
 // newAPI builds the HTTP handler for one open store.
-func newAPI(st *store.Store) http.Handler {
-	a := &api{st: st, eng: &query.Engine{Store: st}}
+func newAPI(st *store.Store, opts apiOptions) http.Handler {
+	eng := &query.Engine{Store: st}
+	if opts.CacheSize > 0 {
+		eng.EnableCache(opts.CacheSize)
+	}
+	maxBody := opts.MaxBody
+	if maxBody == 0 {
+		maxBody = defaultMaxBody
+	}
+	a := &api{st: st, eng: eng, maxBody: maxBody}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/query", instrument("/api/query", a.handleQuery))
 	mux.HandleFunc("/api/aggregate", instrument("/api/aggregate", a.handleAggregate))
@@ -350,8 +383,19 @@ func (a *api) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	recs, stats, err := ingest.ReadAll(r.Body, sys, m.LogStart)
+	body := r.Body
+	if a.maxBody > 0 {
+		// The cap also closes the connection on overrun, so a client
+		// streaming an unbounded body cannot hold the handler hostage.
+		body = http.MaxBytesReader(w, r.Body, a.maxBody)
+	}
+	recs, stats, err := ingest.ReadAll(body, sys, m.LogStart)
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "ingest: body exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		httpError(w, http.StatusBadRequest, "ingest: %v", err)
 		return
 	}

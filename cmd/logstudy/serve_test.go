@@ -57,7 +57,7 @@ func newTestServer(t *testing.T, s *core.Study) (*httptest.Server, []store.Entry
 	if err := st.Append(entries...); err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newAPI(st))
+	srv := httptest.NewServer(newAPI(st, apiOptions{}))
 	t.Cleanup(srv.Close)
 	return srv, entries
 }
@@ -270,7 +270,7 @@ func TestIngestEndpointMatchesBatchPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer st.Close()
-	srv := httptest.NewServer(newAPI(st))
+	srv := httptest.NewServer(newAPI(st, apiOptions{}))
 	defer srv.Close()
 
 	resp, err := http.Post(srv.URL+"/api/ingest", "text/plain", strings.NewReader(body))
@@ -375,7 +375,7 @@ func TestBuildStoreAndServeCommands(t *testing.T) {
 	if rep.TailEntries != 0 || len(rep.CorruptSegments) != 0 {
 		t.Fatalf("build-store left a dirty store: %+v", rep)
 	}
-	srv := httptest.NewServer(newAPI(st))
+	srv := httptest.NewServer(newAPI(st, apiOptions{}))
 	defer srv.Close()
 
 	s := newTestStudy(t)

@@ -39,9 +39,14 @@ const (
 	logHistBinsPerDecade = 2
 )
 
-// Engine executes queries against one store.
+// Engine executes queries against one store. The zero value (plus a
+// Store) works; EnableCache opts in to the aggregate-result cache.
 type Engine struct {
 	Store *store.Store
+
+	// cache, when non-nil, memoizes Aggregate results keyed by the
+	// store fingerprint, filter, and options (see cache.go).
+	cache *aggCache
 }
 
 // Select returns the entries matching f in canonical (time, sequence)
@@ -58,13 +63,27 @@ func (e *Engine) Select(f store.Filter, limit int) ([]store.Entry, store.ScanSta
 }
 
 // Aggregate scans the entries matching f and folds them into the
-// standard aggregation.
+// standard aggregation. With the cache enabled, a repeat of a recent
+// (filter, options) pair against an unmutated store is served without
+// scanning — byte-identical to the scanned answer, because the cached
+// fingerprint pins the exact entry set the scan would see.
 func (e *Engine) Aggregate(f store.Filter, opts AggregateOptions) (Aggregation, store.ScanStats, error) {
+	var key string
+	if e.cache != nil {
+		key = cacheKey(e.Store.Fingerprint(), f, opts)
+		if agg, st, ok := e.cache.get(key); ok {
+			return agg, st, nil
+		}
+	}
 	entries, st, err := e.collect(f)
 	if err != nil {
 		return Aggregation{}, st, err
 	}
-	return Aggregate(entries, opts), st, nil
+	agg := Aggregate(entries, opts)
+	if e.cache != nil {
+		e.cache.put(key, agg, st)
+	}
+	return agg, st, nil
 }
 
 // collect scans and restores global canonical order: segments are each

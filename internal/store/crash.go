@@ -1,0 +1,53 @@
+package store
+
+// Crash points let the fault-injection tests kill a store mid-protocol
+// with byte-exact precision: production code calls crashPoint at every
+// named window between durability steps, and a test installs a hook
+// that returns an error at the window under test. The code paths treat
+// that error exactly like a process death — no cleanup, no compensating
+// writes — so the directory the test then reopens is the directory a
+// real kill at that instant would have left behind.
+//
+// The hook is package-private on purpose: it exists only for the crash
+// tests in this package, costs one nil check per window in production,
+// and can never be reached from outside internal/store.
+
+// crashHook, when non-nil, is consulted at every crash point. Returning
+// a non-nil error simulates a kill at that window.
+var crashHook func(point string) error
+
+// Crash point names, one per window between durability steps. The
+// comments give the on-disk state a kill at that window leaves.
+const (
+	// crashSealBeforeSegment: wal complete, segment absent.
+	crashSealBeforeSegment = "seal.before-segment"
+	// crashSealSegmentRenamed: segment durable, wal still holds the
+	// sealed batch (the dup window recovery must subtract).
+	crashSealSegmentRenamed = "seal.segment-renamed"
+	// crashWalTmpWritten: wal.log.tmp durable, wal.log still the old
+	// contents (the window the old truncate-then-write code lost data
+	// in; now it loses nothing either way).
+	crashWalTmpWritten = "wal.tmp-written"
+	// crashWalRenamed: the new wal is in place; steady state.
+	crashWalRenamed = "wal.renamed"
+	// crashCompactTmpWritten: merged segment staged as *.seg.tmp only.
+	crashCompactTmpWritten = "compact.tmp-written"
+	// crashCompactManifestWritten: COMPACT names the output, but the
+	// output file itself has not been renamed into place.
+	crashCompactManifestWritten = "compact.manifest-written"
+	// crashCompactOutputRenamed: output and inputs both present, the
+	// window where recovery must drop the superseded inputs.
+	crashCompactOutputRenamed = "compact.output-renamed"
+	// crashCompactInputsRemoved: inputs unlinked, manifest record still
+	// pending.
+	crashCompactInputsRemoved = "compact.inputs-removed"
+)
+
+// crashPoint simulates a kill at the named window when the test hook
+// asks for one; in production it is a nil check.
+func crashPoint(name string) error {
+	if crashHook == nil {
+		return nil
+	}
+	return crashHook(name)
+}

@@ -69,6 +69,10 @@ func sortEntries(entries []Entry) {
 // scans, postings and dictionaries are decoded once at open.
 type segment struct {
 	name string
+	// num is the seal sequence number parsed from name (-1 if the name
+	// is not of the seg-%08d.seg form); Open's dup-window subtraction
+	// compares it against the wal epoch.
+	num  int
 	sys  logrec.System
 	blob []byte
 
@@ -214,6 +218,7 @@ func parseSegment(name string, blob []byte) (*segment, error) {
 	u := func(i int) uint64 { return binary.LittleEndian.Uint64(f[i*8:]) }
 	g := &segment{
 		name:       name,
+		num:        segNum(name),
 		sys:        logrec.System(blob[5]),
 		blob:       blob,
 		recordsOff: int(u(0)),
@@ -319,6 +324,23 @@ func (g *segment) decodeAt(off int) (Entry, int, error) {
 		Category: g.categories[catID],
 		Kept:     flags&entryFlagKept != 0,
 	}, d.off, nil
+}
+
+// entries decodes every record in the segment, in stored (canonical)
+// order — the bulk path compaction and Open's dup-window subtraction
+// use, where postings planning would only add overhead.
+func (g *segment) entries() ([]Entry, error) {
+	out := make([]Entry, 0, g.count)
+	off := g.recordsOff
+	for i := 0; i < g.count; i++ {
+		en, next, err := g.decodeAt(off)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, en)
+		off = next
+	}
+	return out, nil
 }
 
 // candidates plans the postings side of a scan: for each dimension the

@@ -21,9 +21,12 @@
 package store
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -55,6 +58,12 @@ const (
 // DefaultFlushEvery is the default segment size, in entries.
 const DefaultFlushEvery = 50000
 
+// DefaultCompactFactor is the default merged-segment size goal,
+// expressed as a multiple of FlushEvery: compaction merges runs of
+// adjacent segments while the combined entry count stays at or under
+// CompactFactor × FlushEvery.
+const DefaultCompactFactor = 4
+
 // Options tune a store.
 type Options struct {
 	// FlushEvery seals the tail into a segment once it holds this many
@@ -65,6 +74,20 @@ type Options struct {
 	// and an OS crash may lose the buffered tail — the same trade
 	// syslog itself makes. Process crashes lose nothing either way.
 	SyncAppends bool
+	// CompactTarget is the merged-segment size goal, in entries:
+	// Compact merges runs of two or more adjacent segments while their
+	// combined entry count stays at or under it (default
+	// DefaultCompactFactor × FlushEvery).
+	CompactTarget int
+	// CompactEvery, when positive, runs retention and compaction in a
+	// background goroutine on this interval until Close.
+	CompactEvery time.Duration
+	// Retention, when positive, is the time horizon retention enforces:
+	// sealed segments whose newest record is older than the newest
+	// stored record minus Retention are dropped wholesale. The horizon
+	// is measured in log time, not wall time, so a historical store is
+	// trimmed relative to its own newest data rather than emptied.
+	Retention time.Duration
 }
 
 func (o Options) flushEvery() int {
@@ -72,6 +95,13 @@ func (o Options) flushEvery() int {
 		return o.FlushEvery
 	}
 	return DefaultFlushEvery
+}
+
+func (o Options) compactTarget() int {
+	if o.CompactTarget > 0 {
+		return o.CompactTarget
+	}
+	return DefaultCompactFactor * o.flushEvery()
 }
 
 // manifest is the store's on-disk identity.
@@ -93,11 +123,25 @@ type OpenReport struct {
 	// corrupt; TailDamage describes the first bad frame when nonzero.
 	TailDroppedBytes int64
 	TailDamage       string
+	// TempFilesRemoved counts stale *.tmp files (a crashed seal,
+	// compaction, or wal rewrite) swept on open.
+	TempFilesRemoved int
+	// SupersededSegments counts input segments of a committed
+	// compaction that a crash left on disk; they were deleted, never
+	// served (their contents live on in the compaction output).
+	SupersededSegments int
+	// TailDedupedEntries counts wal frames dropped because a seal's
+	// segment committed but its wal rewrite did not — the entries were
+	// already durable in the segment, and serving the wal copy too
+	// would double-count them.
+	TailDedupedEntries int
 }
 
 // Store is one open alert store. All methods are safe for concurrent
 // use: appends and seals serialize behind a mutex, scans snapshot the
 // immutable segment list and the tail and then run lock-free.
+// Compaction and retention additionally serialize behind compactMu and
+// hold mu only to commit, so queries keep flowing while a merge runs.
 type Store struct {
 	dir  string
 	sys  logrec.System
@@ -108,6 +152,15 @@ type Store struct {
 	tail    []Entry
 	wal     *os.File
 	nextSeg int
+
+	// compactMu serializes compaction and retention passes with each
+	// other (never held while waiting on mu readers; lock order is
+	// always compactMu before mu).
+	compactMu sync.Mutex
+
+	// Background maintenance loop (Options.CompactEvery).
+	bgStop chan struct{}
+	bgDone chan struct{}
 }
 
 // Create initializes a store directory for sys (creating it if needed)
@@ -134,9 +187,14 @@ func Create(dir string, sys logrec.System, opts Options) (*Store, error) {
 	return st, err
 }
 
-// Open opens an existing store directory, validating every sealed
-// segment's checksum and replaying (and, if damaged, truncating) the
-// wal tail. The report says what was recovered and what was dropped.
+// Open opens an existing store directory: it sweeps temp files a crash
+// left staged, resolves any compaction the crash interrupted (serving
+// either the superseded inputs or the merged output, never both and
+// never neither), validates every sealed segment's checksum, and
+// replays the wal tail — subtracting frames whose entries a
+// crash-windowed seal already committed to a segment. The report says
+// what was recovered and what was dropped. When Options.CompactEvery is
+// positive the background maintenance loop starts before Open returns.
 func Open(dir string, opts Options) (*Store, *OpenReport, error) {
 	m, err := readManifest(dir)
 	if err != nil {
@@ -149,33 +207,92 @@ func Open(dir string, opts Options) (*Store, *OpenReport, error) {
 	s := &Store{dir: dir, sys: sys, opts: opts}
 	rep := &OpenReport{CorruptSegments: map[string]string{}}
 
+	// Stale temp files are always garbage: a *.tmp is only ever a
+	// staging file that a completed operation would have renamed away.
+	if rep.TempFilesRemoved, err = sweepTempFiles(dir); err != nil {
+		return nil, nil, err
+	}
+
+	// Read and parse every segment first; quarantine decisions wait
+	// until compaction recovery has said which names are superseded.
 	names, err := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
 	if err != nil {
 		return nil, nil, err
 	}
 	sort.Strings(names)
+	type parsed struct {
+		path string
+		g    *segment
+		err  error
+	}
+	byName := make(map[string]parsed, len(names))
 	for _, path := range names {
 		name := filepath.Base(path)
-		var n int
-		if _, err := fmt.Sscanf(name, segPattern, &n); err == nil && n >= s.nextSeg {
+		if n := segNum(name); n >= s.nextSeg {
 			s.nextSeg = n + 1
 		}
 		blob, err := os.ReadFile(path)
 		if err != nil {
 			return nil, nil, err
 		}
-		g, err := parseSegment(name, blob)
-		if err != nil {
+		g, perr := parseSegment(name, blob)
+		byName[name] = parsed{path: path, g: g, err: perr}
+	}
+
+	// Resolve compactions the crash interrupted. A record whose output
+	// segment is present and checksum-valid committed: its inputs are
+	// superseded and must never be served again (deleting them is the
+	// step the crash skipped). A record whose output is missing or
+	// invalid never committed: the inputs remain authoritative and the
+	// record is simply dropped (its staged temp was swept above).
+	cm, err := readCompactManifest(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(cm.Pending) > 0 {
+		for _, rec := range cm.Pending {
+			out, ok := byName[rec.Output]
+			if !ok || out.err != nil {
+				continue
+			}
+			for _, in := range rec.Inputs {
+				p, ok := byName[in]
+				if !ok {
+					continue
+				}
+				if err := os.Remove(p.path); err != nil {
+					return nil, nil, err
+				}
+				delete(byName, in)
+				rep.SupersededSegments++
+			}
+		}
+		if err := syncDir(dir); err != nil {
+			return nil, nil, err
+		}
+		if err := writeCompactManifest(dir, compactManifest{}); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	for _, path := range names {
+		name := filepath.Base(path)
+		p, ok := byName[name]
+		if !ok {
+			continue // superseded and deleted above
+		}
+		if p.err != nil {
 			// Quarantine, never serve: keep the bytes for forensics but
 			// move them out of the segment namespace.
-			rep.CorruptSegments[name] = err.Error()
-			if rerr := os.Rename(path, path+".corrupt"); rerr != nil {
+			rep.CorruptSegments[name] = p.err.Error()
+			if rerr := os.Rename(p.path, p.path+".corrupt"); rerr != nil {
 				return nil, nil, rerr
 			}
 			continue
 		}
-		s.segs = append(s.segs, g)
+		s.segs = append(s.segs, p.g)
 	}
+	sortSegments(s.segs)
 	rep.Segments = len(s.segs)
 
 	walPath := filepath.Join(dir, walName)
@@ -183,23 +300,101 @@ func Open(dir string, opts Options) (*Store, *OpenReport, error) {
 	if err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return nil, nil, err
 	}
-	entries, good, damage := replayWal(raw, sys)
+	entries, epoch, good, damage := replayWal(raw, sys)
 	if damage != nil {
 		rep.TailDroppedBytes = int64(len(raw) - good)
 		rep.TailDamage = damage.Error()
-		if err := os.Truncate(walPath, int64(good)); err != nil {
-			return nil, nil, err
+	}
+	// The seal dup window: the wal's epoch trailing the segment
+	// inventory means segments numbered >= epoch sealed after this wal
+	// was written, so their entries still have frames here. Subtract
+	// them (as a multiset, preserving wal order) so nothing is served
+	// twice. In the steady state epoch == nextSeg and this is free.
+	if epoch >= 0 && epoch < s.nextSeg && len(entries) > 0 {
+		sealed := make(map[string]int)
+		for _, g := range s.segs {
+			if g.num < epoch {
+				continue
+			}
+			segEntries, err := g.entries()
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, en := range segEntries {
+				sealed[entryKey(en)]++
+			}
 		}
+		kept := entries[:0]
+		for _, en := range entries {
+			if k := entryKey(en); sealed[k] > 0 {
+				sealed[k]--
+				rep.TailDedupedEntries++
+				continue
+			}
+			kept = append(kept, en)
+		}
+		entries = kept
 	}
 	s.tail = entries
 	rep.TailEntries = len(entries)
 
-	s.wal, err = os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
+	// Normalize the wal: after recovery it must be exactly a header at
+	// the current epoch plus one frame per tail entry. When it already
+	// is (the common clean-open case), keep the file and just reopen
+	// the append handle.
+	if damage != nil || epoch != s.nextSeg || rep.TailDedupedEntries > 0 {
+		if err := s.rewriteWalLocked(); err != nil {
+			return nil, nil, err
+		}
+	} else if s.wal, err = os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644); err != nil {
 		return nil, nil, err
 	}
 	s.publishSizes()
+	s.startBackground()
 	return s, rep, nil
+}
+
+// segNum extracts the sequence number from a segment file name, or -1.
+func segNum(name string) int {
+	var n int
+	if _, err := fmt.Sscanf(name, segPattern, &n); err != nil {
+		return -1
+	}
+	return n
+}
+
+// sortSegments orders a segment list by time (then name): the order
+// scans walk them in and the order compaction calls "adjacent".
+func sortSegments(segs []*segment) {
+	sort.SliceStable(segs, func(i, j int) bool {
+		if segs[i].minNanos != segs[j].minNanos {
+			return segs[i].minNanos < segs[j].minNanos
+		}
+		return segs[i].name < segs[j].name
+	})
+}
+
+// sweepTempFiles removes stale *.tmp staging files left by a crash.
+func sweepTempFiles(dir string) (int, error) {
+	tmps, err := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if err != nil {
+		return 0, err
+	}
+	for _, path := range tmps {
+		if err := os.Remove(path); err != nil {
+			return 0, err
+		}
+	}
+	return len(tmps), nil
+}
+
+// entryKey is an entry's full-content identity, used only by the seal
+// dup-window subtraction in Open.
+func entryKey(en Entry) string {
+	return fmt.Sprintf("%d\x00%d\x00%s\x00%s\x00%s\x00%s\x00%s\x00%d\x00%t\x00%t",
+		en.Record.Seq, en.Record.Time.UnixNano(), en.Record.Source, en.Category,
+		en.Record.Program, en.Record.Facility, en.Record.Body,
+		en.Record.Severity, en.Record.Corrupted, en.Kept)
 }
 
 // System returns the machine whose alerts the store holds.
@@ -221,18 +416,24 @@ func (s *Store) Len() int {
 
 // Append durably logs entries to the wal and adds them to the tail,
 // sealing a segment whenever the tail reaches FlushEvery entries. The
-// entries' System field is normalized to the store's system.
+// caller's slice is never written to: entries are copied before the
+// store normalizes them (System pinned to the store's system, Raw
+// dropped — the store does not persist wire text), so callers can
+// safely reuse their batch buffers.
 func (s *Store) Append(entries ...Entry) error {
 	if len(entries) == 0 {
 		return nil
 	}
+	batch := make([]Entry, len(entries))
+	copy(batch, entries)
+	var frames []byte
+	for i := range batch {
+		batch[i].Record.System = s.sys
+		batch[i].Record.Raw = ""
+		frames = appendWalFrame(frames, batch[i])
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var frames []byte
-	for i := range entries {
-		entries[i].Record.System = s.sys
-		frames = appendWalFrame(frames, entries[i])
-	}
 	if _, err := s.wal.Write(frames); err != nil {
 		return fmt.Errorf("store: wal append: %w", err)
 	}
@@ -241,7 +442,7 @@ func (s *Store) Append(entries ...Entry) error {
 			return err
 		}
 	}
-	s.tail = append(s.tail, entries...)
+	s.tail = append(s.tail, batch...)
 	for len(s.tail) >= s.opts.flushEvery() {
 		if err := s.sealLocked(s.opts.flushEvery()); err != nil {
 			return err
@@ -264,7 +465,11 @@ func (s *Store) Seal() error {
 
 // sealLocked seals the first n tail entries: sort, encode, write to a
 // temp file, fsync, rename into place, fsync the directory, then drop
-// the sealed prefix and rewrite the wal to the remainder.
+// the sealed prefix and rewrite the wal to the remainder. The two
+// durability steps are ordered segment-first: a kill between them
+// leaves a wal whose epoch trails the inventory, which Open detects and
+// dedupes, so a crash anywhere in the seal neither loses nor
+// double-serves an acknowledged entry.
 func (s *Store) sealLocked(n int) error {
 	if n <= 0 || len(s.tail) == 0 {
 		return nil
@@ -280,10 +485,16 @@ func (s *Store) sealLocked(n int) error {
 	batch, rest := s.tail[:n], s.tail[n:]
 	blob := buildSegment(s.sys, batch)
 
+	if err := crashPoint(crashSealBeforeSegment); err != nil {
+		return err
+	}
 	name := fmt.Sprintf(segPattern, s.nextSeg)
 	path := filepath.Join(s.dir, name)
 	if err := atomicWrite(path, blob); err != nil {
 		return fmt.Errorf("store: seal %s: %w", name, err)
+	}
+	if err := crashPoint(crashSealSegmentRenamed); err != nil {
+		return err
 	}
 	g, err := parseSegment(name, blob)
 	if err != nil {
@@ -291,6 +502,7 @@ func (s *Store) sealLocked(n int) error {
 		return fmt.Errorf("store: seal %s: self-check failed: %w", name, err)
 	}
 	s.segs = append(s.segs, g)
+	sortSegments(s.segs)
 	s.nextSeg++
 	mSealEntries.Add(int64(n))
 
@@ -299,31 +511,79 @@ func (s *Store) sealLocked(n int) error {
 	return s.rewriteWalLocked()
 }
 
-// rewriteWalLocked replaces the wal's contents with frames for the
-// current tail (typically empty right after a seal).
+// rewriteWalLocked atomically replaces the wal with a header at the
+// current epoch plus frames for the current tail (typically empty right
+// after a seal): the new contents are staged in wal.log.tmp, fsynced,
+// renamed over wal.log, and the append handle reopened on the new
+// inode. The old wal stays intact until the rename, so a kill anywhere
+// in the rewrite leaves either the old wal or the new one — never the
+// truncated-but-unwritten middle state the previous truncate-then-write
+// protocol could die in.
 func (s *Store) rewriteWalLocked() error {
-	var frames []byte
+	frames := appendWalHeader(nil, s.nextSeg)
 	for _, en := range s.tail {
 		frames = appendWalFrame(frames, en)
 	}
-	if err := s.wal.Truncate(0); err != nil {
+	walPath := filepath.Join(s.dir, walName)
+	tmp := walPath + ".tmp"
+	if err := writeFileSync(tmp, frames); err != nil {
+		return fmt.Errorf("store: wal rewrite: %w", err)
+	}
+	if err := crashPoint(crashWalTmpWritten); err != nil {
 		return err
 	}
-	if len(frames) > 0 {
-		if _, err := s.wal.Write(frames); err != nil {
-			return err
-		}
+	if s.wal != nil {
+		s.wal.Close() // the inode is about to be replaced
+		s.wal = nil
 	}
-	return s.wal.Sync()
+	if err := os.Rename(tmp, walPath); err != nil {
+		return err
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	if err := crashPoint(crashWalRenamed); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	s.wal = f
+	return nil
 }
 
-// Close seals any remaining tail and closes the wal.
+// Close stops background maintenance, seals any remaining tail, and
+// closes the wal.
 func (s *Store) Close() error {
+	s.stopBackground()
 	if err := s.Seal(); err != nil {
-		s.wal.Close()
+		if s.wal != nil {
+			s.wal.Close()
+		}
 		return err
 	}
 	return s.wal.Close()
+}
+
+// Fingerprint identifies the store's queryable content: it changes on
+// every append, seal, compaction, and retention pass, and only then.
+// Segment names are never reused, and within one segment inventory the
+// tail can only grow, so (inventory, tail length) pins the content —
+// the invalidation key the query layer's aggregate cache relies on.
+func (s *Store) Fingerprint() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, g := range s.segs {
+		io.WriteString(h, g.name)
+		binary.LittleEndian.PutUint64(buf[:], uint64(g.count))
+		h.Write(buf[:])
+	}
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(s.tail)))
+	h.Write(buf[:])
+	return h.Sum64()
 }
 
 // Filter selects entries for Scan. Zero fields are unconstrained; the
@@ -488,26 +748,35 @@ func (s *Store) publishSizes() {
 
 func unixNano(n int64) time.Time { return time.Unix(0, n).UTC() }
 
-// atomicWrite writes data to path via a temp file, fsync, and rename,
-// then fsyncs the directory so the rename itself is durable.
-func atomicWrite(path string, data []byte) error {
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+// writeFileSync writes data to path (create or truncate) and fsyncs it.
+// On error the partial file is removed.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		os.Remove(path)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		os.Remove(path)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		os.Remove(path)
+		return err
+	}
+	return nil
+}
+
+// atomicWrite writes data to path via a temp file, fsync, and rename,
+// then fsyncs the directory so the rename itself is durable.
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := writeFileSync(tmp, data); err != nil {
 		return err
 	}
 	if err := os.Rename(tmp, path); err != nil {

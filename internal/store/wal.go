@@ -17,13 +17,35 @@ import (
 // A crash (or a fault-injected tear/garble) loses at most the frames at
 // and after the damage point — never a sealed segment, and never a
 // frame whose checksum does not verify.
+//
+// Frame zero is always a header frame ("WALH" + the store's seal epoch,
+// the nextSeg value at the instant the wal was last rewritten). The
+// epoch is what makes seal crash-recovery exact: a seal commits its
+// segment first and rewrites the wal second, so a kill between the two
+// leaves a wal whose epoch trails the segment inventory — the signal
+// that the wal still carries frames for entries the just-committed
+// segment already holds, which Open then subtracts (see Open).
 
 const (
 	walFrameHdr = 8
 	// walMaxFrame bounds a frame's claimed payload length; anything
 	// larger is treated as damage rather than an allocation request.
 	walMaxFrame = 1 << 24
+	// walHeaderMagic opens the mandatory first frame of every wal.
+	walHeaderMagic = "WALH"
 )
+
+// appendWalHeader encodes the mandatory header frame that opens every
+// wal: the seal epoch, CRC-framed like any other frame so a torn or
+// garbled header reads as damage, never as a bogus epoch.
+func appendWalHeader(b []byte, epoch int) []byte {
+	var p enc
+	p.b = append(p.b, walHeaderMagic...)
+	p.uvarint(uint64(epoch))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(p.b)))
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(p.b))
+	return append(b, p.b...)
+}
 
 // appendWalFrame encodes one entry as a wal frame onto b. The payload
 // is self-contained (absolute timestamp, full strings): wal entries
@@ -80,30 +102,47 @@ func decodeWalEntry(p []byte, sys logrec.System) (Entry, error) {
 
 // replayWal decodes raw wal bytes into entries, stopping at the first
 // frame that is torn (short) or fails its checksum. It returns the
-// entries recovered, the byte offset of the first damaged frame
-// (== len(raw) for a clean tail), and a description of the damage when
-// there is any.
-func replayWal(raw []byte, sys logrec.System) (entries []Entry, good int, damage error) {
+// entries recovered, the seal epoch from the header frame (-1 when raw
+// is empty or the header itself is damaged), the byte offset of the
+// first damaged frame (== len(raw) for a clean tail), and a description
+// of the damage when there is any.
+func replayWal(raw []byte, sys logrec.System) (entries []Entry, epoch, good int, damage error) {
+	epoch = -1
 	off := 0
 	for off < len(raw) {
 		if len(raw)-off < walFrameHdr {
-			return entries, off, fmt.Errorf("torn frame header (%d trailing bytes)", len(raw)-off)
+			return entries, epoch, off, fmt.Errorf("torn frame header (%d trailing bytes)", len(raw)-off)
 		}
 		n := int(binary.LittleEndian.Uint32(raw[off:]))
 		sum := binary.LittleEndian.Uint32(raw[off+4:])
 		if n > walMaxFrame || n > len(raw)-off-walFrameHdr {
-			return entries, off, fmt.Errorf("torn frame at offset %d (claims %d bytes)", off, n)
+			return entries, epoch, off, fmt.Errorf("torn frame at offset %d (claims %d bytes)", off, n)
 		}
 		payload := raw[off+walFrameHdr : off+walFrameHdr+n]
 		if crc32.ChecksumIEEE(payload) != sum {
-			return entries, off, fmt.Errorf("frame checksum mismatch at offset %d", off)
+			return entries, epoch, off, fmt.Errorf("frame checksum mismatch at offset %d", off)
+		}
+		if off == 0 {
+			// Frame zero must be the header; a wal without one cannot be
+			// trusted (its epoch, and so its dedup story, is unknown).
+			if len(payload) < len(walHeaderMagic) || string(payload[:4]) != walHeaderMagic {
+				return entries, epoch, off, fmt.Errorf("missing wal header frame")
+			}
+			d := &dec{b: payload, off: len(walHeaderMagic)}
+			e := d.uvarint()
+			if d.err != nil || d.off != len(payload) {
+				return entries, epoch, off, fmt.Errorf("corrupt wal header frame")
+			}
+			epoch = int(e)
+			off += walFrameHdr + n
+			continue
 		}
 		en, err := decodeWalEntry(payload, sys)
 		if err != nil {
-			return entries, off, fmt.Errorf("frame at offset %d: %w", off, err)
+			return entries, epoch, off, fmt.Errorf("frame at offset %d: %w", off, err)
 		}
 		entries = append(entries, en)
 		off += walFrameHdr + n
 	}
-	return entries, off, nil
+	return entries, epoch, off, nil
 }
