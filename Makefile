@@ -5,7 +5,13 @@
 
 GO ?= go
 
-.PHONY: all build test vet race verify verify-race bench bench-smoke fuzz fuzz-smoke
+.PHONY: all build test vet race verify verify-race verify-shard bench bench-smoke fuzz fuzz-smoke
+
+# Every test invocation gets a hard wall-clock budget (a wedged-shard or
+# crash-recovery bug must fail the gate, not hang it) and a shuffled
+# execution order, so accidental inter-test ordering dependencies
+# surface in CI instead of in the field.
+TEST_TIMEOUT ?= 10m
 
 all: verify
 
@@ -16,10 +22,10 @@ vet:
 	$(GO) vet ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on -timeout $(TEST_TIMEOUT) ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on -timeout $(TEST_TIMEOUT) ./...
 
 # Focused race pass over the storage/compaction/cache concurrency
 # surface, with -count=1 so the concurrent append/scan/seal/compact
@@ -27,7 +33,16 @@ race:
 # instead of replaying cached results. This is the gate for the store's
 # locking protocol (compactMu before mu) and the aggregate cache.
 verify-race:
-	$(GO) test -race -count=1 ./internal/store/... ./internal/query/... ./cmd/logstudy/...
+	$(GO) test -race -count=1 -shuffle=on -timeout $(TEST_TIMEOUT) ./internal/store/... ./internal/query/... ./cmd/logstudy/...
+
+# Focused race pass over the sharded store's failure envelope: the
+# scatter-gather router, circuit breakers, per-shard kill/recovery
+# windows, and the fault-injection layer that drives them, plus the
+# sharded HTTP differential and backpressure tests. -count=1 so the
+# crash-window and breaker state machines re-execute every run.
+verify-shard:
+	$(GO) test -race -count=1 -shuffle=on -timeout $(TEST_TIMEOUT) ./internal/shard/... ./internal/faultinject/...
+	$(GO) test -race -count=1 -timeout $(TEST_TIMEOUT) -run 'Sharded' ./cmd/logstudy/
 
 verify: build vet race bench-smoke fuzz-smoke
 

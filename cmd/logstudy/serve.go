@@ -9,10 +9,12 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"whatsupersay/internal/cluster"
@@ -22,6 +24,7 @@ import (
 	"whatsupersay/internal/obs"
 	"whatsupersay/internal/query"
 	"whatsupersay/internal/report"
+	"whatsupersay/internal/shard"
 	"whatsupersay/internal/store"
 	"whatsupersay/internal/tag"
 )
@@ -36,6 +39,11 @@ import (
 //	GET  /api/segments   the store's sealed-segment inventory
 //	POST /api/ingest     raw log lines -> tag -> filter -> append
 //	GET  /healthz        liveness
+//
+// With -shards N the same API fronts a sharded cluster (internal/shard)
+// instead of one store: ingest routes by source hash, queries
+// scatter-gather with per-shard breakers and deadlines, responses carry
+// coverage metadata, and GET /api/shards reports per-shard health.
 func runServe(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	dir := fs.String("dir", "", "store directory (required)")
@@ -48,6 +56,8 @@ func runServe(args []string, w io.Writer) error {
 	compactEvery := fs.Duration("compact-every", 0, "run retention + compaction in the background on this interval (0 = never)")
 	compactTarget := fs.Int("compact-target", 0, "merged-segment size goal, in entries (default 4x flush-every)")
 	retention := fs.Duration("retention", 0, "drop segments older than this horizon before the newest record (0 = keep everything)")
+	shards := fs.Int("shards", 0, "serve a sharded cluster with N shards (0 = single store; existing clusters use their on-disk shape)")
+	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request deadline on query/aggregate handlers (0 = none)")
 	if help, err := parseFlags(fs, args); help || err != nil {
 		return err
 	}
@@ -61,39 +71,78 @@ func runServe(args []string, w io.Writer) error {
 		CompactEvery:  *compactEvery,
 		Retention:     *retention,
 	}
+	apiOpts := apiOptions{MaxBody: *maxBody, CacheSize: *cacheSize, RequestTimeout: *reqTimeout}
 
-	var st *store.Store
-	var rep *store.OpenReport
-	var err error
-	if *sysName != "" {
-		sys, perr := logrec.ParseSystem(*sysName)
-		if perr != nil {
-			return perr
+	var handler http.Handler
+	var closeStore func() error
+	var banner string
+	if *shards > 0 {
+		var c *shard.Cluster
+		var crep *shard.OpenReport
+		var err error
+		sopts := shard.Options{Store: opts, CacheSize: *cacheSize}
+		if *sysName != "" {
+			sys, perr := logrec.ParseSystem(*sysName)
+			if perr != nil {
+				return perr
+			}
+			c, crep, err = shard.Create(*dir, sys, *shards, sopts)
+		} else {
+			c, crep, err = shard.Open(*dir, sopts)
 		}
-		if st, err = store.Create(*dir, sys, opts); err != nil {
+		if err != nil {
 			return err
 		}
-	} else if st, rep, err = store.Open(*dir, opts); err != nil {
-		return err
+		closeStore = c.Close
+		handler = newShardAPI(c, apiOpts)
+		for id, reason := range crep.Quarantined {
+			fmt.Fprintf(w, "WARNING: shard %d quarantined: %s\n", id, reason)
+		}
+		banner = fmt.Sprintf("serving sharded alert store API on http://%%s/ (%d shards, %d quarantined, %s entries)\n",
+			c.NumShards(), len(crep.Quarantined), report.Comma(int64(c.Len())))
+	} else {
+		var st *store.Store
+		var rep *store.OpenReport
+		var err error
+		if *sysName != "" {
+			sys, perr := logrec.ParseSystem(*sysName)
+			if perr != nil {
+				return perr
+			}
+			if st, err = store.Create(*dir, sys, opts); err != nil {
+				return err
+			}
+		} else if st, rep, err = store.Open(*dir, opts); err != nil {
+			return err
+		}
+		closeStore = st.Close
+		handler = newAPI(st, apiOpts)
+		reportOpen(w, st, rep)
+		banner = fmt.Sprintf("serving alert store API on http://%%s/ (%s entries)\n",
+			report.Comma(int64(st.Len())))
 	}
-	defer st.Close()
-	reportOpen(w, st, rep)
+	defer closeStore()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	srv := &http.Server{
-		Handler: newAPI(st, apiOptions{MaxBody: *maxBody, CacheSize: *cacheSize}),
+		Handler: handler,
 		// Slowloris defense: a client must finish its headers promptly
 		// and cannot park an idle keep-alive connection forever.
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
+		// WriteTimeout backstops the per-request deadline: even a handler
+		// that ignores its context cannot hold a connection past the
+		// request budget plus response-writing headroom.
+		WriteTimeout: writeTimeout(*reqTimeout),
 	}
-	fmt.Fprintf(w, "serving alert store API on http://%s/ (%s entries)\n",
-		ln.Addr(), report.Comma(int64(st.Len())))
+	fmt.Fprintf(w, banner, ln.Addr())
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM is how orchestrators (systemd, Kubernetes) ask for a
+	// graceful stop; treat it exactly like Ctrl-C.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -116,6 +165,17 @@ func runServe(args []string, w io.Writer) error {
 // server's memory (ingest buffers the parsed records).
 const defaultMaxBody = int64(32 << 20)
 
+// writeTimeout derives the server's WriteTimeout from the per-request
+// deadline: the handler budget plus headroom to stream the response.
+// With no request deadline there is no write timeout either (bulk
+// /api/query responses can be legitimately large).
+func writeTimeout(reqTimeout time.Duration) time.Duration {
+	if reqTimeout <= 0 {
+		return 0
+	}
+	return reqTimeout + 10*time.Second
+}
+
 // apiOptions tune the HTTP layer.
 type apiOptions struct {
 	// MaxBody caps POST /api/ingest bodies in bytes (defaultMaxBody
@@ -124,15 +184,28 @@ type apiOptions struct {
 	// CacheSize enables the aggregate-result cache with this many
 	// entries (0 disables it).
 	CacheSize int
+	// RequestTimeout bounds each query/aggregate handler: the request
+	// context gets this deadline and the scan aborts cooperatively when
+	// it passes (0 = no per-request deadline).
+	RequestTimeout time.Duration
+}
+
+// requestContext applies the configured per-request deadline to an
+// incoming request's context.
+func (o apiOptions) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if o.RequestTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), o.RequestTimeout)
 }
 
 // api serves one store. Handlers are pure views over the store and the
 // query engine, so the differential tests can drive them through
 // httptest against the batch pipeline's answers.
 type api struct {
-	st      *store.Store
-	eng     *query.Engine
-	maxBody int64
+	st   *store.Store
+	eng  *query.Engine
+	opts apiOptions
 }
 
 // newAPI builds the HTTP handler for one open store.
@@ -141,11 +214,10 @@ func newAPI(st *store.Store, opts apiOptions) http.Handler {
 	if opts.CacheSize > 0 {
 		eng.EnableCache(opts.CacheSize)
 	}
-	maxBody := opts.MaxBody
-	if maxBody == 0 {
-		maxBody = defaultMaxBody
+	if opts.MaxBody == 0 {
+		opts.MaxBody = defaultMaxBody
 	}
-	a := &api{st: st, eng: eng, maxBody: maxBody}
+	a := &api{st: st, eng: eng, opts: opts}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/query", instrument("/api/query", a.handleQuery))
 	mux.HandleFunc("/api/aggregate", instrument("/api/aggregate", a.handleAggregate))
@@ -172,6 +244,16 @@ func instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// timeoutStatus maps a handler error to its status: a scan that hit the
+// per-request deadline is the server refusing to spend more, 503; any
+// other engine failure is a plain 500.
+func timeoutStatus(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
 // httpError reports an error as a JSON body with the given status.
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -184,37 +266,33 @@ func writeJSON(w http.ResponseWriter, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-// parseFilter builds a store filter from the shared query parameters:
-// from/to (RFC 3339), source/category/severity (comma-separated), kept.
-func (a *api) parseFilter(q map[string][]string) (store.Filter, error) {
+// parseFilter builds a store filter from the shared query parameters —
+// from/to (RFC 3339), source/category/severity (comma-separated), kept —
+// for a store of the given system (severities parse on its native
+// scale). Both the single-store and the sharded API share it.
+func parseFilter(sys logrec.System, q url.Values) (store.Filter, error) {
 	var f store.Filter
-	get := func(k string) string {
-		if vs := q[k]; len(vs) > 0 {
-			return vs[0]
-		}
-		return ""
-	}
 	var err error
-	if v := get("from"); v != "" {
+	if v := q.Get("from"); v != "" {
 		if f.From, err = time.Parse(time.RFC3339, v); err != nil {
 			return f, fmt.Errorf("bad from: %w", err)
 		}
 	}
-	if v := get("to"); v != "" {
+	if v := q.Get("to"); v != "" {
 		if f.To, err = time.Parse(time.RFC3339, v); err != nil {
 			return f, fmt.Errorf("bad to: %w", err)
 		}
 	}
-	f.Sources = splitList(get("source"))
-	f.Categories = splitList(get("category"))
-	for _, name := range splitList(get("severity")) {
-		sev, err := parseSeverity(a.st.System(), name)
+	f.Sources = splitList(q.Get("source"))
+	f.Categories = splitList(q.Get("category"))
+	for _, name := range splitList(q.Get("severity")) {
+		sev, err := parseSeverity(sys, name)
 		if err != nil {
 			return f, err
 		}
 		f.Severities = append(f.Severities, sev)
 	}
-	if v := get("kept"); v != "" {
+	if v := q.Get("kept"); v != "" {
 		kept, err := strconv.ParseBool(v)
 		if err != nil {
 			return f, fmt.Errorf("bad kept: %w", err)
@@ -222,6 +300,38 @@ func (a *api) parseFilter(q map[string][]string) (store.Filter, error) {
 		f.Kept = &kept
 	}
 	return f, nil
+}
+
+// parseAggregateOptions reads the topk/quantiles parameters shared by
+// both aggregate handlers.
+func parseAggregateOptions(q url.Values) (query.AggregateOptions, error) {
+	var opts query.AggregateOptions
+	var err error
+	if v := q.Get("topk"); v != "" {
+		if opts.TopK, err = strconv.Atoi(v); err != nil || opts.TopK <= 0 {
+			return opts, fmt.Errorf("bad topk %q", v)
+		}
+	}
+	for _, part := range splitList(q.Get("quantiles")) {
+		p, err := strconv.ParseFloat(part, 64)
+		if err != nil || p <= 0 || p > 1 {
+			return opts, fmt.Errorf("bad quantile %q", part)
+		}
+		opts.Quantiles = append(opts.Quantiles, p)
+	}
+	return opts, nil
+}
+
+// parseLimit reads the limit parameter with its default.
+func parseLimit(q url.Values) (int, error) {
+	limit := 100
+	if v := q.Get("limit"); v != "" {
+		var err error
+		if limit, err = strconv.Atoi(v); err != nil || limit < 0 {
+			return 0, fmt.Errorf("bad limit %q", v)
+		}
+	}
+	return limit, nil
 }
 
 func splitList(s string) []string {
@@ -281,21 +391,21 @@ func (a *api) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
-	f, err := a.parseFilter(q)
+	f, err := parseFilter(a.st.System(), q)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	limit := 100
-	if v := q.Get("limit"); v != "" {
-		if limit, err = strconv.Atoi(v); err != nil || limit < 0 {
-			httpError(w, http.StatusBadRequest, "bad limit %q", v)
-			return
-		}
-	}
-	entries, stats, err := a.eng.Select(f, limit)
+	limit, err := parseLimit(q)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "%v", err)
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel := a.opts.requestContext(r)
+	defer cancel()
+	entries, stats, err := a.eng.SelectContext(ctx, f, limit)
+	if err != nil {
+		httpError(w, timeoutStatus(err), "%v", err)
 		return
 	}
 	out := make([]entryJSON, 0, len(entries))
@@ -315,29 +425,21 @@ func (a *api) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
-	f, err := a.parseFilter(q)
+	f, err := parseFilter(a.st.System(), q)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	var opts query.AggregateOptions
-	if v := q.Get("topk"); v != "" {
-		if opts.TopK, err = strconv.Atoi(v); err != nil || opts.TopK <= 0 {
-			httpError(w, http.StatusBadRequest, "bad topk %q", v)
-			return
-		}
-	}
-	for _, part := range splitList(q.Get("quantiles")) {
-		p, err := strconv.ParseFloat(part, 64)
-		if err != nil || p <= 0 || p > 1 {
-			httpError(w, http.StatusBadRequest, "bad quantile %q", part)
-			return
-		}
-		opts.Quantiles = append(opts.Quantiles, p)
-	}
-	agg, stats, err := a.eng.Aggregate(f, opts)
+	opts, err := parseAggregateOptions(q)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "%v", err)
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel := a.opts.requestContext(r)
+	defer cancel()
+	agg, stats, err := a.eng.AggregateContext(ctx, f, opts)
+	if err != nil {
+		httpError(w, timeoutStatus(err), "%v", err)
 		return
 	}
 	writeJSON(w, map[string]any{"stats": stats, "aggregate": agg})
@@ -384,10 +486,10 @@ func (a *api) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	body := r.Body
-	if a.maxBody > 0 {
+	if a.opts.MaxBody > 0 {
 		// The cap also closes the connection on overrun, so a client
 		// streaming an unbounded body cannot hold the handler hostage.
-		body = http.MaxBytesReader(w, r.Body, a.maxBody)
+		body = http.MaxBytesReader(w, r.Body, a.opts.MaxBody)
 	}
 	recs, stats, err := ingest.ReadAll(body, sys, m.LogStart)
 	if err != nil {

@@ -1,0 +1,226 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+
+	"whatsupersay/internal/cluster"
+	"whatsupersay/internal/filter"
+	"whatsupersay/internal/ingest"
+	"whatsupersay/internal/shard"
+	"whatsupersay/internal/store"
+	"whatsupersay/internal/tag"
+)
+
+// shardAPI serves one sharded cluster. The endpoints mirror the
+// single-store api, with the cluster's failure envelope surfaced
+// instead of hidden: query/aggregate responses carry a coverage block
+// and a partial flag (HTTP 200 even when shards are down — degraded,
+// never dead), ingest backpressure becomes 429 + Retry-After, and
+// GET /api/shards reports per-shard breaker and queue state.
+type shardAPI struct {
+	c    *shard.Cluster
+	opts apiOptions
+}
+
+// newShardAPI builds the HTTP handler for one open cluster.
+func newShardAPI(c *shard.Cluster, opts apiOptions) http.Handler {
+	if opts.MaxBody == 0 {
+		opts.MaxBody = defaultMaxBody
+	}
+	a := &shardAPI{c: c, opts: opts}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/query", instrument("/api/query", a.handleQuery))
+	mux.HandleFunc("/api/aggregate", instrument("/api/aggregate", a.handleAggregate))
+	mux.HandleFunc("/api/segments", instrument("/api/segments", a.handleSegments))
+	mux.HandleFunc("/api/shards", instrument("/api/shards", a.handleShards))
+	mux.HandleFunc("/api/ingest", instrument("/api/ingest", a.handleIngest))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"ok\":true,\"shards\":%d}\n", a.c.NumShards())
+	})
+	return mux
+}
+
+// handleQuery scatters the select across the cluster and returns the
+// merged entries with coverage. A shard that is down, slow, or open
+// degrades the response (partial:true) instead of failing it.
+func (a *shardAPI) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	q := r.URL.Query()
+	f, err := parseFilter(a.c.System(), q)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	limit, err := parseLimit(q)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel := a.opts.requestContext(r)
+	defer cancel()
+	entries, cov, stats, err := a.c.Select(ctx, f, limit)
+	if err != nil {
+		httpError(w, timeoutStatus(err), "%v", err)
+		return
+	}
+	out := make([]entryJSON, 0, len(entries))
+	for _, en := range entries {
+		out = append(out, toEntryJSON(en))
+	}
+	writeJSON(w, map[string]any{
+		"stats":    stats,
+		"coverage": cov,
+		"partial":  cov.Partial,
+		"count":    len(out),
+		"entries":  out,
+	})
+}
+
+// handleAggregate scatters the aggregation and merges the partials;
+// the "aggregate" field over a fully-covered response is byte-identical
+// to the single-store answer over the union (the sharded differential
+// tests pin that across shard counts).
+func (a *shardAPI) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	q := r.URL.Query()
+	f, err := parseFilter(a.c.System(), q)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	opts, err := parseAggregateOptions(q)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel := a.opts.requestContext(r)
+	defer cancel()
+	agg, cov, stats, err := a.c.Aggregate(ctx, f, opts)
+	if err != nil {
+		httpError(w, timeoutStatus(err), "%v", err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"stats":     stats,
+		"coverage":  cov,
+		"partial":   cov.Partial,
+		"aggregate": agg,
+	})
+}
+
+// handleShards is the operator view: every shard's breaker state, queue
+// depth, failure counters, and store size — quarantined shards included.
+func (a *shardAPI) handleShards(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, map[string]any{
+		"system":        a.c.System().ShortName(),
+		"shards":        a.c.Health(),
+		"total_entries": a.c.Len(),
+	})
+}
+
+// handleSegments reports every shard's physical layout.
+func (a *shardAPI) handleSegments(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, map[string]any{
+		"system":        a.c.System().ShortName(),
+		"shards":        a.c.Segments(),
+		"total_entries": a.c.Len(),
+	})
+}
+
+// shardIngestResponse extends the single-store ingest summary with the
+// routing outcome.
+type shardIngestResponse struct {
+	ingestResponse
+	PerShard map[int]int    `json:"per_shard,omitempty"`
+	Rejected map[int]int    `json:"rejected,omitempty"`
+	Errors   map[int]string `json:"errors,omitempty"`
+}
+
+// handleIngest runs the exact batch pipeline stages and routes the
+// entries by source hash. A shard whose bounded queue is full turns the
+// whole response into 429 + Retry-After (the client should back off and
+// resend the batch); a shard whose append failed turns it into 500 with
+// per-shard detail. Either way the response says exactly what landed —
+// partial acceptance is reported, never hidden.
+func (a *shardAPI) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	sys := a.c.System()
+	m, err := cluster.New(sys)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	body := r.Body
+	if a.opts.MaxBody > 0 {
+		body = http.MaxBytesReader(w, r.Body, a.opts.MaxBody)
+	}
+	recs, stats, err := ingest.ReadAll(body, sys, m.LogStart)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "ingest: body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "ingest: %v", err)
+		return
+	}
+	alerts := tag.NewTagger(sys).TagAll(recs)
+	tag.SortAlerts(alerts)
+	filtered := filter.Simultaneous{T: filter.DefaultThreshold}.Filter(alerts)
+	entries := store.FromAlerts(alerts, filtered)
+
+	rep, err := a.c.Append(entries)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "append: %v", err)
+		return
+	}
+	resp := shardIngestResponse{
+		ingestResponse: ingestResponse{
+			Lines:       stats.Lines,
+			ParseErrors: stats.ParseErrors,
+			Alerts:      len(alerts),
+			Kept:        len(filtered),
+			Appended:    rep.Appended,
+		},
+		PerShard: rep.PerShard,
+		Rejected: rep.Rejected,
+		Errors:   rep.Errors,
+	}
+	switch {
+	case len(rep.Rejected) > 0:
+		// Backpressure: tell the client when to come back.
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(rep.RetryAfter.Seconds()))))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(resp)
+	case len(rep.Errors) > 0:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		json.NewEncoder(w).Encode(resp)
+	default:
+		writeJSON(w, resp)
+	}
+}

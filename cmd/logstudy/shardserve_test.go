@@ -1,0 +1,400 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"whatsupersay/internal/faultinject/shardfault"
+	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/shard"
+	"whatsupersay/internal/simulate"
+	"whatsupersay/internal/store"
+)
+
+// The sharded differential contract: for any shard count, the merged
+// /api/aggregate served by the scatter-gather tier must be
+// byte-identical to the single-store /api/aggregate over the union of
+// the same records — and when shards fail, responses stay HTTP 200 with
+// partial:true and coverage that accounts for every shard.
+
+// newShardTestServer loads entries into an n-shard cluster and serves
+// it through the real sharded handler.
+func newShardTestServer(t *testing.T, entries []store.Entry, n int, opts shard.Options) (*httptest.Server, *shard.Cluster) {
+	t.Helper()
+	if opts.Store.FlushEvery == 0 {
+		// Several sealed segments plus a tail per shard.
+		opts.Store.FlushEvery = len(entries)/(3*n) + 1
+	}
+	c, rep, err := shard.Create(t.TempDir(), logrec.Liberty, n, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if len(rep.Quarantined) != 0 && opts.OpenStore == nil {
+		t.Fatalf("fresh cluster quarantined shards: %v", rep.Quarantined)
+	}
+	if len(entries) > 0 {
+		ar, err := c.Append(entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ar.Appended+sumValues(ar.Rejected)+len(ar.Errors) == 0 && len(entries) > 0 {
+			t.Fatalf("append did nothing: %+v", ar)
+		}
+	}
+	srv := httptest.NewServer(newShardAPI(c, apiOptions{}))
+	t.Cleanup(srv.Close)
+	return srv, c
+}
+
+func sumValues(m map[int]int) int {
+	var n int
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// shardAggResponse is the sharded /api/aggregate wire shape.
+type shardAggResponse struct {
+	Stats     store.ScanStats `json:"stats"`
+	Coverage  shard.Coverage  `json:"coverage"`
+	Partial   bool            `json:"partial"`
+	Aggregate json.RawMessage `json:"aggregate"`
+}
+
+// TestShardedAggregateMatchesSingleStore is the cross-shard-count HTTP
+// differential: {1, 2, 4, 7} shards, several filter shapes, byte
+// equality against the single-store endpoint over the same records.
+func TestShardedAggregateMatchesSingleStore(t *testing.T) {
+	s := newTestStudy(t)
+	single, entries := newTestServer(t, s)
+
+	mid := entries[len(entries)/2].Record.Time
+	late := entries[3*len(entries)/4].Record.Time
+	topCat := entries[0].Category
+	oneSrc := entries[0].Record.Source
+	params := []url.Values{
+		{},
+		{"category": {topCat}},
+		{"source": {oneSrc}},
+		{"kept": {"true"}},
+		{"from": {mid.Format(time.RFC3339Nano)}, "to": {late.Format(time.RFC3339Nano)}},
+		{"topk": {"3"}, "quantiles": {"0.5,0.95"}},
+	}
+
+	for _, n := range []int{1, 2, 4, 7} {
+		srv, _ := newShardTestServer(t, entries, n, shard.Options{})
+		for _, p := range params {
+			q := p.Encode()
+			var want struct {
+				Aggregate json.RawMessage `json:"aggregate"`
+			}
+			getJSON(t, single.URL+"/api/aggregate?"+q, &want)
+			var got shardAggResponse
+			getJSON(t, srv.URL+"/api/aggregate?"+q, &got)
+			if got.Partial || got.Coverage.ShardsAnswered != got.Coverage.ShardsQueried {
+				t.Fatalf("%d shards, %q: degraded on a healthy cluster: %+v", n, q, got.Coverage)
+			}
+			if got.Coverage.ShardsTotal != n {
+				t.Fatalf("%d shards, %q: coverage total %d", n, q, got.Coverage.ShardsTotal)
+			}
+			if string(got.Aggregate) != string(want.Aggregate) {
+				t.Errorf("%d shards, %q: merged aggregate diverges from single store\nsharded: %s\nsingle:  %s",
+					n, q, got.Aggregate, want.Aggregate)
+			}
+		}
+	}
+}
+
+// TestShardedQueryEndpoint checks the merged /api/query keeps canonical
+// order and honors limits across shards.
+func TestShardedQueryEndpoint(t *testing.T) {
+	s := newTestStudy(t)
+	entries := store.FromAlerts(s.Alerts, s.Filtered)
+	srv, _ := newShardTestServer(t, entries, 4, shard.Options{})
+
+	var resp struct {
+		Count    int            `json:"count"`
+		Partial  bool           `json:"partial"`
+		Coverage shard.Coverage `json:"coverage"`
+		Entries  []struct {
+			Seq  uint64    `json:"seq"`
+			Time time.Time `json:"time"`
+		} `json:"entries"`
+	}
+	getJSON(t, srv.URL+"/api/query?limit=10", &resp)
+	if resp.Count != 10 || resp.Partial {
+		t.Fatalf("limit or coverage off: count %d partial %v", resp.Count, resp.Partial)
+	}
+	for i, en := range resp.Entries {
+		if !en.Time.Equal(entries[i].Record.Time) || en.Seq != entries[i].Record.Seq {
+			t.Fatalf("entry %d out of canonical order across shards: %+v", i, en)
+		}
+	}
+	getJSON(t, srv.URL+"/api/query?limit=0", &resp)
+	if resp.Count != len(entries) {
+		t.Fatalf("full select count %d, want %d", resp.Count, len(entries))
+	}
+}
+
+// faultyOpenStore adapts shardfault.OpenFaulty to shard.Options.OpenStore.
+func faultyOpenStore(root string, failIDs ...int) (open func(string, store.Options) (shard.Backend, *store.OpenReport, error), faulty func(id int) *shardfault.FaultyStore) {
+	failDirs := map[string]bool{}
+	for _, id := range failIDs {
+		failDirs[shard.ShardDir(root, id)] = true
+	}
+	sfOpen, wrapped, mu := shardfault.OpenFaulty(failDirs)
+	open = func(dir string, opts store.Options) (shard.Backend, *store.OpenReport, error) {
+		b, rep, err := sfOpen(dir, opts)
+		if err != nil {
+			return nil, rep, err
+		}
+		return b, rep, nil
+	}
+	faulty = func(id int) *shardfault.FaultyStore {
+		mu.Lock()
+		defer mu.Unlock()
+		return wrapped[shard.ShardDir(root, id)]
+	}
+	return open, faulty
+}
+
+// TestShardedPartialResultOverHTTP fault-injects one of four shards and
+// checks the acceptance contract at the wire: /api/query and
+// /api/aggregate return HTTP 200 with partial:true and coverage that
+// names the dead shard, and /api/shards reports it quarantined.
+func TestShardedPartialResultOverHTTP(t *testing.T) {
+	s := newTestStudy(t)
+	entries := store.FromAlerts(s.Alerts, s.Filtered)
+
+	root := t.TempDir()
+	const victim = 1
+	open, _ := faultyOpenStore(root, victim)
+	c, rep, err := shard.Create(root, logrec.Liberty, 4, shard.Options{
+		Store:     store.Options{FlushEvery: len(entries)/8 + 1},
+		OpenStore: open,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if len(rep.Quarantined) != 1 {
+		t.Fatalf("quarantined: %v", rep.Quarantined)
+	}
+	ar, err := c.Append(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newShardAPI(c, apiOptions{}))
+	defer srv.Close()
+
+	// getJSON fails on non-200, so these calls double as status checks.
+	var agg shardAggResponse
+	getJSON(t, srv.URL+"/api/aggregate", &agg)
+	if !agg.Partial || agg.Coverage.ShardsTotal != 4 || agg.Coverage.ShardsQueried != 4 || agg.Coverage.ShardsAnswered != 3 {
+		t.Fatalf("aggregate coverage %+v", agg.Coverage)
+	}
+	if !strings.Contains(agg.Coverage.ShardErrors[fmt.Sprint(victim)], "quarantined") {
+		t.Fatalf("shard errors %v", agg.Coverage.ShardErrors)
+	}
+	var parsed struct {
+		Total int `json:"total"`
+	}
+	if err := json.Unmarshal(agg.Aggregate, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Total != ar.Appended {
+		t.Fatalf("partial total %d, want the %d entries the healthy shards hold", parsed.Total, ar.Appended)
+	}
+
+	var q struct {
+		Count    int            `json:"count"`
+		Partial  bool           `json:"partial"`
+		Coverage shard.Coverage `json:"coverage"`
+	}
+	getJSON(t, srv.URL+"/api/query?limit=0", &q)
+	if !q.Partial || q.Count != ar.Appended {
+		t.Fatalf("query degraded wrong: count %d partial %v (want %d)", q.Count, q.Partial, ar.Appended)
+	}
+
+	var health struct {
+		Shards []shard.Health `json:"shards"`
+	}
+	getJSON(t, srv.URL+"/api/shards", &health)
+	if len(health.Shards) != 4 || health.Shards[victim].State != "quarantined" {
+		t.Fatalf("/api/shards: %+v", health.Shards)
+	}
+}
+
+// TestShardedIngestMatchesBatchPipeline posts raw log lines into an
+// empty cluster and checks the merged aggregation equals the
+// single-store ingest of the same lines.
+func TestShardedIngestMatchesBatchPipeline(t *testing.T) {
+	body := ingestTestBody(t)
+
+	// Single-store reference.
+	st, err := store.Create(t.TempDir(), logrec.Liberty, store.Options{FlushEvery: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	single := httptest.NewServer(newAPI(st, apiOptions{}))
+	defer single.Close()
+	postLines(t, single.URL, body, http.StatusOK)
+	var want struct {
+		Aggregate json.RawMessage `json:"aggregate"`
+	}
+	getJSON(t, single.URL+"/api/aggregate", &want)
+
+	srv, c := newShardTestServer(t, nil, 3, shard.Options{Store: store.Options{FlushEvery: 500}})
+	raw := postLines(t, srv.URL, body, http.StatusOK)
+	var ing shardIngestResponse
+	if err := json.Unmarshal(raw, &ing); err != nil {
+		t.Fatal(err)
+	}
+	if ing.Appended == 0 || sumValues(ing.PerShard) != ing.Appended || len(ing.Rejected) != 0 || len(ing.Errors) != 0 {
+		t.Fatalf("sharded ingest summary off: %+v", ing)
+	}
+	if c.Len() != ing.Appended {
+		t.Fatalf("cluster holds %d, response said %d", c.Len(), ing.Appended)
+	}
+
+	var got shardAggResponse
+	getJSON(t, srv.URL+"/api/aggregate", &got)
+	if got.Partial {
+		t.Fatalf("healthy ingest produced partial coverage: %+v", got.Coverage)
+	}
+	if string(got.Aggregate) != string(want.Aggregate) {
+		t.Fatalf("sharded ingest aggregate diverges\nsharded: %s\nsingle:  %s", got.Aggregate, want.Aggregate)
+	}
+}
+
+// TestShardedIngestBackpressure429 wedges every shard's appends behind a
+// hold channel with a depth-1 queue: the first two posts park in the
+// queues, the third bounces with 429 + Retry-After, and releasing the
+// hold drains everything.
+func TestShardedIngestBackpressure429(t *testing.T) {
+	body := ingestTestBody(t)
+	root := t.TempDir()
+	open, faulty := faultyOpenStore(root)
+	c, _, err := shard.Create(root, logrec.Liberty, 2, shard.Options{
+		Store:      store.Options{FlushEvery: 1 << 30},
+		OpenStore:  open,
+		QueueDepth: 1,
+		RetryAfter: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := httptest.NewServer(newShardAPI(c, apiOptions{}))
+	defer srv.Close()
+
+	hold := make(chan struct{})
+	for id := 0; id < 2; id++ {
+		faulty(id).SetFaults(shardfault.StoreFaults{AppendHold: hold})
+	}
+
+	// Two posts park: one in each shard's worker, one in each queue.
+	// (No t.Fatal off the test goroutine — statuses are checked after.)
+	var wg sync.WaitGroup
+	parked := make([]int, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(srv.URL+"/api/ingest", "text/plain", strings.NewReader(body))
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			parked[i] = resp.StatusCode
+		}()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		full := true
+		for _, h := range c.Health() {
+			if h.Inflight != 1 || h.QueueDepth != 1 {
+				full = false
+			}
+		}
+		if full {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queues never filled: %+v", c.Health())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The third post is rejected immediately — backpressure, not a hang.
+	resp, err := http.Post(srv.URL+"/api/ingest", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow post: %d: %s", resp.StatusCode, raw)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\"", ra)
+	}
+	var rej shardIngestResponse
+	if err := json.Unmarshal(raw, &rej); err != nil {
+		t.Fatal(err)
+	}
+	if len(rej.Rejected) == 0 {
+		t.Fatalf("429 without rejected detail: %+v", rej)
+	}
+
+	close(hold)
+	wg.Wait()
+	for i, status := range parked {
+		if status != http.StatusOK {
+			t.Errorf("parked post %d finished with %d, want 200", i, status)
+		}
+	}
+	if !c.WaitQueuesIdle(10 * time.Second) {
+		t.Fatal("queues never drained after release")
+	}
+	if c.Len() == 0 {
+		t.Fatal("held ingests never landed")
+	}
+}
+
+// ingestTestBody generates the raw log lines both ingest tests post.
+func ingestTestBody(t *testing.T) string {
+	t.Helper()
+	out, err := simulate.Generate(simulate.Config{System: logrec.Liberty, Scale: testScale, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.Join(out.Lines, "\n") + "\n"
+}
+
+// postLines posts raw lines to /api/ingest and asserts the status.
+func postLines(t *testing.T, baseURL, body string, wantStatus int) []byte {
+	t.Helper()
+	resp, err := http.Post(baseURL+"/api/ingest", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("ingest: %d, want %d: %s", resp.StatusCode, wantStatus, raw)
+	}
+	return raw
+}

@@ -115,6 +115,35 @@ func (e *Engine) CacheLen() int {
 	return e.cache.len()
 }
 
+// Cache is the aggregate cache in exported form, for layers above one
+// engine. The shard router keys it by a *combined* fingerprint — the
+// fold of only the shards a query fans out to — so a mutation on one
+// shard invalidates exactly the cached queries whose source routing
+// touched that shard, and source-pinned queries on quiet shards keep
+// hitting while a hot shard churns.
+type Cache struct{ c *aggCache }
+
+// NewCache builds a bounded LRU aggregate cache (DefaultCacheSize
+// entries when size <= 0).
+func NewCache(size int) *Cache { return &Cache{c: newAggCache(size)} }
+
+// Get returns the cached aggregation for key, if present.
+func (c *Cache) Get(key string) (Aggregation, store.ScanStats, bool) { return c.c.get(key) }
+
+// Put stores an aggregation under key, evicting LRU entries past the
+// bound. Callers must only cache complete answers: a degraded partial
+// result is a property of the moment's failures, not of the key.
+func (c *Cache) Put(key string, agg Aggregation, st store.ScanStats) { c.c.put(key, agg, st) }
+
+// Len reports the live entry count.
+func (c *Cache) Len() int { return c.c.len() }
+
+// Key canonicalizes (fingerprint, filter, options) into a cache key —
+// the same encoding the engine's internal cache uses, exported so the
+// shard router's combined-fingerprint cache shares its soundness
+// argument.
+func Key(fp uint64, f store.Filter, opts AggregateOptions) string { return cacheKey(fp, f, opts) }
+
 // cacheKey canonicalizes (fingerprint, filter, options) into the cache
 // key. Filter slices are order-sensitive here on purpose: two requests
 // naming the same sources in different orders are semantically equal

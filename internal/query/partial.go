@@ -1,0 +1,134 @@
+package query
+
+import (
+	"sort"
+	"time"
+
+	"whatsupersay/internal/store"
+)
+
+// Partial is the mergeable form of an aggregation: everything the
+// standard Aggregation needs, carried in a representation that combines
+// associatively across disjoint entry sets. It is how the shard router
+// computes a cluster-wide /api/aggregate — each shard folds its matched
+// entries into a Partial, and MergePartials reassembles the exact
+// Aggregation a single store holding the union would have produced.
+//
+// The pieces split two ways. Counts and the category/type/severity/
+// source mixes are plain sums. The interarrival statistics are *not*
+// associative over per-shard gap lists — gaps between successive
+// entries cross shard boundaries once sets interleave in time — so a
+// Partial carries the matched entries' timestamps instead (8 bytes
+// each, nondecreasing); the merge re-interleaves the timestamp columns
+// and computes the gap statistics over the combined sequence, which is
+// exactly the sequence a union scan would have seen. Equal timestamps
+// may merge in either order without affecting any statistic: the merged
+// value sequence is unique regardless of tie order.
+type Partial struct {
+	Total      int            `json:"total"`
+	Kept       int            `json:"kept"`
+	ByCategory map[string]int `json:"by_category"`
+	ByType     map[string]int `json:"by_type"`
+	BySeverity map[string]int `json:"by_severity"`
+	// BySource is the full per-source count map, not a truncated top-k:
+	// top-k is the one mix that cannot be merged after truncation (a
+	// source just below every shard's cutoff can belong in the union's
+	// top-k), so ranking waits until the merge.
+	BySource map[string]int `json:"by_source"`
+	// Times are the matched entries' timestamps in canonical scan order
+	// (nondecreasing), as Unix nanoseconds.
+	Times []int64 `json:"times"`
+}
+
+// PartialOf folds a canonically ordered entry set into its Partial.
+// MergePartials of the result alone reproduces Aggregate(entries, opts)
+// byte for byte — Aggregate is implemented that way.
+func PartialOf(entries []store.Entry) Partial {
+	p := Partial{
+		Total:      len(entries),
+		ByCategory: map[string]int{},
+		ByType:     map[string]int{},
+		BySeverity: map[string]int{},
+		BySource:   map[string]int{},
+	}
+	if len(entries) > 0 {
+		p.Times = make([]int64, 0, len(entries))
+	}
+	for _, en := range entries {
+		if en.Kept {
+			p.Kept++
+		}
+		p.ByCategory[en.Category]++
+		p.ByType[typeCode(en)]++
+		p.BySeverity[en.Record.Severity.String()]++
+		p.BySource[en.Record.Source]++
+		p.Times = append(p.Times, en.Record.Time.UnixNano())
+	}
+	return p
+}
+
+// MergePartials combines disjoint partials into the standard
+// Aggregation — the same value Aggregate would compute over the
+// concatenated, canonically re-sorted entry sets.
+func MergePartials(parts []Partial, opts AggregateOptions) Aggregation {
+	topK := opts.TopK
+	if topK <= 0 {
+		topK = DefaultTopK
+	}
+	quantiles := opts.Quantiles
+	if len(quantiles) == 0 {
+		quantiles = DefaultQuantiles
+	}
+
+	agg := Aggregation{
+		ByCategory: map[string]int{},
+		ByType:     map[string]int{},
+		BySeverity: map[string]int{},
+	}
+	bySource := map[string]int{}
+	var n int
+	for _, p := range parts {
+		n += len(p.Times)
+	}
+	times := make([]int64, 0, n)
+	for _, p := range parts {
+		agg.Total += p.Total
+		agg.Kept += p.Kept
+		addCounts(agg.ByCategory, p.ByCategory)
+		addCounts(agg.ByType, p.ByType)
+		addCounts(agg.BySeverity, p.BySeverity)
+		addCounts(bySource, p.BySource)
+		times = append(times, p.Times...)
+	}
+	agg.Removed = agg.Total - agg.Kept
+	if agg.Total > 0 {
+		agg.ReductionRatio = float64(agg.Removed) / float64(agg.Total)
+	}
+	agg.Categories = len(agg.ByCategory)
+	agg.TopSources = topSources(bySource, topK)
+
+	// Each input column is already nondecreasing; sorting the
+	// concatenation is the k-way merge.
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	agg.Interarrival = interarrivalNanos(times, quantiles)
+	return agg
+}
+
+func addCounts(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+
+// interarrivalNanos computes the gap statistics over a nondecreasing
+// timestamp column, reusing internal/stats end to end.
+func interarrivalNanos(nanos []int64, quantiles []float64) *Interarrival {
+	if len(nanos) < 2 {
+		return nil
+	}
+	ts := make([]time.Time, len(nanos))
+	for i, n := range nanos {
+		ts[i] = time.Unix(0, n)
+	}
+	return interarrivalTimes(ts, quantiles)
+}

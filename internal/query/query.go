@@ -14,6 +14,8 @@
 package query
 
 import (
+	"context"
+	"fmt"
 	"sort"
 	"time"
 
@@ -39,10 +41,19 @@ const (
 	logHistBinsPerDecade = 2
 )
 
+// Scanner is the store surface the engine needs: a filtered scan and
+// the content fingerprint the cache keys by. *store.Store satisfies
+// it; so do the shard router's fault-injectable backends, which is how
+// the scatter-gather tier reuses this engine per shard.
+type Scanner interface {
+	Scan(f store.Filter, fn func(store.Entry) error) (store.ScanStats, error)
+	Fingerprint() uint64
+}
+
 // Engine executes queries against one store. The zero value (plus a
 // Store) works; EnableCache opts in to the aggregate-result cache.
 type Engine struct {
-	Store *store.Store
+	Store Scanner
 
 	// cache, when non-nil, memoizes Aggregate results keyed by the
 	// store fingerprint, filter, and options (see cache.go).
@@ -52,7 +63,15 @@ type Engine struct {
 // Select returns the entries matching f in canonical (time, sequence)
 // order, truncated to limit when limit > 0, with the scan's work stats.
 func (e *Engine) Select(f store.Filter, limit int) ([]store.Entry, store.ScanStats, error) {
-	entries, st, err := e.collect(f)
+	return e.SelectContext(context.Background(), f, limit)
+}
+
+// SelectContext is Select with cooperative cancellation: the scan
+// checks ctx between entries and aborts with ctx.Err() once the request
+// deadline passes, so a stalled client (or a fault-injected stall)
+// cannot pin the scanning goroutine past its budget.
+func (e *Engine) SelectContext(ctx context.Context, f store.Filter, limit int) ([]store.Entry, store.ScanStats, error) {
+	entries, st, err := e.collect(ctx, f)
 	if err != nil {
 		return nil, st, err
 	}
@@ -68,6 +87,13 @@ func (e *Engine) Select(f store.Filter, limit int) ([]store.Entry, store.ScanSta
 // scanning — byte-identical to the scanned answer, because the cached
 // fingerprint pins the exact entry set the scan would see.
 func (e *Engine) Aggregate(f store.Filter, opts AggregateOptions) (Aggregation, store.ScanStats, error) {
+	return e.AggregateContext(context.Background(), f, opts)
+}
+
+// AggregateContext is Aggregate with cooperative cancellation (see
+// SelectContext). Cache hits are served regardless of the deadline —
+// they do no scanning.
+func (e *Engine) AggregateContext(ctx context.Context, f store.Filter, opts AggregateOptions) (Aggregation, store.ScanStats, error) {
 	var key string
 	if e.cache != nil {
 		key = cacheKey(e.Store.Fingerprint(), f, opts)
@@ -75,7 +101,7 @@ func (e *Engine) Aggregate(f store.Filter, opts AggregateOptions) (Aggregation, 
 			return agg, st, nil
 		}
 	}
-	entries, st, err := e.collect(f)
+	entries, st, err := e.collect(ctx, f)
 	if err != nil {
 		return Aggregation{}, st, err
 	}
@@ -86,23 +112,50 @@ func (e *Engine) Aggregate(f store.Filter, opts AggregateOptions) (Aggregation, 
 	return agg, st, nil
 }
 
+// PartialContext scans the entries matching f and folds them into the
+// mergeable Partial form — the per-shard half of a scatter-gather
+// aggregate. The shard router merges these with MergePartials.
+func (e *Engine) PartialContext(ctx context.Context, f store.Filter) (Partial, store.ScanStats, error) {
+	entries, st, err := e.collect(ctx, f)
+	if err != nil {
+		return Partial{}, st, err
+	}
+	return PartialOf(entries), st, nil
+}
+
 // collect scans and restores global canonical order: segments are each
 // internally sorted but may interleave in time with one another and
-// with the unsealed tail.
-func (e *Engine) collect(f store.Filter) ([]store.Entry, store.ScanStats, error) {
+// with the unsealed tail. The scan polls ctx between entries (every
+// ctxCheckStride, to keep the common case branch-cheap) and aborts once
+// it is done.
+func (e *Engine) collect(ctx context.Context, f store.Filter) ([]store.Entry, store.ScanStats, error) {
 	var entries []store.Entry
+	var seen int
 	st, err := e.Store.Scan(f, func(en store.Entry) error {
+		if seen++; seen%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("query: scan aborted: %w", err)
+			}
+		}
 		entries = append(entries, en)
 		return nil
 	})
 	if err != nil {
 		return nil, st, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, st, fmt.Errorf("query: scan aborted: %w", err)
+	}
 	sort.SliceStable(entries, func(i, j int) bool {
 		return entries[i].Record.Before(entries[j].Record)
 	})
 	return entries, st, nil
 }
+
+// ctxCheckStride is how many matched entries a scan processes between
+// context polls: rare enough to stay off the profile, frequent enough
+// that a deadline cuts a runaway scan short within microseconds.
+const ctxCheckStride = 512
 
 // AggregateOptions shape the aggregation output.
 type AggregateOptions struct {
@@ -178,40 +231,14 @@ type Aggregation struct {
 // scanned from segments, the differential tests call it on entries
 // converted straight from the batch pipeline, and the two must agree
 // byte-for-byte.
+//
+// It is implemented as the one-partial merge, which is what makes the
+// sharded scatter-gather path trustworthy by construction: a cluster
+// answer is MergePartials over per-shard PartialOf folds, a single-node
+// answer is MergePartials over one whole-set fold, and both run the
+// same accumulation and ranking code.
 func Aggregate(entries []store.Entry, opts AggregateOptions) Aggregation {
-	topK := opts.TopK
-	if topK <= 0 {
-		topK = DefaultTopK
-	}
-	quantiles := opts.Quantiles
-	if len(quantiles) == 0 {
-		quantiles = DefaultQuantiles
-	}
-
-	agg := Aggregation{
-		Total:      len(entries),
-		ByCategory: map[string]int{},
-		ByType:     map[string]int{},
-		BySeverity: map[string]int{},
-	}
-	bySource := map[string]int{}
-	for _, en := range entries {
-		if en.Kept {
-			agg.Kept++
-		}
-		agg.ByCategory[en.Category]++
-		agg.ByType[typeCode(en)]++
-		agg.BySeverity[en.Record.Severity.String()]++
-		bySource[en.Record.Source]++
-	}
-	agg.Removed = agg.Total - agg.Kept
-	if agg.Total > 0 {
-		agg.ReductionRatio = float64(agg.Removed) / float64(agg.Total)
-	}
-	agg.Categories = len(agg.ByCategory)
-	agg.TopSources = topSources(bySource, topK)
-	agg.Interarrival = interarrival(entries, quantiles)
-	return agg
+	return MergePartials([]Partial{PartialOf(entries)}, opts)
 }
 
 // typeCode maps an entry to its category's H/S/I code via the catalog,
@@ -242,15 +269,11 @@ func topSources(counts map[string]int, k int) []SourceCount {
 	return out
 }
 
-// interarrival computes the gap statistics over a canonically ordered
-// entry set, reusing internal/stats end to end.
-func interarrival(entries []store.Entry, quantiles []float64) *Interarrival {
-	if len(entries) < 2 {
+// interarrivalTimes computes the gap statistics over a nondecreasing
+// timestamp sequence, reusing internal/stats end to end.
+func interarrivalTimes(ts []time.Time, quantiles []float64) *Interarrival {
+	if len(ts) < 2 {
 		return nil
-	}
-	ts := make([]time.Time, len(entries))
-	for i, en := range entries {
-		ts[i] = en.Record.Time
 	}
 	times := stats.Interarrivals(ts)
 	ia := &Interarrival{

@@ -1,0 +1,178 @@
+package shard
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// A circuit breaker guards each shard: K consecutive failures (appends,
+// scans, or timeouts — any path that touches the backend) open it, an
+// open breaker fails calls fast instead of queueing more work onto a
+// struggling store, and after a jittered backoff a single half-open
+// probe is let through to test recovery. Probe success closes the
+// breaker; probe failure re-opens it with doubled backoff, up to a cap.
+//
+// Jitter exists for the fleet, not the shard: when several routers
+// front the same degraded backend, un-jittered backoffs expire in sync
+// and the probes arrive as a thundering herd. The jitter is drawn from
+// a seeded source so tests replay transitions exactly.
+//
+// Time is injected (clock) for the same reason: breaker tests advance a
+// fake clock instead of sleeping, so open→half-open→closed is stepped
+// through deterministically under -race.
+
+// Breaker states, in escalation order. Exported only as the strings
+// Health reports.
+type breakerState int
+
+const (
+	stateClosed breakerState = iota
+	stateHalfOpen
+	stateOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case stateClosed:
+		return "ok"
+	case stateHalfOpen:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+// Default breaker tuning (Options overrides).
+const (
+	DefaultFailureThreshold = 5
+	DefaultBreakerBackoff   = 250 * time.Millisecond
+	DefaultBreakerMaxWait   = 30 * time.Second
+)
+
+type breaker struct {
+	mu sync.Mutex
+
+	clock     func() time.Time
+	rng       *rand.Rand
+	threshold int
+	base, max time.Duration
+
+	state       breakerState
+	consecutive int           // consecutive failures while closed
+	backoff     time.Duration // current open-state wait (doubles per re-open)
+	retryAt     time.Time     // when open, earliest half-open probe
+	probing     bool          // a half-open probe is in flight
+}
+
+func newBreaker(threshold int, base, max time.Duration, seed int64, clock func() time.Time) *breaker {
+	if threshold <= 0 {
+		threshold = DefaultFailureThreshold
+	}
+	if base <= 0 {
+		base = DefaultBreakerBackoff
+	}
+	if max <= 0 {
+		max = DefaultBreakerMaxWait
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &breaker{
+		clock:     clock,
+		rng:       rand.New(rand.NewSource(seed)),
+		threshold: threshold,
+		base:      base,
+		max:       max,
+	}
+}
+
+// Allow reports whether a call may proceed. In the open state it flips
+// to half-open once the backoff expires and admits exactly one probe;
+// concurrent callers are refused until that probe settles.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return true
+	case stateOpen:
+		if b.clock().Before(b.retryAt) {
+			return false
+		}
+		b.state = stateHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a completed call: any state resets to closed.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = stateClosed
+	b.consecutive = 0
+	b.backoff = 0
+	b.probing = false
+}
+
+// Failure records a failed call: a failed half-open probe re-opens with
+// doubled backoff; the threshold'th consecutive closed-state failure
+// opens.
+func (b *breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	b.consecutive++
+	if b.state == stateHalfOpen || b.consecutive >= b.threshold {
+		b.open()
+	}
+}
+
+// open transitions to the open state with the next (jittered) backoff;
+// callers hold mu.
+func (b *breaker) open() {
+	b.state = stateOpen
+	if b.backoff == 0 {
+		b.backoff = b.base
+	} else if b.backoff = b.backoff * 2; b.backoff > b.max {
+		b.backoff = b.max
+	}
+	// Wait in [backoff/2, backoff): full expected magnitude, decorrelated
+	// expiry across routers.
+	wait := b.backoff/2 + time.Duration(b.rng.Int63n(int64(b.backoff/2)+1))
+	b.retryAt = b.clock().Add(wait)
+}
+
+// snapshot returns the state for Health without perturbing it.
+func (b *breaker) snapshot() (state string, consecutive int, retryIn time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == stateOpen {
+		if d := b.retryAt.Sub(b.clock()); d > 0 {
+			retryIn = d
+		}
+	}
+	return b.state.String(), b.consecutive, retryIn
+}
+
+// stateCode maps the state onto the obs gauge scale (0 ok, 1 half-open,
+// 2 open; 3 is reserved for quarantined shards, which have no breaker).
+func (b *breaker) stateCode() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return 0
+	case stateHalfOpen:
+		return 1
+	default:
+		return 2
+	}
+}

@@ -1,0 +1,119 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable, manually advanced time source: breaker
+// tests step open → half-open → closed without sleeping.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func TestBreakerOpensAtThresholdAndProbes(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(3, 100*time.Millisecond, time.Second, 7, clk.Now)
+
+	// Closed: failures below the threshold keep admitting calls.
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused call %d", i)
+		}
+		b.Failure()
+	}
+	if state, n, _ := b.snapshot(); state != "ok" || n != 2 {
+		t.Fatalf("before threshold: state %s, consecutive %d", state, n)
+	}
+
+	// Third consecutive failure opens.
+	if !b.Allow() {
+		t.Fatal("closed breaker refused the threshold call")
+	}
+	b.Failure()
+	if state, _, retryIn := b.snapshot(); state != "open" || retryIn <= 0 {
+		t.Fatalf("after threshold: state %s, retryIn %v", state, retryIn)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call before the backoff")
+	}
+
+	// The jittered wait is within [base/2, base): advancing a full base
+	// must always reach the half-open window.
+	clk.Advance(100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("half-open probe refused after the backoff")
+	}
+	// Exactly one probe: a concurrent caller is refused while it flies.
+	if b.Allow() {
+		t.Fatal("second concurrent half-open probe admitted")
+	}
+
+	// Probe failure re-opens with doubled backoff.
+	b.Failure()
+	if state, _, _ := b.snapshot(); state != "open" {
+		t.Fatalf("failed probe left state %s", state)
+	}
+	clk.Advance(100 * time.Millisecond) // half the doubled backoff's max — may or may not open yet
+	clk.Advance(100 * time.Millisecond) // a full doubled base is always enough
+	if !b.Allow() {
+		t.Fatal("probe refused after doubled backoff")
+	}
+	b.Success()
+	if state, n, _ := b.snapshot(); state != "ok" || n != 0 {
+		t.Fatalf("after successful probe: state %s, consecutive %d", state, n)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused after recovery")
+	}
+}
+
+func TestBreakerBackoffCapped(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(1, 100*time.Millisecond, 250*time.Millisecond, 1, clk.Now)
+	for i := 0; i < 10; i++ {
+		if b.Allow() {
+			b.Failure()
+		}
+		clk.Advance(time.Hour)
+	}
+	b.mu.Lock()
+	backoff := b.backoff
+	b.mu.Unlock()
+	if backoff != 250*time.Millisecond {
+		t.Fatalf("backoff %v not capped at 250ms", backoff)
+	}
+}
+
+func TestBreakerJitterDeterministic(t *testing.T) {
+	run := func() time.Time {
+		clk := newFakeClock()
+		b := newBreaker(1, 100*time.Millisecond, time.Second, 42, clk.Now)
+		b.Allow()
+		b.Failure()
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return b.retryAt
+	}
+	if a, b := run(), run(); !a.Equal(b) {
+		t.Fatalf("same seed, different jitter: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,616 @@
+// Package shard scales the alert store out: a cluster is N independent
+// internal/store stores — each with its own wal, segments, and
+// compaction — behind a router that hashes ingest by source and fans
+// queries out to every shard, merging partial aggregates with the
+// associative pieces in internal/query.
+//
+// The point is the failure envelope, not the fan-out. Every shard is
+// guarded by a circuit breaker (open after K consecutive failures,
+// half-open probes after a jittered backoff); every per-shard query
+// attempt runs under its own deadline with bounded retries; a shard
+// that is down, slow, or corrupt degrades a query instead of killing
+// it — the merged response carries explicit coverage metadata (shards
+// total/queried/answered, per-shard error strings) and a partial flag.
+// Ingest is backpressured per shard: each shard has a bounded queue of
+// append batches drained by one worker, and a full queue rejects new
+// batches immediately (the HTTP layer turns that into 429 +
+// Retry-After) so one hot shard cannot starve the rest. A shard whose
+// directory fails to open is quarantined at startup while its siblings
+// serve.
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/obs"
+	"whatsupersay/internal/query"
+	"whatsupersay/internal/store"
+)
+
+const (
+	clusterManifestName = "CLUSTER"
+	clusterVersion      = 1
+	shardDirPattern     = "shard-%02d"
+)
+
+// DefaultQueueDepth bounds each shard's pending ingest batches.
+const DefaultQueueDepth = 64
+
+// DefaultQueryTimeout is the per-shard, per-attempt query deadline.
+const DefaultQueryTimeout = 5 * time.Second
+
+// DefaultRetryAfter is the backpressure hint returned with a queue-full
+// rejection.
+const DefaultRetryAfter = time.Second
+
+// ErrQueueFull is the per-shard ingest backpressure signal: the shard's
+// bounded queue is at capacity and the batch was not enqueued.
+var ErrQueueFull = errors.New("shard: ingest queue full")
+
+// ErrBreakerOpen is the fail-fast signal for a shard whose breaker is
+// open: the shard is presumed down and the call was not attempted.
+var ErrBreakerOpen = errors.New("shard: breaker open")
+
+// ErrQuarantined marks a shard whose directory failed to open at
+// startup; it stays out of service until the process restarts with the
+// directory repaired.
+var ErrQuarantined = errors.New("shard: quarantined")
+
+// Backend is the store surface the router consumes. *store.Store
+// satisfies it; so does internal/faultinject's FaultyStore wrapper,
+// which is how the failure envelope is tested deterministically.
+type Backend interface {
+	Append(entries ...store.Entry) error
+	Scan(f store.Filter, fn func(store.Entry) error) (store.ScanStats, error)
+	Seal() error
+	Close() error
+	Len() int
+	TailLen() int
+	Segments() []store.SegmentInfo
+	Fingerprint() uint64
+	System() logrec.System
+}
+
+// Options tune a cluster. The zero value gets sane defaults; Shards is
+// only consulted by Create (Open reads the on-disk manifest).
+type Options struct {
+	// Store tunes each shard's underlying store (flush size, compaction
+	// cadence, retention — all per shard).
+	Store store.Options
+	// QueueDepth bounds each shard's pending ingest batches (default
+	// DefaultQueueDepth).
+	QueueDepth int
+	// FailureThreshold is K: consecutive failures before the shard's
+	// breaker opens (default DefaultFailureThreshold).
+	FailureThreshold int
+	// BreakerBackoff and BreakerMaxWait bound the open-state wait before
+	// a half-open probe; the wait doubles on each failed probe.
+	BreakerBackoff time.Duration
+	BreakerMaxWait time.Duration
+	// QueryTimeout is the per-shard, per-attempt deadline on scatter
+	// queries (default DefaultQueryTimeout).
+	QueryTimeout time.Duration
+	// Retries is how many extra attempts a scatter query makes against a
+	// failing shard before reporting it degraded (default 1; negative
+	// disables retries).
+	Retries int
+	// RetryAfter is the hint returned with queue-full rejections
+	// (default DefaultRetryAfter).
+	RetryAfter time.Duration
+	// CacheSize, when positive, enables the combined-fingerprint
+	// aggregate cache with this many entries.
+	CacheSize int
+	// Seed drives breaker-backoff jitter (deterministic under test).
+	Seed int64
+	// Clock is the breaker's time source (default time.Now; tests
+	// inject a fake to step open → half-open transitions).
+	Clock func() time.Time
+	// OpenStore, when non-nil, replaces store.Open for each shard — the
+	// seam fault-injection tests use to fail an open or wrap a shard in
+	// a faulty backend. Production leaves it nil.
+	OpenStore func(dir string, opts store.Options) (Backend, *store.OpenReport, error)
+}
+
+func (o Options) queueDepth() int {
+	if o.QueueDepth > 0 {
+		return o.QueueDepth
+	}
+	return DefaultQueueDepth
+}
+
+func (o Options) queryTimeout() time.Duration {
+	if o.QueryTimeout > 0 {
+		return o.QueryTimeout
+	}
+	return DefaultQueryTimeout
+}
+
+func (o Options) retries() int {
+	switch {
+	case o.Retries > 0:
+		return o.Retries
+	case o.Retries < 0:
+		return 0
+	}
+	return 1
+}
+
+func (o Options) retryAfter() time.Duration {
+	if o.RetryAfter > 0 {
+		return o.RetryAfter
+	}
+	return DefaultRetryAfter
+}
+
+// clusterManifest is the cluster's on-disk identity: the shard count is
+// part of the data's shape (it pins the source hash ring), so it lives
+// on disk, not in flags.
+type clusterManifest struct {
+	Version int    `json:"version"`
+	Shards  int    `json:"shards"`
+	System  string `json:"system"`
+}
+
+// shardState is one shard slot: its backend (nil when quarantined), its
+// breaker, its bounded ingest queue, and its telemetry.
+type shardState struct {
+	id      int
+	dir     string
+	backend Backend // nil => quarantined
+	openErr string  // why, when quarantined
+	br      *breaker
+
+	queue    chan ingestBatch
+	workerWG sync.WaitGroup
+	inflight atomic.Int32 // batches being applied right now (0 or 1)
+	depth    atomic.Int32 // batches enqueued and not yet picked up
+
+	totalFailures atomic.Int64
+	lastErr       atomic.Value // string
+
+	gQueue    *obs.Gauge
+	gBreaker  *obs.Gauge
+	cFailures *obs.Counter
+	cRejects  *obs.Counter
+}
+
+type ingestBatch struct {
+	entries []store.Entry
+	done    chan error
+}
+
+// Cluster is one open sharded store.
+type Cluster struct {
+	dir  string
+	sys  logrec.System
+	opts Options
+
+	shards []*shardState
+	cache  *query.Cache
+
+	cacheHits, cacheMisses atomic.Int64
+
+	mu     sync.RWMutex // guards closed against in-flight Appends
+	closed bool
+}
+
+// OpenReport aggregates what opening each shard found.
+type OpenReport struct {
+	// Shards is the cluster size; Quarantined maps the shards that
+	// failed to open to the reason they are out of service.
+	Shards      int
+	Quarantined map[int]string
+	// Stores holds each healthy shard's own open report.
+	Stores map[int]*store.OpenReport
+}
+
+// ShardDir returns the directory of shard id under a cluster root.
+func ShardDir(root string, id int) string {
+	return filepath.Join(root, fmt.Sprintf(shardDirPattern, id))
+}
+
+// ShardFor routes a source name onto a shard: FNV-1a over the source,
+// mod the cluster size. The hash is part of the on-disk contract — the
+// manifest pins the shard count so the ring never silently moves.
+func ShardFor(source string, shards int) int {
+	h := fnv.New32a()
+	io.WriteString(h, source)
+	return int(h.Sum32() % uint32(shards))
+}
+
+// Create initializes a cluster directory for sys with n shards and
+// opens it. Creating over an existing cluster of the same shape reopens
+// it; a different system or shard count is an error.
+func Create(dir string, sys logrec.System, n int, opts Options) (*Cluster, *OpenReport, error) {
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("shard: create %s: shard count %d", dir, n)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	m, err := readClusterManifest(dir)
+	switch {
+	case err == nil:
+		if m.System != sys.ShortName() || m.Shards != n {
+			return nil, nil, fmt.Errorf("shard: %s already holds a %d-shard %s cluster", dir, m.Shards, m.System)
+		}
+	case errors.Is(err, os.ErrNotExist):
+		m = clusterManifest{Version: clusterVersion, Shards: n, System: sys.ShortName()}
+		if err := writeClusterManifest(dir, m); err != nil {
+			return nil, nil, err
+		}
+	default:
+		return nil, nil, err
+	}
+	// Materialize each shard's store directory so Open finds them all.
+	for i := 0; i < n; i++ {
+		st, err := store.Create(ShardDir(dir, i), sys, store.Options{FlushEvery: opts.Store.FlushEvery})
+		if err != nil {
+			return nil, nil, fmt.Errorf("shard: create shard %d: %w", i, err)
+		}
+		if err := st.Close(); err != nil {
+			return nil, nil, err
+		}
+	}
+	return Open(dir, opts)
+}
+
+// Open opens an existing cluster: the manifest names the shape, and
+// every shard directory is opened independently. A shard whose open
+// fails — a corrupt manifest, an unreadable directory — is quarantined
+// with its error recorded while the rest of the cluster serves; it is
+// never half-opened or guessed at.
+func Open(dir string, opts Options) (*Cluster, *OpenReport, error) {
+	m, err := readClusterManifest(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("shard: open %s: %w", dir, err)
+	}
+	sys, err := logrec.ParseSystem(m.System)
+	if err != nil {
+		return nil, nil, fmt.Errorf("shard: open %s: %w", dir, err)
+	}
+	openStore := opts.OpenStore
+	if openStore == nil {
+		openStore = func(d string, o store.Options) (Backend, *store.OpenReport, error) {
+			return store.Open(d, o)
+		}
+	}
+	c := &Cluster{dir: dir, sys: sys, opts: opts}
+	if opts.CacheSize > 0 {
+		c.cache = query.NewCache(opts.CacheSize)
+	}
+	rep := &OpenReport{Shards: m.Shards, Quarantined: map[int]string{}, Stores: map[int]*store.OpenReport{}}
+	for i := 0; i < m.Shards; i++ {
+		sh := newShardState(i, ShardDir(dir, i), opts)
+		backend, srep, err := openStore(sh.dir, opts.Store)
+		if err != nil {
+			// Quarantine: the slot exists (coverage metadata counts it),
+			// but nothing is served from or appended to it.
+			sh.openErr = err.Error()
+			sh.gBreaker.Set(3)
+			rep.Quarantined[i] = err.Error()
+		} else {
+			sh.backend = backend
+			rep.Stores[i] = srep
+			sh.queue = make(chan ingestBatch, opts.queueDepth())
+			sh.workerWG.Add(1)
+			go c.runWorker(sh)
+		}
+		c.shards = append(c.shards, sh)
+	}
+	return c, rep, nil
+}
+
+func newShardState(id int, dir string, opts Options) *shardState {
+	label := fmt.Sprintf("%d", id)
+	sh := &shardState{
+		id:  id,
+		dir: dir,
+		br: newBreaker(opts.FailureThreshold, opts.BreakerBackoff, opts.BreakerMaxWait,
+			opts.Seed+int64(id), opts.Clock),
+		gQueue:    obs.Default.Gauge(fmt.Sprintf("shard_queue_depth{shard=%q}", label)),
+		gBreaker:  obs.Default.Gauge(fmt.Sprintf("shard_breaker_state{shard=%q}", label)),
+		cFailures: obs.Default.Counter(fmt.Sprintf("shard_failures_total{shard=%q}", label)),
+		cRejects:  obs.Default.Counter(fmt.Sprintf("shard_queue_rejects_total{shard=%q}", label)),
+	}
+	sh.lastErr.Store("")
+	return sh
+}
+
+// runWorker drains one shard's ingest queue. One worker per shard keeps
+// appends ordered per shard and makes the queue the unit of
+// backpressure: while an append is slow, batches pile into the bounded
+// queue and overflow is rejected at enqueue time.
+func (c *Cluster) runWorker(sh *shardState) {
+	defer sh.workerWG.Done()
+	for b := range sh.queue {
+		sh.depth.Add(-1)
+		sh.gQueue.Set(float64(sh.depth.Load()))
+		sh.inflight.Store(1)
+		b.done <- c.applyAppend(sh, b.entries)
+		sh.inflight.Store(0)
+	}
+}
+
+// applyAppend runs one batch against the shard under its breaker.
+func (c *Cluster) applyAppend(sh *shardState, entries []store.Entry) error {
+	if !sh.br.Allow() {
+		return fmt.Errorf("shard %d: %w", sh.id, ErrBreakerOpen)
+	}
+	err := sh.backend.Append(entries...)
+	c.observe(sh, err)
+	if err != nil {
+		return fmt.Errorf("shard %d: %w", sh.id, err)
+	}
+	return nil
+}
+
+// observe feeds one call outcome into the shard's breaker and telemetry.
+func (c *Cluster) observe(sh *shardState, err error) {
+	if err == nil {
+		sh.br.Success()
+	} else {
+		sh.br.Failure()
+		sh.totalFailures.Add(1)
+		sh.cFailures.Inc()
+		sh.lastErr.Store(err.Error())
+	}
+	sh.gBreaker.Set(sh.br.stateCode())
+}
+
+// AppendReport says what a cluster append did, shard by shard. The
+// cluster never all-or-nothings a batch: entries routed to healthy
+// shards land even when a sibling rejects or fails, which is the "one
+// hot shard cannot starve the rest" contract.
+type AppendReport struct {
+	// Appended counts entries durably accepted, summed over PerShard.
+	Appended int         `json:"appended"`
+	PerShard map[int]int `json:"per_shard,omitempty"`
+	// Rejected counts entries bounced by a full ingest queue —
+	// backpressure, retry after RetryAfter.
+	Rejected   map[int]int   `json:"rejected,omitempty"`
+	RetryAfter time.Duration `json:"-"`
+	// Errors records shards whose append failed (or that are
+	// quarantined / breaker-open): entries for those shards did not land.
+	Errors map[int]string `json:"errors,omitempty"`
+}
+
+// Append routes entries to their shards by source hash and applies each
+// shard's slice through its bounded queue, waiting for the outcomes.
+// Shards whose queue is full reject immediately (Rejected +
+// RetryAfter); shards that are quarantined or fail record Errors; the
+// rest append. An error is returned only for a closed cluster.
+func (c *Cluster) Append(entries []store.Entry) (AppendReport, error) {
+	rep := AppendReport{PerShard: map[int]int{}, Rejected: map[int]int{}, Errors: map[int]string{}, RetryAfter: c.opts.retryAfter()}
+	if len(entries) == 0 {
+		return rep, nil
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		return rep, errors.New("shard: cluster closed")
+	}
+
+	parts := make(map[int][]store.Entry)
+	for _, en := range entries {
+		id := ShardFor(en.Record.Source, len(c.shards))
+		parts[id] = append(parts[id], en)
+	}
+	type pending struct {
+		id   int
+		n    int
+		done chan error
+	}
+	var waits []pending
+	for id, batch := range parts {
+		sh := c.shards[id]
+		if sh.backend == nil {
+			rep.Errors[id] = fmt.Sprintf("%v: %s", ErrQuarantined, sh.openErr)
+			continue
+		}
+		b := ingestBatch{entries: batch, done: make(chan error, 1)}
+		select {
+		case sh.queue <- b:
+			sh.depth.Add(1)
+			sh.gQueue.Set(float64(sh.depth.Load()))
+			waits = append(waits, pending{id: id, n: len(batch), done: b.done})
+		default:
+			sh.cRejects.Inc()
+			rep.Rejected[id] += len(batch)
+		}
+	}
+	for _, p := range waits {
+		if err := <-p.done; err != nil {
+			rep.Errors[p.id] = err.Error()
+			continue
+		}
+		rep.PerShard[p.id] += p.n
+		rep.Appended += p.n
+	}
+	return rep, nil
+}
+
+// Seal flushes every healthy shard's tail into a sealed segment.
+func (c *Cluster) Seal() error {
+	for _, sh := range c.shards {
+		if sh.backend == nil {
+			continue
+		}
+		if err := sh.backend.Seal(); err != nil {
+			return fmt.Errorf("shard %d: %w", sh.id, err)
+		}
+	}
+	return nil
+}
+
+// Close stops the ingest workers and closes every healthy shard
+// (sealing tails). Quarantined shards have nothing to close.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	var firstErr error
+	for _, sh := range c.shards {
+		if sh.backend == nil {
+			continue
+		}
+		close(sh.queue)
+		sh.workerWG.Wait()
+		if err := sh.backend.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("shard %d: %w", sh.id, err)
+		}
+	}
+	return firstErr
+}
+
+// System returns the machine whose alerts the cluster holds.
+func (c *Cluster) System() logrec.System { return c.sys }
+
+// Dir returns the cluster root directory.
+func (c *Cluster) Dir() string { return c.dir }
+
+// NumShards returns the cluster size (healthy or not).
+func (c *Cluster) NumShards() int { return len(c.shards) }
+
+// Len sums entry counts over healthy shards.
+func (c *Cluster) Len() int {
+	var n int
+	for _, sh := range c.shards {
+		if sh.backend != nil {
+			n += sh.backend.Len()
+		}
+	}
+	return n
+}
+
+// CacheStats reports combined-fingerprint cache hits and misses (zeros
+// when the cache is disabled).
+func (c *Cluster) CacheStats() (hits, misses int64) {
+	return c.cacheHits.Load(), c.cacheMisses.Load()
+}
+
+// Health is one shard's operator-facing state, the /api/shards row.
+type Health struct {
+	ID    int    `json:"id"`
+	Dir   string `json:"dir"`
+	State string `json:"state"` // ok | half-open | open | quarantined
+	// ConsecutiveFailures is the breaker's current failure run;
+	// TotalFailures counts every failed call since open.
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	TotalFailures       int64  `json:"total_failures"`
+	LastError           string `json:"last_error,omitempty"`
+	// RetryInMs, when the breaker is open, is the time until the next
+	// half-open probe is admitted.
+	RetryInMs int64 `json:"retry_in_ms,omitempty"`
+	// QueueDepth is the shard's pending ingest batches; Inflight is 1
+	// while a batch is being applied.
+	QueueDepth int `json:"queue_depth"`
+	Inflight   int `json:"inflight"`
+	// Entries/TailEntries/Segments describe the shard's store (zero for
+	// quarantined shards, which cannot be read).
+	Entries     int `json:"entries"`
+	TailEntries int `json:"tail_entries"`
+	Segments    int `json:"segments"`
+}
+
+// Health reports every shard's state, quarantined ones included.
+func (c *Cluster) Health() []Health {
+	out := make([]Health, 0, len(c.shards))
+	for _, sh := range c.shards {
+		h := Health{
+			ID:            sh.id,
+			Dir:           sh.dir,
+			TotalFailures: sh.totalFailures.Load(),
+			LastError:     sh.lastErr.Load().(string),
+			QueueDepth:    int(sh.depth.Load()),
+			Inflight:      int(sh.inflight.Load()),
+		}
+		if sh.backend == nil {
+			h.State = "quarantined"
+			h.LastError = sh.openErr
+		} else {
+			state, consecutive, retryIn := sh.br.snapshot()
+			h.State = state
+			h.ConsecutiveFailures = consecutive
+			h.RetryInMs = retryIn.Milliseconds()
+			h.Entries = sh.backend.Len()
+			h.TailEntries = sh.backend.TailLen()
+			h.Segments = len(sh.backend.Segments())
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+// ShardSegments is one shard's segment inventory for /api/segments.
+type ShardSegments struct {
+	Shard       int                 `json:"shard"`
+	State       string              `json:"state"`
+	Segments    []store.SegmentInfo `json:"segments,omitempty"`
+	TailEntries int                 `json:"tail_entries"`
+	Entries     int                 `json:"entries"`
+}
+
+// Segments lists every shard's physical layout.
+func (c *Cluster) Segments() []ShardSegments {
+	out := make([]ShardSegments, 0, len(c.shards))
+	for _, sh := range c.shards {
+		ss := ShardSegments{Shard: sh.id}
+		if sh.backend == nil {
+			ss.State = "quarantined"
+		} else {
+			state, _, _ := sh.br.snapshot()
+			ss.State = state
+			ss.Segments = sh.backend.Segments()
+			ss.TailEntries = sh.backend.TailLen()
+			ss.Entries = sh.backend.Len()
+		}
+		out = append(out, ss)
+	}
+	return out
+}
+
+func readClusterManifest(dir string) (clusterManifest, error) {
+	var m clusterManifest
+	data, err := os.ReadFile(filepath.Join(dir, clusterManifestName))
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, fmt.Errorf("bad cluster manifest: %w", err)
+	}
+	if m.Version != clusterVersion {
+		return m, fmt.Errorf("cluster manifest version %d not supported", m.Version)
+	}
+	if m.Shards <= 0 {
+		return m, fmt.Errorf("cluster manifest: bad shard count %d", m.Shards)
+	}
+	return m, nil
+}
+
+func writeClusterManifest(dir string, m clusterManifest) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, clusterManifestName)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

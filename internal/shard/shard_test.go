@@ -1,0 +1,351 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/query"
+	"whatsupersay/internal/store"
+)
+
+// makeEntries builds a deterministic synthetic entry set spread over
+// enough distinct sources that every shard count under test gets data
+// on every shard.
+func makeEntries(t *testing.T, n int, seed int64) []store.Entry {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	base := time.Date(2004, 3, 1, 0, 0, 0, 0, time.UTC)
+	cats := []string{"ECC", "KERNDTLB", "PBS_CON", "GM_PAR"}
+	sevs := []logrec.Severity{logrec.SeverityUnknown, logrec.SevErr, logrec.SevFatal}
+	out := make([]store.Entry, 0, n)
+	cur := base
+	for i := 0; i < n; i++ {
+		cur = cur.Add(time.Duration(rng.Intn(30)) * time.Second)
+		out = append(out, store.Entry{
+			Record: logrec.Record{
+				Seq:      uint64(i),
+				Time:     cur,
+				System:   logrec.Thunderbird,
+				Source:   fmt.Sprintf("cn%d", rng.Intn(40)),
+				Severity: sevs[rng.Intn(len(sevs))],
+				Program:  "kernel",
+				Body:     fmt.Sprintf("synthetic body %d %08x", i, rng.Uint32()),
+			},
+			Category: cats[rng.Intn(len(cats))],
+			Kept:     rng.Float64() < 0.4,
+		})
+	}
+	return out
+}
+
+// matchesFilter replicates store.Filter semantics as an independent
+// reference for building expected result sets.
+func matchesFilter(f store.Filter, en store.Entry) bool {
+	tm := en.Record.Time
+	if !f.From.IsZero() && tm.Before(f.From) {
+		return false
+	}
+	if !f.To.IsZero() && !tm.Before(f.To) {
+		return false
+	}
+	if len(f.Sources) > 0 && !containsString(f.Sources, en.Record.Source) {
+		return false
+	}
+	if len(f.Categories) > 0 && !containsString(f.Categories, en.Category) {
+		return false
+	}
+	if len(f.Severities) > 0 {
+		ok := false
+		for _, sev := range f.Severities {
+			ok = ok || sev == en.Record.Severity
+		}
+		if !ok {
+			return false
+		}
+	}
+	return f.Kept == nil || *f.Kept == en.Kept
+}
+
+func containsString(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// newTestCluster creates a cluster, appends entries through the routed
+// ingest path, and registers cleanup.
+func newTestCluster(t *testing.T, shards int, entries []store.Entry, opts Options) *Cluster {
+	t.Helper()
+	c, rep, err := Create(t.TempDir(), logrec.Thunderbird, shards, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if len(rep.Quarantined) != 0 {
+		t.Fatalf("fresh cluster has quarantined shards: %v", rep.Quarantined)
+	}
+	if len(entries) > 0 {
+		ar, err := c.Append(entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ar.Appended != len(entries) || len(ar.Errors) != 0 || len(ar.Rejected) != 0 {
+			t.Fatalf("append did not land cleanly: %+v", ar)
+		}
+	}
+	return c
+}
+
+func TestShardForDeterministicAndSpread(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7} {
+		hit := map[int]bool{}
+		for i := 0; i < 200; i++ {
+			src := fmt.Sprintf("cn%d", i)
+			id := ShardFor(src, n)
+			if id < 0 || id >= n {
+				t.Fatalf("ShardFor(%q, %d) = %d out of range", src, n, id)
+			}
+			if id != ShardFor(src, n) {
+				t.Fatalf("ShardFor(%q, %d) unstable", src, n)
+			}
+			hit[id] = true
+		}
+		if len(hit) != n {
+			t.Fatalf("200 sources hit only %d of %d shards", len(hit), n)
+		}
+	}
+}
+
+func TestRoutedAppendLandsOnHashedShards(t *testing.T) {
+	entries := makeEntries(t, 400, 11)
+	c := newTestCluster(t, 4, entries, Options{Store: store.Options{FlushEvery: 50}})
+
+	want := map[int]int{}
+	for _, en := range entries {
+		want[ShardFor(en.Record.Source, 4)]++
+	}
+	for _, h := range c.Health() {
+		if h.Entries != want[h.ID] {
+			t.Errorf("shard %d holds %d entries, want %d", h.ID, h.Entries, want[h.ID])
+		}
+	}
+	if c.Len() != len(entries) {
+		t.Errorf("cluster Len %d, want %d", c.Len(), len(entries))
+	}
+}
+
+// TestMergedAggregateMatchesSingleStore is the merge-correctness
+// property: across shard counts, the cluster's scatter-gathered
+// aggregate must be byte-identical to a single-store aggregate over the
+// union of the same records — for every filter and option shape.
+func TestMergedAggregateMatchesSingleStore(t *testing.T) {
+	entries := makeEntries(t, 600, 13)
+	kept := true
+	mid := entries[len(entries)/2].Record.Time
+	late := entries[3*len(entries)/4].Record.Time
+	cases := []struct {
+		name string
+		f    store.Filter
+		opts query.AggregateOptions
+	}{
+		{"everything", store.Filter{}, query.AggregateOptions{}},
+		{"one source", store.Filter{Sources: []string{entries[0].Record.Source}}, query.AggregateOptions{}},
+		{"three sources", store.Filter{Sources: []string{"cn1", "cn7", "cn23"}}, query.AggregateOptions{}},
+		{"survivors", store.Filter{Kept: &kept}, query.AggregateOptions{}},
+		{"time window", store.Filter{From: mid, To: late}, query.AggregateOptions{}},
+		{"custom shape", store.Filter{}, query.AggregateOptions{TopK: 3, Quantiles: []float64{0.5, 0.95}}},
+	}
+	for _, shards := range []int{1, 2, 4, 7} {
+		// A small flush plus a partial tail makes every shard hold both
+		// sealed segments and an unsealed tail.
+		c := newTestCluster(t, shards, entries, Options{Store: store.Options{FlushEvery: 37}})
+		for _, tc := range cases {
+			agg, cov, _, err := c.Aggregate(context.Background(), tc.f, tc.opts)
+			if err != nil {
+				t.Fatalf("%d shards/%s: %v", shards, tc.name, err)
+			}
+			if cov.Partial || cov.ShardsAnswered != cov.ShardsQueried {
+				t.Fatalf("%d shards/%s: unexpected degraded coverage %+v", shards, tc.name, cov)
+			}
+			if len(tc.f.Sources) == 0 && cov.ShardsQueried != shards {
+				t.Fatalf("%d shards/%s: queried %d shards", shards, tc.name, cov.ShardsQueried)
+			}
+			var ref []store.Entry
+			for _, en := range entries {
+				if matchesFilter(tc.f, en) {
+					ref = append(ref, en)
+				}
+			}
+			sort.SliceStable(ref, func(i, j int) bool { return ref[i].Record.Before(ref[j].Record) })
+			want, err := json.Marshal(query.Aggregate(ref, tc.opts))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := json.Marshal(agg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("%d shards/%s: merged aggregate diverges\nmerged: %s\nsingle: %s", shards, tc.name, got, want)
+			}
+		}
+	}
+}
+
+func TestSelectMergesCanonicalOrderAcrossShards(t *testing.T) {
+	entries := makeEntries(t, 300, 17)
+	c := newTestCluster(t, 4, entries, Options{Store: store.Options{FlushEvery: 41}})
+
+	got, cov, _, err := c.Select(context.Background(), store.Filter{}, 0)
+	if err != nil || cov.Partial {
+		t.Fatalf("select: %v, coverage %+v", err, cov)
+	}
+	want := append([]store.Entry(nil), entries...)
+	sort.SliceStable(want, func(i, j int) bool { return want[i].Record.Before(want[j].Record) })
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged select lost canonical order or entries: %d vs %d", len(got), len(want))
+	}
+
+	limited, _, _, err := c.Select(context.Background(), store.Filter{}, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(limited, want[:25]) {
+		t.Fatal("limited select is not the canonical prefix of the merged set")
+	}
+}
+
+func TestSourceRoutingPrunesFanout(t *testing.T) {
+	entries := makeEntries(t, 200, 19)
+	c := newTestCluster(t, 4, entries, Options{Store: store.Options{FlushEvery: 1000}})
+
+	src := entries[0].Record.Source
+	_, cov, _, err := c.Aggregate(context.Background(), store.Filter{Sources: []string{src}}, query.AggregateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov.ShardsQueried != 1 || cov.ShardsAnswered != 1 || cov.Partial {
+		t.Fatalf("source-pinned query fanned out: %+v", cov)
+	}
+	if cov.ShardsTotal != 4 {
+		t.Fatalf("coverage total %d", cov.ShardsTotal)
+	}
+}
+
+// TestReopenedClusterServesSameAnswers closes a populated cluster and
+// reopens it cold: the merged aggregate must survive the round trip.
+func TestReopenedClusterServesSameAnswers(t *testing.T) {
+	entries := makeEntries(t, 250, 23)
+	dir := t.TempDir()
+	c, _, err := Create(dir, logrec.Thunderbird, 3, Options{Store: store.Options{FlushEvery: 60}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Append(entries); err != nil {
+		t.Fatal(err)
+	}
+	before, _, _, err := c.Aggregate(context.Background(), store.Filter{}, query.AggregateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, rep, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if len(rep.Quarantined) != 0 {
+		t.Fatalf("reopen quarantined: %v", rep.Quarantined)
+	}
+	after, _, _, err := c2.Aggregate(context.Background(), store.Filter{}, query.AggregateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(before)
+	b2, _ := json.Marshal(after)
+	if string(b1) != string(b2) {
+		t.Fatalf("reopened cluster diverges:\nbefore: %s\nafter:  %s", b1, b2)
+	}
+
+	// The shape is pinned: reopening with a different count must fail.
+	if _, _, err := Create(dir, logrec.Thunderbird, 5, Options{}); err == nil {
+		t.Fatal("create over a 3-shard cluster as 5 shards succeeded")
+	}
+}
+
+func TestCombinedFingerprintCache(t *testing.T) {
+	// Two sources pinned to different shards of a 2-shard cluster.
+	var srcA, srcB string
+	for i := 0; srcA == "" || srcB == ""; i++ {
+		src := fmt.Sprintf("cn%d", i)
+		if ShardFor(src, 2) == 0 && srcA == "" {
+			srcA = src
+		}
+		if ShardFor(src, 2) == 1 && srcB == "" {
+			srcB = src
+		}
+	}
+	entries := makeEntries(t, 200, 29)
+	c := newTestCluster(t, 2, entries, Options{Store: store.Options{FlushEvery: 1000}, CacheSize: 16})
+
+	aggOf := func(f store.Filter) query.Aggregation {
+		t.Helper()
+		agg, cov, _, err := c.Aggregate(context.Background(), f, query.AggregateOptions{})
+		if err != nil || cov.Partial {
+			t.Fatalf("aggregate: %v (coverage %+v)", err, cov)
+		}
+		return agg
+	}
+	fA := store.Filter{Sources: []string{srcA}}
+
+	aggOf(fA) // miss, populates
+	aggOf(fA) // hit
+	hits, misses := c.CacheStats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("warmup: hits %d misses %d", hits, misses)
+	}
+
+	// Mutate shard 1 only: srcA's cache entry (shard 0) must survive,
+	// while anything whose routing touched shard 1 must recompute.
+	extra := store.Entry{Record: logrec.Record{Seq: 9999, Time: time.Date(2004, 4, 1, 0, 0, 0, 0, time.UTC),
+		System: logrec.Thunderbird, Source: srcB, Severity: logrec.SevErr}, Category: "ECC", Kept: true}
+	if ar, err := c.Append([]store.Entry{extra}); err != nil || ar.Appended != 1 {
+		t.Fatalf("append: %v %+v", err, ar)
+	}
+
+	aggOf(fA)
+	hits, _ = c.CacheStats()
+	if hits != 2 {
+		t.Fatalf("source-pinned query on the unmutated shard missed: hits %d", hits)
+	}
+
+	// The regression under test: a query whose routing touches the
+	// mutated shard must NOT serve the pre-mutation answer.
+	wantB := 0
+	for _, en := range entries {
+		if en.Record.Source == srcB {
+			wantB++
+		}
+	}
+	got := aggOf(store.Filter{Sources: []string{srcB}})
+	if got.Total != wantB+1 {
+		t.Fatalf("stale cross-shard hit: srcB total %d, want %d", got.Total, wantB+1)
+	}
+	all := aggOf(store.Filter{})
+	if all.Total != len(entries)+1 {
+		t.Fatalf("stale cluster-wide hit: total %d, want %d", all.Total, len(entries)+1)
+	}
+}

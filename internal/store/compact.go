@@ -207,7 +207,7 @@ func (s *Store) compactOnce() (bool, mergeSize, error) {
 	if err := writeFileSync(tmp, blob); err != nil {
 		return false, mergeSize{}, fmt.Errorf("store: compact stage %s: %w", name, err)
 	}
-	if err := crashPoint(crashCompactTmpWritten); err != nil {
+	if err := s.crashPoint(crashCompactTmpWritten); err != nil {
 		return false, mergeSize{}, err
 	}
 	// 2. intend
@@ -219,7 +219,7 @@ func (s *Store) compactOnce() (bool, mergeSize, error) {
 	if err := writeCompactManifest(s.dir, cm); err != nil {
 		return false, mergeSize{}, err
 	}
-	if err := crashPoint(crashCompactManifestWritten); err != nil {
+	if err := s.crashPoint(crashCompactManifestWritten); err != nil {
 		return false, mergeSize{}, err
 	}
 	// 3. commit
@@ -229,7 +229,7 @@ func (s *Store) compactOnce() (bool, mergeSize, error) {
 	if err := syncDir(s.dir); err != nil {
 		return false, mergeSize{}, err
 	}
-	if err := crashPoint(crashCompactOutputRenamed); err != nil {
+	if err := s.crashPoint(crashCompactOutputRenamed); err != nil {
 		return false, mergeSize{}, err
 	}
 	// 4. gc
@@ -241,7 +241,7 @@ func (s *Store) compactOnce() (bool, mergeSize, error) {
 	if err := syncDir(s.dir); err != nil {
 		return false, mergeSize{}, err
 	}
-	if err := crashPoint(crashCompactInputsRemoved); err != nil {
+	if err := s.crashPoint(crashCompactInputsRemoved); err != nil {
 		return false, mergeSize{}, err
 	}
 	// 5. clear

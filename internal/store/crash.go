@@ -1,5 +1,7 @@
 package store
 
+import "sync/atomic"
+
 // Crash points let the fault-injection tests kill a store mid-protocol
 // with byte-exact precision: production code calls crashPoint at every
 // named window between durability steps, and a test installs a hook
@@ -8,13 +10,28 @@ package store
 // writes — so the directory the test then reopens is the directory a
 // real kill at that instant would have left behind.
 //
-// The hook is package-private on purpose: it exists only for the crash
-// tests in this package, costs one nil check per window in production,
-// and can never be reached from outside internal/store.
+// The hook receives the store directory as well as the window name so
+// multi-store tests (the shard cluster's per-shard kill tests) can
+// target one store while its siblings keep running. It is stored behind
+// an atomic pointer because those tests install and clear it while
+// other stores' goroutines may be mid-operation; production cost is one
+// atomic load per window.
 
 // crashHook, when non-nil, is consulted at every crash point. Returning
 // a non-nil error simulates a kill at that window.
-var crashHook func(point string) error
+var crashHook atomic.Pointer[func(dir, point string) error]
+
+// SetCrashHook installs (or, with nil, clears) the crash-window hook.
+// Test-only seam: it exists so tests outside this package — the shard
+// cluster's per-shard kill tests — can reuse the crash-point machinery.
+// Production code never calls it.
+func SetCrashHook(h func(dir, point string) error) {
+	if h == nil {
+		crashHook.Store(nil)
+		return
+	}
+	crashHook.Store(&h)
+}
 
 // Crash point names, one per window between durability steps. The
 // comments give the on-disk state a kill at that window leaves.
@@ -43,11 +60,22 @@ const (
 	crashCompactInputsRemoved = "compact.inputs-removed"
 )
 
+// CrashPoints lists every named crash window, for tests that sweep them.
+func CrashPoints() []string {
+	return []string{
+		crashSealBeforeSegment, crashSealSegmentRenamed,
+		crashWalTmpWritten, crashWalRenamed,
+		crashCompactTmpWritten, crashCompactManifestWritten,
+		crashCompactOutputRenamed, crashCompactInputsRemoved,
+	}
+}
+
 // crashPoint simulates a kill at the named window when the test hook
-// asks for one; in production it is a nil check.
-func crashPoint(name string) error {
-	if crashHook == nil {
+// asks for one; in production it is an atomic load and a nil check.
+func (s *Store) crashPoint(name string) error {
+	h := crashHook.Load()
+	if h == nil {
 		return nil
 	}
-	return crashHook(name)
+	return (*h)(s.dir, name)
 }

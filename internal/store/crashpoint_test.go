@@ -21,20 +21,20 @@ var errKill = errors.New("simulated kill")
 // uninstalls it when the test ends (and before any reopen).
 func killAt(t *testing.T, point string) {
 	t.Helper()
-	crashHook = func(p string) error {
+	SetCrashHook(func(_, p string) error {
 		if p == point {
 			return errKill
 		}
 		return nil
-	}
-	t.Cleanup(func() { crashHook = nil })
+	})
+	t.Cleanup(func() { SetCrashHook(nil) })
 }
 
 // reopenAndCheck clears the hook, reopens dir, and asserts the full
 // scan returns exactly want (each acknowledged entry once).
 func reopenAndCheck(t *testing.T, dir string, want []Entry) *OpenReport {
 	t.Helper()
-	crashHook = nil
+	SetCrashHook(nil)
 	st, rep, err := Open(dir, Options{})
 	if err != nil {
 		t.Fatalf("reopen after kill: %v", err)
@@ -226,7 +226,7 @@ func TestKillMidCompactionThenCompactAgain(t *testing.T) {
 			dir := t.TempDir()
 			entries := makeEntries(t, 800, 63)
 			compactKilledStore(t, dir, entries, point)
-			crashHook = nil
+			SetCrashHook(nil)
 			st, _, err := Open(dir, Options{})
 			if err != nil {
 				t.Fatal(err)

@@ -485,7 +485,7 @@ func (s *Store) sealLocked(n int) error {
 	batch, rest := s.tail[:n], s.tail[n:]
 	blob := buildSegment(s.sys, batch)
 
-	if err := crashPoint(crashSealBeforeSegment); err != nil {
+	if err := s.crashPoint(crashSealBeforeSegment); err != nil {
 		return err
 	}
 	name := fmt.Sprintf(segPattern, s.nextSeg)
@@ -493,7 +493,7 @@ func (s *Store) sealLocked(n int) error {
 	if err := atomicWrite(path, blob); err != nil {
 		return fmt.Errorf("store: seal %s: %w", name, err)
 	}
-	if err := crashPoint(crashSealSegmentRenamed); err != nil {
+	if err := s.crashPoint(crashSealSegmentRenamed); err != nil {
 		return err
 	}
 	g, err := parseSegment(name, blob)
@@ -529,7 +529,7 @@ func (s *Store) rewriteWalLocked() error {
 	if err := writeFileSync(tmp, frames); err != nil {
 		return fmt.Errorf("store: wal rewrite: %w", err)
 	}
-	if err := crashPoint(crashWalTmpWritten); err != nil {
+	if err := s.crashPoint(crashWalTmpWritten); err != nil {
 		return err
 	}
 	if s.wal != nil {
@@ -542,7 +542,7 @@ func (s *Store) rewriteWalLocked() error {
 	if err := syncDir(s.dir); err != nil {
 		return err
 	}
-	if err := crashPoint(crashWalRenamed); err != nil {
+	if err := s.crashPoint(crashWalRenamed); err != nil {
 		return err
 	}
 	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
