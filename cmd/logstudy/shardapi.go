@@ -151,17 +151,23 @@ func (a *shardAPI) handleSegments(w http.ResponseWriter, r *http.Request) {
 // routing outcome.
 type shardIngestResponse struct {
 	ingestResponse
-	PerShard map[int]int    `json:"per_shard,omitempty"`
-	Rejected map[int]int    `json:"rejected,omitempty"`
-	Errors   map[int]string `json:"errors,omitempty"`
+	PerShard map[int]int `json:"per_shard,omitempty"`
+	Rejected map[int]int `json:"rejected,omitempty"`
+	// RejectedSources names the bounced sources per rejected shard — the
+	// retry unit for a 429 (see handleIngest).
+	RejectedSources map[int][]string `json:"rejected_sources,omitempty"`
+	Errors          map[int]string   `json:"errors,omitempty"`
 }
 
 // handleIngest runs the exact batch pipeline stages and routes the
 // entries by source hash. A shard whose bounded queue is full turns the
-// whole response into 429 + Retry-After (the client should back off and
-// resend the batch); a shard whose append failed turns it into 500 with
-// per-shard detail. Either way the response says exactly what landed —
-// partial acceptance is reported, never hidden.
+// whole response into 429 + Retry-After — but slices routed to healthy
+// shards have already durably landed, and the store does not dedup, so
+// the client must NOT replay the full batch: resend only the records
+// whose sources appear in rejected_sources, after Retry-After. A shard
+// whose append failed turns the response into 500 with per-shard
+// detail. Either way the response says exactly what landed — partial
+// acceptance is reported, never hidden.
 func (a *shardAPI) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "use POST")
@@ -205,9 +211,10 @@ func (a *shardAPI) handleIngest(w http.ResponseWriter, r *http.Request) {
 			Kept:        len(filtered),
 			Appended:    rep.Appended,
 		},
-		PerShard: rep.PerShard,
-		Rejected: rep.Rejected,
-		Errors:   rep.Errors,
+		PerShard:        rep.PerShard,
+		Rejected:        rep.Rejected,
+		RejectedSources: rep.RejectedSources,
+		Errors:          rep.Errors,
 	}
 	switch {
 	case len(rep.Rejected) > 0:

@@ -358,6 +358,14 @@ func TestShardedIngestBackpressure429(t *testing.T) {
 	if len(rej.Rejected) == 0 {
 		t.Fatalf("429 without rejected detail: %+v", rej)
 	}
+	// The 429 must name the bounced sources: the retry unit is those
+	// sources' records, never the whole batch (healthy shards' slices
+	// are already durable and would duplicate on replay).
+	for id := range rej.Rejected {
+		if len(rej.RejectedSources[id]) == 0 {
+			t.Fatalf("429 without rejected_sources for shard %d: %+v", id, rej)
+		}
+	}
 
 	close(hold)
 	wg.Wait()

@@ -1,6 +1,8 @@
 package shard
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
 	"math/rand"
 	"sync"
 	"time"
@@ -91,24 +93,34 @@ func newBreaker(threshold int, base, max time.Duration, seed int64, clock func()
 // to half-open once the backoff expires and admits exactly one probe;
 // concurrent callers are refused until that probe settles.
 func (b *breaker) Allow() bool {
+	ok, _ := b.allow()
+	return ok
+}
+
+// allow is Allow plus whether the admitted call is the half-open probe.
+// A caller that can abandon its call without learning anything about
+// the shard (the client's own context dying mid-flight) must know,
+// because an abandoned probe has to be released with cancelProbe —
+// otherwise probing stays true forever and the breaker wedges.
+func (b *breaker) allow() (ok, probe bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case stateClosed:
-		return true
+		return true, false
 	case stateOpen:
 		if b.clock().Before(b.retryAt) {
-			return false
+			return false, false
 		}
 		b.state = stateHalfOpen
 		b.probing = true
-		return true
+		return true, true
 	default: // half-open
 		if b.probing {
-			return false
+			return false, false
 		}
 		b.probing = true
-		return true
+		return true, true
 	}
 }
 
@@ -135,6 +147,24 @@ func (b *breaker) Failure() {
 	}
 }
 
+// cancelProbe releases an admitted half-open probe whose call was
+// abandoned with no outcome — the client's own deadline died, which
+// says nothing about the shard. The breaker returns to open with its
+// already-expired retryAt intact, so the next Allow re-admits a fresh
+// probe immediately instead of refusing every caller forever behind a
+// probing flag nobody will ever clear.
+func (b *breaker) cancelProbe() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.probing {
+		return // the probe settled concurrently (a racing Success/Failure)
+	}
+	b.probing = false
+	if b.state == stateHalfOpen {
+		b.state = stateOpen
+	}
+}
+
 // open transitions to the open state with the next (jittered) backoff;
 // callers hold mu.
 func (b *breaker) open() {
@@ -148,6 +178,23 @@ func (b *breaker) open() {
 	// expiry across routers.
 	wait := b.backoff/2 + time.Duration(b.rng.Int63n(int64(b.backoff/2)+1))
 	b.retryAt = b.clock().Add(wait)
+}
+
+// resolveSeed picks the cluster's jitter seed: an explicit non-zero
+// Options.Seed is kept verbatim so tests replay breaker transitions
+// exactly; zero (the production default) draws a random seed so
+// distinct routers fronting the same degraded backend expire their
+// backoffs decorrelated — the thundering-herd protection the jitter
+// exists for, which a shared constant seed would silently undo.
+func resolveSeed(seed int64) int64 {
+	if seed != 0 {
+		return seed
+	}
+	var buf [8]byte
+	if _, err := crand.Read(buf[:]); err != nil {
+		return time.Now().UnixNano()
+	}
+	return int64(binary.LittleEndian.Uint64(buf[:]))
 }
 
 // snapshot returns the state for Health without perturbing it.

@@ -103,6 +103,63 @@ func TestBreakerBackoffCapped(t *testing.T) {
 	}
 }
 
+// TestCancelProbeReleasesHalfOpen pins the probe-abandonment contract:
+// a half-open probe whose call dies without an outcome (client cancel)
+// must be released, not left in flight forever — before cancelProbe,
+// the probing flag wedged the breaker shut until process restart.
+func TestCancelProbeReleasesHalfOpen(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(1, 100*time.Millisecond, time.Second, 9, clk.Now)
+	b.Allow()
+	b.Failure() // open
+	clk.Advance(100 * time.Millisecond)
+
+	ok, probe := b.allow()
+	if !ok || !probe {
+		t.Fatalf("expected probe admission, got ok=%v probe=%v", ok, probe)
+	}
+	b.cancelProbe()
+	if state, _, _ := b.snapshot(); state != "open" {
+		t.Fatalf("cancelled probe left state %s", state)
+	}
+	// The backoff already expired, so the very next caller must be
+	// admitted as a fresh probe — no wedge, no extra wait.
+	if ok, probe = b.allow(); !ok || !probe {
+		t.Fatalf("breaker wedged after cancelled probe: ok=%v probe=%v", ok, probe)
+	}
+	b.Success()
+	if !b.Allow() {
+		t.Fatal("closed breaker refused after recovery")
+	}
+}
+
+// TestCancelProbeNoopsWithoutProbe: releasing when nothing is in flight
+// (or after a racing Success already settled the probe) must not
+// perturb a closed breaker.
+func TestCancelProbeNoopsWithoutProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(2, 100*time.Millisecond, time.Second, 9, clk.Now)
+	b.cancelProbe()
+	if state, _, _ := b.snapshot(); state != "ok" {
+		t.Fatalf("stray cancelProbe moved a closed breaker to %s", state)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused after stray cancelProbe")
+	}
+}
+
+func TestResolveSeed(t *testing.T) {
+	if got := resolveSeed(42); got != 42 {
+		t.Fatalf("explicit seed rewritten to %d", got)
+	}
+	// Zero means "randomize at open": two resolutions colliding is a
+	// ~2^-63 event, so inequality is a safe assertion that production
+	// routers do not all share one jitter stream.
+	if a, b := resolveSeed(0), resolveSeed(0); a == b {
+		t.Fatalf("default seeds identical (%d): jitter would expire in sync across routers", a)
+	}
+}
+
 func TestBreakerJitterDeterministic(t *testing.T) {
 	run := func() time.Time {
 		clk := newFakeClock()

@@ -223,6 +223,97 @@ func TestFailedProbeReopensWithLongerBackoff(t *testing.T) {
 	}
 }
 
+// TestClientCancelDuringProbeReleasesBreaker reproduces the probe-leak
+// wedge at the cluster level: the client's own context dies while the
+// half-open probe is blocked inside a wedged scan. The abandoned probe
+// must be released — the next query after the shard heals re-probes
+// and closes the breaker. Before cancelProbe, the probing flag stayed
+// set forever and every later call (queries and ingest alike) was
+// refused until process restart.
+func TestClientCancelDuringProbeReleasesBreaker(t *testing.T) {
+	entries := makeEntries(t, 60, 47)
+	dir := t.TempDir()
+	open, faulty := faultyOpen(dir)
+	clk := newFakeClock()
+
+	victim := 0
+	c, _, err := Create(dir, logrec.Thunderbird, 2, Options{
+		Store:            store.Options{FlushEvery: 1000},
+		OpenStore:        open,
+		FailureThreshold: 1,
+		BreakerBackoff:   100 * time.Millisecond,
+		BreakerMaxWait:   time.Second,
+		Retries:          -1,
+		QueryTimeout:     time.Hour, // only the client's context ends the probe
+		Clock:            clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Append(entries); err != nil {
+		t.Fatal(err)
+	}
+
+	faulty(victim).SetFaults(shardfault.StoreFaults{FailScans: 1})
+	if _, cov, _, _ := c.Aggregate(context.Background(), store.Filter{}, query.AggregateOptions{}); !cov.Partial {
+		t.Fatal("injected scan failure not partial")
+	}
+	if h := c.Health()[victim]; h.State != "open" {
+		t.Fatalf("breaker not open: %+v", h)
+	}
+
+	// Wedge the scan and step past the backoff: the next query's attempt
+	// is admitted as the half-open probe and blocks inside the store.
+	hold := make(chan struct{})
+	defer close(hold)
+	faulty(victim).SetFaults(shardfault.StoreFaults{ScanHold: hold})
+	clk.Advance(100 * time.Millisecond)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	covCh := make(chan Coverage, 1)
+	go func() {
+		_, cov, _, _ := c.Aggregate(ctx, store.Filter{}, query.AggregateOptions{})
+		covCh <- cov
+	}()
+	// Wait until the probe is really in flight, then kill the client.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if state, _, _ := c.shards[victim].br.snapshot(); state == "half-open" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("probe never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	cov := <-covCh
+	if !cov.Partial || !strings.Contains(cov.ShardErrors["0"], "request deadline") {
+		t.Fatalf("cancelled-probe coverage %+v", cov)
+	}
+	// The client's clock is not the shard's fault: no new failure charged.
+	if h := c.Health()[victim]; h.TotalFailures != 1 {
+		t.Fatalf("client cancel charged the breaker: %+v", h)
+	}
+
+	// Heal the store. The backoff expired before the abandoned probe, so
+	// the very next query must re-probe, succeed, and close the breaker —
+	// full coverage with no further clock advance.
+	faulty(victim).Heal()
+	_, cov2, _, err := c.Aggregate(context.Background(), store.Filter{}, query.AggregateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov2.Partial {
+		t.Fatalf("breaker wedged after cancelled probe: %+v", cov2)
+	}
+	if h := c.Health()[victim]; h.State != "ok" {
+		t.Fatalf("post-recovery health %+v", h)
+	}
+}
+
 // TestScanStallHitsShardDeadline wedges one shard's scans and shows the
 // per-shard deadline converts the stall into a fast partial answer —
 // the other shards' numbers arrive intact.
@@ -383,6 +474,11 @@ func TestIngestBackpressure(t *testing.T) {
 	}
 	if r.Rejected[0] != 1 || r.RetryAfter != 250*time.Millisecond {
 		t.Fatalf("overflow not rejected with hint: %+v", r)
+	}
+	// The retry unit is the bounced sources, not the whole batch: the
+	// sibling's slice already landed and must not be resent.
+	if got := r.RejectedSources[0]; len(got) != 1 || got[0] != src0 {
+		t.Fatalf("rejected sources %v, want [%s]", got, src0)
 	}
 	if r.Appended != 1 || r.PerShard[1] != 1 {
 		t.Fatalf("sibling shard starved: %+v", r)

@@ -130,7 +130,8 @@ func (c *Cluster) attempt(ctx context.Context, sh *shardState, work func(ctx con
 		if err := ctx.Err(); err != nil {
 			return shardAnswer{}, fmt.Errorf("request deadline: %w", err)
 		}
-		if !sh.br.Allow() {
+		ok, probe := sh.br.allow()
+		if !ok {
 			// Not a new failure — the breaker is reporting an old one.
 			if lastErr != nil {
 				return shardAnswer{}, lastErr
@@ -140,7 +141,14 @@ func (c *Cluster) attempt(ctx context.Context, sh *shardState, work func(ctx con
 		ans, err := c.runDeadlined(ctx, sh, work)
 		if err != nil && ctx.Err() != nil {
 			// The whole request's deadline died, not the shard — don't
-			// charge the breaker for the client's clock.
+			// charge the breaker for the client's clock. If this call was
+			// the half-open probe, release it (back to open, backoff
+			// already expired) so the breaker is not wedged waiting on an
+			// outcome that will never be recorded.
+			if probe {
+				sh.br.cancelProbe()
+				sh.gBreaker.Set(sh.br.stateCode())
+			}
 			return shardAnswer{}, fmt.Errorf("request deadline: %w", ctx.Err())
 		}
 		c.observe(sh, err)

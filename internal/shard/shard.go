@@ -27,6 +27,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -110,7 +111,10 @@ type Options struct {
 	// CacheSize, when positive, enables the combined-fingerprint
 	// aggregate cache with this many entries.
 	CacheSize int
-	// Seed drives breaker-backoff jitter (deterministic under test).
+	// Seed drives breaker-backoff jitter. Zero (the production default)
+	// draws a random seed at Open so separate routers' backoffs expire
+	// decorrelated; tests set a non-zero seed to replay transitions
+	// exactly.
 	Seed int64
 	// Clock is the breaker's time source (default time.Now; tests
 	// inject a fake to step open → half-open transitions).
@@ -285,6 +289,7 @@ func Open(dir string, opts Options) (*Cluster, *OpenReport, error) {
 			return store.Open(d, o)
 		}
 	}
+	opts.Seed = resolveSeed(opts.Seed)
 	c := &Cluster{dir: dir, sys: sys, opts: opts}
 	if opts.CacheSize > 0 {
 		c.cache = query.NewCache(opts.CacheSize)
@@ -380,6 +385,12 @@ type AppendReport struct {
 	// backpressure, retry after RetryAfter.
 	Rejected   map[int]int   `json:"rejected,omitempty"`
 	RetryAfter time.Duration `json:"-"`
+	// RejectedSources lists, per rejected shard, the distinct sources in
+	// the bounced slice — the retry unit. Entries routed to healthy
+	// shards are already durable and the store does not deduplicate, so
+	// a client must resend only these sources' records, never the whole
+	// batch.
+	RejectedSources map[int][]string `json:"rejected_sources,omitempty"`
 	// Errors records shards whose append failed (or that are
 	// quarantined / breaker-open): entries for those shards did not land.
 	Errors map[int]string `json:"errors,omitempty"`
@@ -391,7 +402,7 @@ type AppendReport struct {
 // RetryAfter); shards that are quarantined or fail record Errors; the
 // rest append. An error is returned only for a closed cluster.
 func (c *Cluster) Append(entries []store.Entry) (AppendReport, error) {
-	rep := AppendReport{PerShard: map[int]int{}, Rejected: map[int]int{}, Errors: map[int]string{}, RetryAfter: c.opts.retryAfter()}
+	rep := AppendReport{PerShard: map[int]int{}, Rejected: map[int]int{}, Errors: map[int]string{}, RejectedSources: map[int][]string{}, RetryAfter: c.opts.retryAfter()}
 	if len(entries) == 0 {
 		return rep, nil
 	}
@@ -427,6 +438,7 @@ func (c *Cluster) Append(entries []store.Entry) (AppendReport, error) {
 		default:
 			sh.cRejects.Inc()
 			rep.Rejected[id] += len(batch)
+			rep.RejectedSources[id] = sourcesOf(batch)
 		}
 	}
 	for _, p := range waits {
@@ -438,6 +450,20 @@ func (c *Cluster) Append(entries []store.Entry) (AppendReport, error) {
 		rep.Appended += p.n
 	}
 	return rep, nil
+}
+
+// sourcesOf returns the distinct sources in a batch, sorted.
+func sourcesOf(batch []store.Entry) []string {
+	seen := make(map[string]bool)
+	out := make([]string, 0, 1)
+	for _, en := range batch {
+		if !seen[en.Record.Source] {
+			seen[en.Record.Source] = true
+			out = append(out, en.Record.Source)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Seal flushes every healthy shard's tail into a sealed segment.
@@ -602,15 +628,14 @@ func readClusterManifest(dir string) (clusterManifest, error) {
 	return m, nil
 }
 
+// writeClusterManifest persists the manifest with the store's
+// write-sync-rename-syncDir discipline: a crash shortly after Create
+// must not leave shard directories behind a missing or empty CLUSTER
+// file, which would make the whole cluster unopenable.
 func writeClusterManifest(dir string, m clusterManifest) error {
 	data, err := json.Marshal(m)
 	if err != nil {
 		return err
 	}
-	path := filepath.Join(dir, clusterManifestName)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return store.AtomicWriteFile(filepath.Join(dir, clusterManifestName), append(data, '\n'))
 }

@@ -77,7 +77,7 @@ func writeCompactManifest(dir string, m compactManifest) error {
 	if err != nil {
 		return err
 	}
-	return atomicWrite(filepath.Join(dir, compactManifestName), append(data, '\n'))
+	return AtomicWriteFile(filepath.Join(dir, compactManifestName), append(data, '\n'))
 }
 
 // Maintenance telemetry.

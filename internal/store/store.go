@@ -490,7 +490,7 @@ func (s *Store) sealLocked(n int) error {
 	}
 	name := fmt.Sprintf(segPattern, s.nextSeg)
 	path := filepath.Join(s.dir, name)
-	if err := atomicWrite(path, blob); err != nil {
+	if err := AtomicWriteFile(path, blob); err != nil {
 		return fmt.Errorf("store: seal %s: %w", name, err)
 	}
 	if err := s.crashPoint(crashSealSegmentRenamed); err != nil {
@@ -772,9 +772,12 @@ func writeFileSync(path string, data []byte) error {
 	return nil
 }
 
-// atomicWrite writes data to path via a temp file, fsync, and rename,
-// then fsyncs the directory so the rename itself is durable.
-func atomicWrite(path string, data []byte) error {
+// AtomicWriteFile writes data to path via a temp file, fsync, and
+// rename, then fsyncs the directory so the rename itself is durable.
+// Exported for sibling storage layers (the shard router's cluster
+// manifest) that need the same crash-safety discipline as the store's
+// own manifests.
+func AtomicWriteFile(path string, data []byte) error {
 	tmp := path + ".tmp"
 	if err := writeFileSync(tmp, data); err != nil {
 		return err
@@ -819,5 +822,5 @@ func writeManifest(dir string, m manifest) error {
 	if err != nil {
 		return err
 	}
-	return atomicWrite(filepath.Join(dir, manifestName), append(data, '\n'))
+	return AtomicWriteFile(filepath.Join(dir, manifestName), append(data, '\n'))
 }
