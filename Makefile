@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race verify verify-race verify-shard bench bench-smoke fuzz fuzz-smoke
+.PHONY: all build test vet race verify verify-race verify-shard bench bench-smoke diff-smoke fuzz fuzz-smoke
 
 # Every test invocation gets a hard wall-clock budget (a wedged-shard or
 # crash-recovery bug must fail the gate, not hang it) and a shuffled
@@ -44,7 +44,14 @@ verify-shard:
 	$(GO) test -race -count=1 -shuffle=on -timeout $(TEST_TIMEOUT) ./internal/shard/... ./internal/faultinject/...
 	$(GO) test -race -count=1 -timeout $(TEST_TIMEOUT) -run 'Sharded' ./cmd/logstudy/
 
-verify: build vet race bench-smoke fuzz-smoke
+verify: build vet race bench-smoke diff-smoke fuzz-smoke
+
+# Columnar-vs-decode differential smoke: the zero-materialization
+# aggregate path must answer byte-identically to the row-decode path at
+# the store, library, HTTP, and sharded layers (see DESIGN.md §11).
+# -count=1 so the differential matrices re-execute every run.
+diff-smoke:
+	$(GO) test -count=1 -timeout $(TEST_TIMEOUT) -run 'Columnar|ScanColumns|BodyFilter|DecodeReference|Unmap' ./internal/store/ ./internal/query/ ./cmd/logstudy/
 
 # Full stage-by-stage benchmark ledger (records/sec, allocs/record,
 # serial-vs-parallel speedup per stage). Writes BENCH_pipeline.json at

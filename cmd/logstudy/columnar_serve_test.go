@@ -1,0 +1,161 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"whatsupersay/internal/shard"
+	"whatsupersay/internal/store"
+)
+
+// HTTP-layer columnar differential: the /api/aggregate bytes a
+// columnar-backed server produces must equal the bytes a row-decode
+// server produces over the same store, for every filter the API can
+// express — including the body predicate, where both sides take the
+// decode path. The sharded variant pins the scatter-gather tier (whose
+// per-shard engines choose their own path) against a single decode
+// reference.
+
+// getRaw fetches a URL and returns the exact response bytes.
+func getRaw(t *testing.T, rawURL string) []byte {
+	t.Helper()
+	resp, err := http.Get(rawURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d: %s", rawURL, resp.StatusCode, body)
+	}
+	return body
+}
+
+// columnarParams is the query matrix for the HTTP differentials. The
+// body= cases exercise the decode fallback end to end.
+func columnarParams(entries []store.Entry) []url.Values {
+	mid := entries[len(entries)/2].Record.Time
+	late := entries[3*len(entries)/4].Record.Time
+	kept := entries[0].Category
+	return []url.Values{
+		{},
+		{"category": {kept}},
+		{"source": {entries[0].Record.Source}},
+		{"kept": {"true"}},
+		{"from": {mid.Format(time.RFC3339Nano)}, "to": {late.Format(time.RFC3339Nano)}},
+		{"topk": {"3"}, "quantiles": {"0.5,0.95"}},
+		{"body": {"."}},
+		{"body": {"no such substring anywhere"}},
+		{"body": {"."}, "kept": {"true"}},
+	}
+}
+
+// TestAggregateColumnarMatchesDecodeOverHTTP serves one store through
+// two API handlers — columnar allowed and columnar disabled — and pins
+// their /api/aggregate responses byte-equal.
+func TestAggregateColumnarMatchesDecodeOverHTTP(t *testing.T) {
+	s := newTestStudy(t)
+	entries := store.FromAlerts(s.Alerts, s.Filtered)
+	st, err := store.Create(t.TempDir(), s.System, store.Options{FlushEvery: len(entries)/3 + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	if err := st.Append(entries...); err != nil {
+		t.Fatal(err)
+	}
+
+	columnar := httptest.NewServer(newAPI(st, apiOptions{}))
+	t.Cleanup(columnar.Close)
+	decode := httptest.NewServer(newAPI(st, apiOptions{DisableColumnar: true}))
+	t.Cleanup(decode.Close)
+
+	for _, p := range columnarParams(entries) {
+		q := p.Encode()
+		got := getRaw(t, columnar.URL+"/api/aggregate?"+q)
+		want := getRaw(t, decode.URL+"/api/aggregate?"+q)
+		if string(got) != string(want) {
+			t.Errorf("%q: columnar response diverges from decode\ncolumnar: %s\ndecode:   %s", q, got, want)
+		}
+	}
+}
+
+// TestBodyFilterOverHTTP checks the body predicate against the linear
+// reference: the filtered total must equal a direct count over the
+// entries, and must be a strict subset when the substring is selective.
+func TestBodyFilterOverHTTP(t *testing.T) {
+	s := newTestStudy(t)
+	srv, entries := newTestServer(t, s)
+
+	// Pick a substring that matches some but not all bodies.
+	needle := entries[0].Record.Body
+	if len(needle) > 8 {
+		needle = needle[:8]
+	}
+	f := store.Filter{BodyContains: needle}
+	want := 0
+	for _, en := range entries {
+		if matchesFilter(f, en) {
+			want++
+		}
+	}
+
+	var resp struct {
+		Aggregate struct {
+			Total int `json:"total"`
+		} `json:"aggregate"`
+	}
+	getJSON(t, srv.URL+"/api/aggregate?body="+url.QueryEscape(needle), &resp)
+	if resp.Aggregate.Total != want {
+		t.Fatalf("body filter total = %d, linear reference = %d", resp.Aggregate.Total, want)
+	}
+	getJSON(t, srv.URL+"/api/aggregate?body="+url.QueryEscape("no such substring anywhere"), &resp)
+	if resp.Aggregate.Total != 0 {
+		t.Fatalf("impossible body filter matched %d entries", resp.Aggregate.Total)
+	}
+}
+
+// TestShardedAggregateMatchesDecodeReference is the sharded columnar
+// differential: {1, 2, 4, 7} shards (whose engines use the columnar
+// path where their backends allow it) against a single-store reference
+// forced through row decode — byte equality of the aggregate for every
+// query shape, body fallback included.
+func TestShardedAggregateMatchesDecodeReference(t *testing.T) {
+	s := newTestStudy(t)
+	entries := store.FromAlerts(s.Alerts, s.Filtered)
+	st, err := store.Create(t.TempDir(), s.System, store.Options{FlushEvery: len(entries)/3 + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	if err := st.Append(entries...); err != nil {
+		t.Fatal(err)
+	}
+	decode := httptest.NewServer(newAPI(st, apiOptions{DisableColumnar: true}))
+	t.Cleanup(decode.Close)
+
+	for _, n := range []int{1, 2, 4, 7} {
+		srv, _ := newShardTestServer(t, entries, n, shard.Options{})
+		for _, p := range columnarParams(entries) {
+			q := p.Encode()
+			var want shardAggResponse
+			getJSON(t, decode.URL+"/api/aggregate?"+q, &want)
+			var got shardAggResponse
+			getJSON(t, srv.URL+"/api/aggregate?"+q, &got)
+			if got.Partial {
+				t.Fatalf("%d shards, %q: partial answer on a healthy cluster", n, q)
+			}
+			if string(got.Aggregate) != string(want.Aggregate) {
+				t.Errorf("%d shards, %q: sharded aggregate diverges from decode reference\nsharded: %s\ndecode:  %s",
+					n, q, got.Aggregate, want.Aggregate)
+			}
+		}
+	}
+}

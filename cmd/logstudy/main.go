@@ -900,6 +900,16 @@ func runBench(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "  end-to-end: %.3fs serial, %.3fs parallel (%.2fx on %d procs)\n\n",
 			rep.TotalSerialSec, rep.TotalParallelSec, rep.TotalSpeedup, led.GOMAXPROCS)
 	}
+	for _, rep := range led.StoreReports {
+		fmt.Fprintf(w, "%s store: %s entries in %d segments\n",
+			rep.System, report.Comma(int64(rep.Records)), rep.Segments)
+		fmt.Fprintf(w, "  %-18s %14s %14s %14s\n", "stage", "rec/s", "allocs/rec", "bytes/rec")
+		for _, s := range rep.Stages {
+			fmt.Fprintf(w, "  %-18s %14.0f %14.2f %14.1f\n",
+				s.Name, s.RecPerSec, s.AllocsPerRecord, s.BytesPerRecord)
+		}
+		fmt.Fprintf(w, "  columnar aggregate: %.2fx over row decode\n\n", rep.ColumnarSpeedup)
+	}
 	if *outPath != "" {
 		if err := led.WriteJSON(*outPath); err != nil {
 			return err

@@ -188,6 +188,9 @@ type apiOptions struct {
 	// context gets this deadline and the scan aborts cooperatively when
 	// it passes (0 = no per-request deadline).
 	RequestTimeout time.Duration
+	// DisableColumnar forces the engine's row-decode aggregate path —
+	// the reference side of the columnar differential tests.
+	DisableColumnar bool
 }
 
 // requestContext applies the configured per-request deadline to an
@@ -210,7 +213,7 @@ type api struct {
 
 // newAPI builds the HTTP handler for one open store.
 func newAPI(st *store.Store, opts apiOptions) http.Handler {
-	eng := &query.Engine{Store: st}
+	eng := &query.Engine{Store: st, DisableColumnar: opts.DisableColumnar}
 	if opts.CacheSize > 0 {
 		eng.EnableCache(opts.CacheSize)
 	}
@@ -267,9 +270,11 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 // parseFilter builds a store filter from the shared query parameters —
-// from/to (RFC 3339), source/category/severity (comma-separated), kept —
-// for a store of the given system (severities parse on its native
-// scale). Both the single-store and the sharded API share it.
+// from/to (RFC 3339), source/category/severity (comma-separated), kept,
+// body (substring-of-message predicate; such filters take the row-
+// decode path, see DESIGN.md §11) — for a store of the given system
+// (severities parse on its native scale). Both the single-store and the
+// sharded API share it.
 func parseFilter(sys logrec.System, q url.Values) (store.Filter, error) {
 	var f store.Filter
 	var err error
@@ -299,6 +304,7 @@ func parseFilter(sys logrec.System, q url.Values) (store.Filter, error) {
 		}
 		f.Kept = &kept
 	}
+	f.BodyContains = q.Get("body")
 	return f, nil
 }
 

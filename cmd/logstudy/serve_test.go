@@ -89,7 +89,10 @@ func matchesFilter(f store.Filter, en store.Entry) bool {
 			return false
 		}
 	}
-	return f.Kept == nil || *f.Kept == en.Kept
+	if f.Kept != nil && *f.Kept != en.Kept {
+		return false
+	}
+	return f.BodyContains == "" || strings.Contains(en.Record.Body, f.BodyContains)
 }
 
 func containsString(xs []string, x string) bool {

@@ -81,6 +81,12 @@ type Stage struct {
 	// run divided by Records.
 	AllocsPerRecord float64 `json:"allocs_per_record"`
 	BytesPerRecord  float64 `json:"bytes_per_record"`
+	// SerialFallbacks counts how many times the pool's autotune probe
+	// judged this stage's parallel runs too small to fan out and
+	// finished them serially (summed over the timed iterations). A
+	// nonzero value explains a speedup near 1.0 at small scales: the
+	// parallel run was serial on purpose.
+	SerialFallbacks int64 `json:"serial_fallbacks"`
 }
 
 // Report is one system's stage measurements.
@@ -107,10 +113,16 @@ type Ledger struct {
 	Seed       int64    `json:"seed"`
 	Iterations int      `json:"iterations"`
 	Reports    []Report `json:"reports"`
+	// StoreReports measures the storage read path (seal, scan, and the
+	// aggregate pair) per system; see store.go.
+	StoreReports []StoreReport `json:"store_reports,omitempty"`
 }
 
-// timeBest runs fn iters times and returns the best wall time.
+// timeBest runs fn iters times and returns the best wall time. A
+// collection runs first so one stage's garbage isn't billed to the
+// next stage's clock.
 func timeBest(iters int, fn func()) float64 {
+	runtime.GC()
 	best := time.Duration(1<<63 - 1)
 	for i := 0; i < iters; i++ {
 		t0 := time.Now()
@@ -136,7 +148,10 @@ func allocsOf(fn func()) (allocs, bytes float64) {
 func stage(name string, records, iters int, serial, par func()) Stage {
 	s := Stage{Name: name, Records: records}
 	s.SerialSec = timeBest(iters, serial)
+	fallbacks := obs.Default.Counter(parallel.SerialFallbackCounter)
+	before := fallbacks.Value()
 	s.ParallelSec = timeBest(iters, par)
+	s.SerialFallbacks = fallbacks.Value() - before
 	if records > 0 {
 		if s.SerialSec > 0 {
 			s.SerialRecPerSec = float64(records) / s.SerialSec
@@ -231,6 +246,11 @@ func Run(systems []logrec.System, opts Options) (*Ledger, error) {
 			return nil, err
 		}
 		led.Reports = append(led.Reports, rep)
+		srep, err := RunStoreSystem(sys, opts)
+		if err != nil {
+			return nil, err
+		}
+		led.StoreReports = append(led.StoreReports, srep)
 	}
 	return led, nil
 }

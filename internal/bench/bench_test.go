@@ -40,6 +40,29 @@ func TestRunSmoke(t *testing.T) {
 		t.Errorf("bad totals: %+v", rep)
 	}
 
+	if len(led.StoreReports) != 1 {
+		t.Fatalf("%d store reports, want 1", len(led.StoreReports))
+	}
+	srep := led.StoreReports[0]
+	wantStore := []string{"seal", "scan", "aggregate-decode", "aggregate-columnar"}
+	if len(srep.Stages) != len(wantStore) {
+		t.Fatalf("%d store stages, want %d", len(srep.Stages), len(wantStore))
+	}
+	for i, s := range srep.Stages {
+		if s.Name != wantStore[i] {
+			t.Errorf("store stage %d = %q, want %q", i, s.Name, wantStore[i])
+		}
+		if s.Records <= 0 || s.RecPerSec <= 0 {
+			t.Errorf("store stage %s: bad measurements %+v", s.Name, s)
+		}
+	}
+	if srep.Segments <= 0 {
+		t.Errorf("store report has %d segments", srep.Segments)
+	}
+	if srep.ColumnarSpeedup <= 0 {
+		t.Errorf("columnar speedup = %v", srep.ColumnarSpeedup)
+	}
+
 	path := filepath.Join(t.TempDir(), "BENCH_pipeline.json")
 	if err := led.WriteJSON(path); err != nil {
 		t.Fatal(err)

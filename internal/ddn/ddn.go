@@ -30,7 +30,18 @@ const EventTimeLayout = "2006-01-02 15:04:05"
 //
 //	2006-03-19 04:11:02 c0-0c1s2 ec_heartbeat_stop src:::c0-0c1s2 ...
 func RenderEvent(r logrec.Record) string {
-	return fmt.Sprintf("%s %s %s", r.Time.Format(EventTimeLayout), r.Source, r.Body)
+	return string(AppendEventLine(nil, r))
+}
+
+// AppendEventLine is RenderEvent in append form: it appends the event
+// line to dst and returns the extended slice (see syslogng.AppendLine
+// for the contract).
+func AppendEventLine(dst []byte, r logrec.Record) []byte {
+	dst = r.Time.AppendFormat(dst, EventTimeLayout)
+	dst = append(dst, ' ')
+	dst = append(dst, r.Source...)
+	dst = append(dst, ' ')
+	return append(dst, r.Body...)
 }
 
 // ParseError describes an unparseable SMW event line.

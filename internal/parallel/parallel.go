@@ -11,6 +11,13 @@
 // worker count. Worker count decides how fast the chunks drain, not
 // what the chunks are, which is what keeps `Workers: 1` and
 // `Workers: 32` indistinguishable in output.
+//
+// Scheduling is additionally autotuned: a multi-worker Do runs its
+// first chunk inline as a probe, and when the measured per-chunk work
+// says the whole job is too small to pay for goroutine fan-out it
+// finishes serially (counted in parallel_autotune_serial_total). The
+// decision changes wall-clock only — the chunk boundaries, and thus
+// the output, are identical on both sides of the threshold.
 package parallel
 
 import (
@@ -35,7 +42,26 @@ var (
 	poolQueue     = obs.Default.Gauge("parallel_queue_depth")
 	poolBusy      = obs.Default.Counter("parallel_busy_nanos_total")
 	poolWorker    = obs.Default.Counter("parallel_worker_nanos_total")
+
+	// poolSerialFallbacks counts Do calls that measured the first chunk,
+	// judged the remaining work too small to pay for goroutines, and
+	// finished serially (see autotuneMinWork). The bench ledger records
+	// the per-stage delta so a "speedup ≈ 1.0" row is explainable.
+	poolSerialFallbacks = obs.Default.Counter("parallel_autotune_serial_total")
 )
+
+// SerialFallbackCounter is the autotune fallback counter's registry
+// name, exported for the bench ledger.
+const SerialFallbackCounter = "parallel_autotune_serial_total"
+
+// autotuneMinWork is the estimated remaining work below which Do
+// finishes serially instead of spawning workers. Parallelism costs a
+// few tens of microseconds (goroutine spawns, the WaitGroup barrier,
+// cross-core cache traffic); when the whole job is in that range —
+// tiny inputs, trivial per-item work — the serial path is faster and,
+// by the chunk-boundary invariant, byte-identical. A variable so the
+// autotune tests can force either decision deterministically.
+var autotuneMinWork = 250 * time.Microsecond
 
 // runChunk times one chunk and folds it into the pool telemetry.
 func runChunk(fn func(lo, hi int), lo, hi int) {
@@ -119,7 +145,28 @@ func Do(n int, opts Options, fn func(lo, hi int)) {
 		poolWorker.Add(int64(time.Since(t0)))
 		return
 	}
+
+	// Autotune probe: run chunk 0 inline and time it. If the estimated
+	// remaining work (probe × remaining chunks) is below the threshold
+	// where goroutines pay for themselves, finish serially. Chunk
+	// boundaries are identical either way — the decision changes only
+	// scheduling, never results.
+	runChunk(fn, 0, min(cs, n))
+	probe := time.Since(t0)
+	if probe < autotuneMinWork && probe*time.Duration(chunks-1) < autotuneMinWork {
+		poolSerialFallbacks.Inc()
+		for c := 1; c < chunks; c++ {
+			lo := c * cs
+			hi := min(lo+cs, n)
+			runChunk(fn, lo, hi)
+		}
+		poolWorker.Add(int64(time.Since(t0)))
+		return
+	}
+
+	t1 := time.Now()
 	var next atomic.Int64
+	next.Store(1) // chunk 0 already ran as the probe
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for i := 0; i < w; i++ {
@@ -137,9 +184,9 @@ func Do(n int, opts Options, fn func(lo, hi int)) {
 		}()
 	}
 	wg.Wait()
-	// Worker-time denominator: w workers were available for the whole
-	// wall duration of this Do.
-	poolWorker.Add(int64(time.Since(t0)) * int64(w))
+	// Worker-time denominator: one worker during the probe, then w
+	// workers for the parallel remainder.
+	poolWorker.Add(int64(probe) + int64(time.Since(t1))*int64(w))
 }
 
 // FlatMap runs fn over each chunk of [0, n) and concatenates the

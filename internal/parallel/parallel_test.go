@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestDoCoversAllIndices: every index in [0, n) is visited exactly once
@@ -123,5 +124,83 @@ func BenchmarkFlatMap(b *testing.B) {
 			}
 			return out
 		})
+	}
+}
+
+// fallbackDelta runs fn and returns how many autotune serial fallbacks
+// it triggered.
+func fallbackDelta(fn func()) int64 {
+	before := poolSerialFallbacks.Value()
+	fn()
+	return poolSerialFallbacks.Value() - before
+}
+
+// TestAutotuneFallsBackOnTrivialWork: with the threshold forced high,
+// a multi-worker Do of trivial chunks finishes serially (counted), and
+// still visits every index exactly once.
+func TestAutotuneFallsBackOnTrivialWork(t *testing.T) {
+	old := autotuneMinWork
+	autotuneMinWork = 1 << 62 // force the serial decision
+	defer func() { autotuneMinWork = old }()
+
+	n := 10000
+	visits := make([]int32, n)
+	d := fallbackDelta(func() {
+		Do(n, Options{Workers: 8, ChunkSize: 64}, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&visits[i], 1)
+			}
+		})
+	})
+	if d != 1 {
+		t.Fatalf("serial fallbacks = %d, want 1", d)
+	}
+	for i, v := range visits {
+		if v != 1 {
+			t.Fatalf("index %d visited %d times under fallback", i, v)
+		}
+	}
+}
+
+// TestAutotuneStaysParallelOnHeavyWork: with the threshold forced to
+// zero, the probe always judges the work worth fanning out and the
+// fallback counter stays put.
+func TestAutotuneStaysParallelOnHeavyWork(t *testing.T) {
+	old := autotuneMinWork
+	autotuneMinWork = 0
+	defer func() { autotuneMinWork = old }()
+
+	var total atomic.Int64
+	d := fallbackDelta(func() {
+		Do(10000, Options{Workers: 4, ChunkSize: 100}, func(lo, hi int) {
+			total.Add(int64(hi - lo))
+		})
+	})
+	if d != 0 {
+		t.Fatalf("serial fallbacks = %d, want 0", d)
+	}
+	if total.Load() != 10000 {
+		t.Fatalf("visited %d items, want 10000", total.Load())
+	}
+}
+
+// TestAutotuneOutputIdentical: the fallback decision never changes
+// FlatMap output — both threshold extremes reproduce the serial result.
+func TestAutotuneOutputIdentical(t *testing.T) {
+	fn := func(lo, hi int) []int {
+		out := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			out = append(out, i*3)
+		}
+		return out
+	}
+	want := FlatMap(7777, Options{Workers: 1, ChunkSize: 256}, fn)
+	old := autotuneMinWork
+	defer func() { autotuneMinWork = old }()
+	for _, threshold := range []int64{0, 1 << 62} {
+		autotuneMinWork = time.Duration(threshold)
+		if got := FlatMap(7777, Options{Workers: 8, ChunkSize: 256}, fn); !reflect.DeepEqual(got, want) {
+			t.Fatalf("threshold=%d changed FlatMap output", threshold)
+		}
 	}
 }

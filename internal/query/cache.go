@@ -174,6 +174,10 @@ func cacheKey(fp uint64, f store.Filter, opts AggregateOptions) string {
 	if f.Kept != nil {
 		fmt.Fprintf(&b, "k=%t", *f.Kept)
 	}
+	b.WriteByte('|')
+	if f.BodyContains != "" {
+		fmt.Fprintf(&b, "b=%q", f.BodyContains)
+	}
 	fmt.Fprintf(&b, "|topk=%d|q=%v", opts.TopK, opts.Quantiles)
 	return b.String()
 }

@@ -1,0 +1,131 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/obs"
+	"whatsupersay/internal/store"
+)
+
+// The columnar aggregation path. Aggregate and Partial need only
+// counts, mixes, and the timestamp column — none of which require
+// materializing an Entry — so when the store can serve a columnar scan
+// (ColumnScanner) and the filter is index-answerable, the engine folds
+// SegmentColumns straight into a Partial: dictionary-ordinal counts
+// become map increments per *distinct value* instead of per record, the
+// catalog type lookup runs once per distinct category, and the
+// timestamp slabs are concatenated and sorted once. Filters with a
+// message predicate (Filter.BodyContains) and stores without a columnar
+// surface (fault-injection wrappers, mocks) take the row-decode path;
+// the two paths are pinned byte-identical by differential tests.
+
+// ColumnScanner is the optional store surface the columnar path needs.
+// *store.Store satisfies it; the engine type-asserts at query time and
+// silently falls back to the row path when the assertion fails.
+type ColumnScanner interface {
+	ScanColumns(f store.Filter, v store.ColumnVisitor) (store.ScanStats, error)
+}
+
+// Path telemetry: which aggregation path served each request.
+var (
+	mColumnarAggs = obs.Default.Counter("query_columnar_aggregates_total")
+	mDecodeAggs   = obs.Default.Counter("query_decode_aggregates_total")
+)
+
+// columnarPartial computes PartialOf(collect(f)) via the columnar path
+// when it applies, returning ok=false (and no error) when the request
+// must take the row-decode path instead.
+func (e *Engine) columnarPartial(ctx context.Context, f store.Filter) (Partial, store.ScanStats, bool, error) {
+	if e.DisableColumnar || !f.IndexAnswerable() {
+		return Partial{}, store.ScanStats{}, false, nil
+	}
+	cs, ok := e.Store.(ColumnScanner)
+	if !ok {
+		return Partial{}, store.ScanStats{}, false, nil
+	}
+	b := partialBuilder{ctx: ctx, p: newPartial()}
+	st, err := cs.ScanColumns(f, &b)
+	if err != nil {
+		return Partial{}, st, false, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Partial{}, st, false, fmt.Errorf("query: scan aborted: %w", err)
+	}
+	// Segment columns arrive in seal order and may interleave in time
+	// with one another and the tail; restore the nondecreasing order the
+	// Partial contract promises. Counts are order-independent, so this
+	// sort is the only order-sensitive step.
+	sort.Slice(b.p.Times, func(i, j int) bool { return b.p.Times[i] < b.p.Times[j] })
+	return b.p, st, true, nil
+}
+
+// partialBuilder folds a columnar scan into a Partial. It implements
+// store.ColumnVisitor.
+type partialBuilder struct {
+	ctx  context.Context
+	p    Partial
+	seen int
+}
+
+func newPartial() Partial {
+	return Partial{
+		ByCategory: map[string]int{},
+		ByType:     map[string]int{},
+		BySeverity: map[string]int{},
+		BySource:   map[string]int{},
+	}
+}
+
+// SealedColumns folds one segment's matched columns: every count map is
+// incremented once per distinct dictionary value, not once per record.
+func (b *partialBuilder) SealedColumns(sc *store.SegmentColumns) error {
+	// One cancellation poll per segment: a segment fold is tens of
+	// microseconds, well under the deadline resolution anyone sets.
+	if err := b.ctx.Err(); err != nil {
+		return fmt.Errorf("query: scan aborted: %w", err)
+	}
+	b.p.Total += sc.Matched
+	b.p.Kept += sc.Kept
+	for i, n := range sc.SrcCounts {
+		if n > 0 {
+			b.p.BySource[sc.Sources[i]] += n
+		}
+	}
+	for i, n := range sc.CatCounts {
+		if n > 0 {
+			cat := sc.Categories[i]
+			b.p.ByCategory[cat] += n
+			b.p.ByType[typeCodeOf(sc.System, cat)] += n
+		}
+	}
+	for v, n := range sc.SevCounts {
+		if n > 0 {
+			b.p.BySeverity[logrec.Severity(v).String()] += n
+		}
+	}
+	b.p.Times = append(b.p.Times, sc.Times...)
+	return nil
+}
+
+// TailEntry folds one matching unsealed-tail entry, exactly as
+// PartialOf does per entry.
+func (b *partialBuilder) TailEntry(en store.Entry) error {
+	if b.seen++; b.seen%ctxCheckStride == 0 {
+		if err := b.ctx.Err(); err != nil {
+			return fmt.Errorf("query: scan aborted: %w", err)
+		}
+	}
+	b.p.Total++
+	if en.Kept {
+		b.p.Kept++
+	}
+	b.p.ByCategory[en.Category]++
+	b.p.ByType[typeCode(en)]++
+	b.p.BySeverity[en.Record.Severity.String()]++
+	b.p.BySource[en.Record.Source]++
+	b.p.Times = append(b.p.Times, en.Record.Time.UnixNano())
+	return nil
+}

@@ -121,14 +121,17 @@ func addCounts(dst, src map[string]int) {
 }
 
 // interarrivalNanos computes the gap statistics over a nondecreasing
-// timestamp column, reusing internal/stats end to end.
+// timestamp column. The gaps come straight off the int64 column —
+// time.Duration(b-a).Seconds() is exactly what stats.Interarrivals
+// computes for the equivalent time.Time pair, so skipping the
+// materialized []time.Time changes nothing but the allocation.
 func interarrivalNanos(nanos []int64, quantiles []float64) *Interarrival {
 	if len(nanos) < 2 {
 		return nil
 	}
-	ts := make([]time.Time, len(nanos))
-	for i, n := range nanos {
-		ts[i] = time.Unix(0, n)
+	gaps := make([]float64, len(nanos)-1)
+	for i := 1; i < len(nanos); i++ {
+		gaps[i-1] = time.Duration(nanos[i] - nanos[i-1]).Seconds()
 	}
-	return interarrivalTimes(ts, quantiles)
+	return interarrivalGaps(gaps, quantiles)
 }

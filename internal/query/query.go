@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"whatsupersay/internal/catalog"
+	"whatsupersay/internal/logrec"
 	"whatsupersay/internal/stats"
 	"whatsupersay/internal/store"
 )
@@ -54,6 +55,12 @@ type Scanner interface {
 // Store) works; EnableCache opts in to the aggregate-result cache.
 type Engine struct {
 	Store Scanner
+
+	// DisableColumnar forces every aggregate through the row-decode
+	// path even when the store offers a columnar scan — the lever the
+	// benchmarks and the columnar-vs-decode differential tests use. Off
+	// (columnar allowed) by default.
+	DisableColumnar bool
 
 	// cache, when non-nil, memoizes Aggregate results keyed by the
 	// store fingerprint, filter, and options (see cache.go).
@@ -101,11 +108,11 @@ func (e *Engine) AggregateContext(ctx context.Context, f store.Filter, opts Aggr
 			return agg, st, nil
 		}
 	}
-	entries, st, err := e.collect(ctx, f)
+	p, st, err := e.partial(ctx, f)
 	if err != nil {
 		return Aggregation{}, st, err
 	}
-	agg := Aggregate(entries, opts)
+	agg := MergePartials([]Partial{p}, opts)
 	if e.cache != nil {
 		e.cache.put(key, agg, st)
 	}
@@ -116,6 +123,23 @@ func (e *Engine) AggregateContext(ctx context.Context, f store.Filter, opts Aggr
 // mergeable Partial form — the per-shard half of a scatter-gather
 // aggregate. The shard router merges these with MergePartials.
 func (e *Engine) PartialContext(ctx context.Context, f store.Filter) (Partial, store.ScanStats, error) {
+	return e.partial(ctx, f)
+}
+
+// partial computes the Partial for f by the columnar path when the
+// store supports it and the filter is index-answerable, and by the
+// row-decode path otherwise. Both paths produce identical Partials and
+// identical ScanStats — the property the differential tests pin.
+func (e *Engine) partial(ctx context.Context, f store.Filter) (Partial, store.ScanStats, error) {
+	p, st, ok, err := e.columnarPartial(ctx, f)
+	if err != nil {
+		return Partial{}, st, err
+	}
+	if ok {
+		mColumnarAggs.Add(1)
+		return p, st, nil
+	}
+	mDecodeAggs.Add(1)
 	entries, st, err := e.collect(ctx, f)
 	if err != nil {
 		return Partial{}, st, err
@@ -243,8 +267,12 @@ func Aggregate(entries []store.Entry, opts AggregateOptions) Aggregation {
 
 // typeCode maps an entry to its category's H/S/I code via the catalog,
 // or "?" for ad-hoc categories the catalog does not know.
-func typeCode(en store.Entry) string {
-	if c, ok := catalog.Lookup(en.Record.System, en.Category); ok {
+func typeCode(en store.Entry) string { return typeCodeOf(en.Record.System, en.Category) }
+
+// typeCodeOf is typeCode keyed by (system, category) directly — the
+// columnar path calls it once per distinct category, not per record.
+func typeCodeOf(sys logrec.System, category string) string {
+	if c, ok := catalog.Lookup(sys, category); ok {
 		return c.Type.Code()
 	}
 	return "?"
@@ -275,7 +303,14 @@ func interarrivalTimes(ts []time.Time, quantiles []float64) *Interarrival {
 	if len(ts) < 2 {
 		return nil
 	}
-	times := stats.Interarrivals(ts)
+	return interarrivalGaps(stats.Interarrivals(ts), quantiles)
+}
+
+// interarrivalGaps summarizes a gap-seconds sample. The quantiles all
+// come from one shared sort (stats.Percentiles) — a copy-and-sort per
+// quantile was the dominant cost of a large aggregate, ahead of the
+// scan itself.
+func interarrivalGaps(times []float64, quantiles []float64) *Interarrival {
 	ia := &Interarrival{
 		Count:     len(times),
 		MeanSec:   stats.Mean(times),
@@ -283,8 +318,12 @@ func interarrivalTimes(ts []time.Time, quantiles []float64) *Interarrival {
 		MinSec:    stats.Min(times),
 		MaxSec:    stats.Max(times),
 	}
-	for _, q := range quantiles {
-		ia.Quantiles = append(ia.Quantiles, QuantileValue{Q: q, Sec: stats.Percentile(times, q*100)})
+	ps := make([]float64, len(quantiles))
+	for i, q := range quantiles {
+		ps[i] = q * 100
+	}
+	for i, sec := range stats.Percentiles(times, ps) {
+		ia.Quantiles = append(ia.Quantiles, QuantileValue{Q: quantiles[i], Sec: sec})
 	}
 	h := stats.NewLogHistogram(times, logHistMinExp, logHistMaxExp, logHistBinsPerDecade)
 	ia.LogHist = &LogHist{

@@ -47,6 +47,13 @@ const (
 // events such as the BGLMASTER example in Section 3.2.1 carry no
 // location).
 func Render(r logrec.Record) string {
+	return string(AppendLine(nil, r))
+}
+
+// AppendLine is Render in append form: it appends the RAS line to dst
+// and returns the extended slice (see syslogng.AppendLine for the
+// contract).
+func AppendLine(dst []byte, r logrec.Record) []byte {
 	loc := r.Source
 	if loc == "" {
 		loc = "NULL"
@@ -59,8 +66,15 @@ func Render(r logrec.Record) string {
 	if fac == "" {
 		fac = FacKernel
 	}
-	return fmt.Sprintf("%s %s RAS %s %s %s",
-		r.Time.Format(TimeLayout), loc, fac, sev, r.Body)
+	dst = r.Time.AppendFormat(dst, TimeLayout)
+	dst = append(dst, ' ')
+	dst = append(dst, loc...)
+	dst = append(dst, " RAS "...)
+	dst = append(dst, fac...)
+	dst = append(dst, ' ')
+	dst = append(dst, sev.String()...)
+	dst = append(dst, ' ')
+	return append(dst, r.Body...)
 }
 
 // ParseError describes an unparseable RAS line.

@@ -70,6 +70,34 @@ func Percentile(xs []float64, p float64) float64 {
 	s := make([]float64, len(xs))
 	copy(s, xs)
 	sort.Float64s(s)
+	return percentileSorted(s, p)
+}
+
+// Percentiles returns the percentile for each p in ps. Results are
+// identical to calling Percentile per value; the difference is cost —
+// one copy-and-sort shared across all of them instead of one per
+// quantile, which is what dominates when several quantiles are asked
+// of a large sample.
+func Percentiles(xs []float64, ps []float64) []float64 {
+	if len(ps) == 0 {
+		return nil
+	}
+	out := make([]float64, len(ps))
+	if len(xs) == 0 {
+		return out
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	for i, p := range ps {
+		out[i] = percentileSorted(s, p)
+	}
+	return out
+}
+
+// percentileSorted interpolates the p-th percentile from an
+// already-sorted, non-empty sample.
+func percentileSorted(s []float64, p float64) float64 {
 	if p <= 0 {
 		return s[0]
 	}

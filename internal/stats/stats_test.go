@@ -51,6 +51,34 @@ func TestMedianPercentile(t *testing.T) {
 	}
 }
 
+// TestPercentilesMatchPercentile: the shared-sort batch form must be
+// bit-identical to calling Percentile per value — the aggregate
+// differential tests depend on the two being interchangeable.
+func TestPercentilesMatchPercentile(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	ps := []float64{-5, 0, 12.5, 50, 90, 99, 99.9, 100, 130}
+	for _, n := range []int{1, 2, 3, 17, 1000} {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		got := Percentiles(xs, ps)
+		for i, p := range ps {
+			if want := Percentile(xs, p); got[i] != want {
+				t.Errorf("n=%d p=%v: Percentiles = %v, Percentile = %v", n, p, got[i], want)
+			}
+		}
+	}
+	if Percentiles(nil, ps) == nil || Percentiles([]float64{1}, nil) != nil {
+		t.Error("degenerate shapes")
+	}
+	xs := []float64{5, 1, 3}
+	Percentiles(xs, []float64{50})
+	if xs[0] != 5 {
+		t.Error("Percentiles sorted the caller's slice")
+	}
+}
+
 func TestMinMax(t *testing.T) {
 	xs := []float64{3, -1, 7, 2}
 	if Min(xs) != -1 || Max(xs) != 7 {

@@ -177,11 +177,16 @@ func (s *Store) compactOnce() (bool, mergeSize, error) {
 	var run []*segment
 	if ok {
 		run = append([]*segment(nil), s.segs[start:end]...)
+		retainAll(run)
 	}
 	s.mu.RUnlock()
 	if !ok {
 		return false, mergeSize{}, nil
 	}
+	// The snapshot reference keeps the run's mappings alive for the
+	// merge read below even if something else could drop them; the
+	// store's own references are released separately at commit.
+	defer releaseAll(run)
 
 	var merged []Entry
 	inputs := make([]string, 0, len(run))
@@ -249,7 +254,7 @@ func (s *Store) compactOnce() (bool, mergeSize, error) {
 		return false, mergeSize{}, err
 	}
 
-	g, err := parseSegment(name, blob)
+	g, err := openSegmentFile(path)
 	if err != nil {
 		return false, mergeSize{}, fmt.Errorf("store: compact %s: self-check failed: %w", name, err)
 	}
@@ -270,6 +275,10 @@ func (s *Store) compactOnce() (bool, mergeSize, error) {
 	}
 	s.segs = append(keep, g)
 	sortSegments(s.segs)
+	// Drop the inventory's references to the superseded inputs. Their
+	// files are already unlinked; the mappings stay valid until every
+	// in-flight scan that snapshotted them releases its own reference.
+	releaseAll(run)
 	s.nextSeg++
 	// nextSeg advanced, so the wal's epoch header is stale; refresh it
 	// (also re-covers the tail, unchanged by compaction).
@@ -294,6 +303,7 @@ func (s *Store) ApplyRetention(horizon time.Time) (RetentionStats, error) {
 	var st RetentionStats
 	h := horizon.UnixNano()
 	keep := s.segs[:0]
+	var dropped []*segment
 	for _, g := range s.segs {
 		if g.maxNanos >= h {
 			keep = append(keep, g)
@@ -302,6 +312,7 @@ func (s *Store) ApplyRetention(horizon time.Time) (RetentionStats, error) {
 		if err := os.Remove(filepath.Join(s.dir, g.name)); err != nil {
 			return st, err
 		}
+		dropped = append(dropped, g)
 		st.SegmentsDropped++
 		st.EntriesDropped += g.count
 	}
@@ -309,6 +320,9 @@ func (s *Store) ApplyRetention(horizon time.Time) (RetentionStats, error) {
 		return st, nil
 	}
 	s.segs = keep
+	// As with compaction gc: the files are unlinked, the mappings live
+	// until the last in-flight scan holding a snapshot reference ends.
+	releaseAll(dropped)
 	if err := syncDir(s.dir); err != nil {
 		return st, err
 	}

@@ -1,0 +1,18 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+const mmapSupported = false
+
+// mmapFile on platforms without mmap reads the file eagerly; the blob
+// is heap-backed and the unmap is a no-op (refcounting still runs, it
+// just frees nothing — the garbage collector does).
+func mmapFile(path string) ([]byte, func([]byte) error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, nil, nil
+}

@@ -1,0 +1,41 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this platform maps segments (the
+// lifetime tests skip their mapping assertions when it is false).
+const mmapSupported = true
+
+// mmapFile maps path read-only and returns the mapped bytes plus the
+// unmap function that releases them. Empty files come back as a nil
+// slice with a no-op unmap: mapping zero bytes is an error on several
+// platforms, and a zero-length segment never validates anyway.
+func mmapFile(path string) ([]byte, func([]byte) error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return nil, func([]byte) error { return nil }, nil
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("store: %s: %d bytes does not fit an int", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: mmap %s: %w", path, err)
+	}
+	return data, syscall.Munmap, nil
+}

@@ -1,0 +1,129 @@
+package store
+
+import (
+	"errors"
+
+	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/obs"
+)
+
+// The columnar read path. Scan materializes an Entry per match — a body
+// string allocation and a 100-odd-byte struct copy per record — which
+// aggregation immediately boils back down to counts and timestamps.
+// ScanColumns serves the same filters without materializing anything:
+// sealed segments are walked in raw form (see segment.walk) and folded
+// into per-segment SegmentColumns — dictionary-ordinal count arrays
+// plus a contiguous timestamp slab — while the unsealed tail, which has
+// no columnar form, is handed over entry by entry. The query engine
+// turns a ColumnVisitor into a mergeable Partial in one pass.
+
+// ErrNotIndexAnswerable rejects a columnar scan whose filter needs
+// record bytes the indexes do not cover (a message predicate). Callers
+// route such filters to Scan; Filter.IndexAnswerable is the planning
+// predicate.
+var ErrNotIndexAnswerable = errors.New("store: filter is not index-answerable (message predicate present)")
+
+var mScanColumnsSegments = obs.Default.Counter("store_scan_columns_segments_total")
+
+// SegmentColumns is one sealed segment's matched records in columnar
+// form. Counts are keyed by dictionary ordinal (SrcCounts[i] counts
+// matches of Sources[i]) or by raw severity value (SevCounts[v] counts
+// matches with Severity v). Times is the matched timestamp column in
+// canonical segment order — nondecreasing Unix nanos. The dictionary
+// slices are shared with the segment and must not be mutated.
+type SegmentColumns struct {
+	System     logrec.System
+	Sources    []string
+	Categories []string
+
+	Matched   int
+	Kept      int
+	SrcCounts []int
+	CatCounts []int
+	SevCounts []int
+	Times     []int64
+}
+
+// ColumnVisitor consumes one columnar scan. SealedColumns is called
+// once per scanned segment with at least one match — the SegmentColumns
+// is only valid for the duration of the call (its backing arrays are
+// not retained by the store, but visitors must copy anything they keep
+// beyond the callback, Times included). TailEntry is called once per
+// matching unsealed-tail entry, after all segments.
+type ColumnVisitor interface {
+	SealedColumns(sc *SegmentColumns) error
+	TailEntry(en Entry) error
+}
+
+// newSegmentColumns sizes a columnar accumulator for one segment.
+func newSegmentColumns(g *segment) *SegmentColumns {
+	return &SegmentColumns{
+		System:     g.sys,
+		Sources:    g.sources,
+		Categories: g.categories,
+		SrcCounts:  make([]int, len(g.sources)),
+		CatCounts:  make([]int, len(g.categories)),
+		SevCounts:  make([]int, int(g.maxSev)+1),
+	}
+}
+
+// ScanColumns streams every entry matching f to v in columnar form:
+// sealed segments first (in seal order, each folded to a
+// SegmentColumns), then the unsealed tail entry by entry. The filter
+// must be index-answerable (ErrNotIndexAnswerable otherwise). The
+// returned stats are identical to what Scan would report for the same
+// filter against the same content — both paths share segment.walk — so
+// callers can switch paths without changing any observable accounting.
+func (s *Store) ScanColumns(f Filter, v ColumnVisitor) (ScanStats, error) {
+	if !f.IndexAnswerable() {
+		return ScanStats{}, ErrNotIndexAnswerable
+	}
+	sp := obs.Default.StartSpan("store_scan_columns")
+	defer sp.End()
+
+	s.mu.RLock()
+	segs := append([]*segment(nil), s.segs...)
+	tail := append([]Entry(nil), s.tail...)
+	retainAll(segs)
+	s.mu.RUnlock()
+	defer releaseAll(segs)
+
+	var st ScanStats
+	st.Segments = len(segs)
+	for _, g := range segs {
+		if !f.From.IsZero() && g.maxNanos < f.From.UnixNano() {
+			st.SegmentsPruned++
+			continue
+		}
+		if !f.To.IsZero() && g.minNanos >= f.To.UnixNano() {
+			st.SegmentsPruned++
+			continue
+		}
+		st.SegmentsScanned++
+		sc := newSegmentColumns(g)
+		if err := g.scanColumns(f, &st, sc); err != nil {
+			return st, err
+		}
+		if sc.Matched == 0 {
+			continue
+		}
+		if err := v.SealedColumns(sc); err != nil {
+			return st, err
+		}
+	}
+	st.TailEntries = len(tail)
+	for _, en := range tail {
+		st.RecordsScanned++
+		if !f.match(en) {
+			continue
+		}
+		st.Matched++
+		if err := v.TailEntry(en); err != nil {
+			return st, err
+		}
+	}
+	mScanColumnsSegments.Add(int64(st.SegmentsScanned))
+	mScanRecords.Add(int64(st.RecordsScanned))
+	mScanBytes.Add(st.BytesScanned)
+	return st, nil
+}

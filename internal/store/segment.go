@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -65,8 +66,9 @@ func sortEntries(entries []Entry) {
 }
 
 // segment is one sealed, immutable, checksum-verified block of entries.
-// The encoded blob stays resident; records are decoded on demand during
-// scans, postings and dictionaries are decoded once at open.
+// The encoded blob is memory-mapped (see mmap.go); records are decoded
+// on demand during scans, postings and dictionaries are decoded once at
+// open (into heap copies, so only record decoding touches the mapping).
 type segment struct {
 	name string
 	// num is the seal sequence number parsed from name (-1 if the name
@@ -75,6 +77,8 @@ type segment struct {
 	num  int
 	sys  logrec.System
 	blob []byte
+	// ref owns blob's mapping lifetime; nil for heap-backed blobs.
+	ref *blobRef
 
 	count              int
 	minNanos, maxNanos int64
@@ -85,6 +89,9 @@ type segment struct {
 	srcIDs, catIDs       map[string]uint32
 	srcPost, catPost     [][]uint32
 	sevPost              map[logrec.Severity][]uint32
+	// maxSev is the largest severity value any record carries — the
+	// columnar scan sizes its ordinal count array by it.
+	maxSev logrec.Severity
 
 	// idxOffsets[i] / idxNanos[i] locate record ordinal i*indexInterval.
 	idxOffsets []uint32
@@ -258,6 +265,9 @@ func parseSegment(name string, blob []byte) (*segment, error) {
 		for i := uint64(0); i < nSev; i++ {
 			sev := logrec.Severity(d.uvarint())
 			g.sevPost[sev] = decodePostings(d)
+			if sev > g.maxSev {
+				g.maxSev = sev
+			}
 		}
 	} else {
 		d.fail("severity postings")
@@ -291,39 +301,106 @@ func indexStrings(vals []string) map[string]uint32 {
 	return m
 }
 
+// raw is one record decoded without materialization: fixed fields as
+// values, the body left as a [bodyOff, bodyOff+bodyLen) view into the
+// segment blob. Decoding a raw touches no heap — the columnar scan's
+// ~0 allocs/record claim rests on it — and materialize turns one into
+// an Entry with exactly one allocation (the body string).
+type raw struct {
+	seq              uint64
+	nanos            int64
+	srcID, catID     uint32
+	progID, facID    uint32
+	sev              logrec.Severity
+	flags            byte
+	bodyOff, bodyLen int
+}
+
+// decodeRawAt decodes the record at absolute blob offset off into raw
+// form, returning the offset of the record after it. Field order and
+// bounds semantics mirror buildSegment; the dictionary-id range checks
+// keep a corrupted-but-CRC-colliding blob from indexing out of range.
+func (g *segment) decodeRawAt(off int) (raw, int, error) {
+	var r raw
+	b := g.blob
+	bad := func(what string) (raw, int, error) {
+		return raw{}, 0, fmt.Errorf("store: segment %s: bad %s at offset %d", g.name, what, off)
+	}
+	if off < 0 || off > len(b) {
+		return bad("record offset")
+	}
+	v, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return bad("seq")
+	}
+	r.seq, off = v, off+n
+	if v, n = binary.Uvarint(b[off:]); n <= 0 {
+		return bad("time")
+	}
+	r.nanos, off = g.minNanos+int64(v), off+n
+	if v, n = binary.Uvarint(b[off:]); n <= 0 || v >= uint64(len(g.sources)) {
+		return bad("source id")
+	}
+	r.srcID, off = uint32(v), off+n
+	if v, n = binary.Uvarint(b[off:]); n <= 0 || v >= uint64(len(g.categories)) {
+		return bad("category id")
+	}
+	r.catID, off = uint32(v), off+n
+	if v, n = binary.Uvarint(b[off:]); n <= 0 || v >= uint64(len(g.programs)) {
+		return bad("program id")
+	}
+	r.progID, off = uint32(v), off+n
+	if v, n = binary.Uvarint(b[off:]); n <= 0 || v >= uint64(len(g.facilities)) {
+		return bad("facility id")
+	}
+	r.facID, off = uint32(v), off+n
+	if v, n = binary.Uvarint(b[off:]); n <= 0 {
+		return bad("severity")
+	}
+	r.sev, off = logrec.Severity(v), off+n
+	if off >= len(b) {
+		return bad("flags")
+	}
+	r.flags, off = b[off], off+1
+	if v, n = binary.Uvarint(b[off:]); n <= 0 {
+		return bad("body length")
+	}
+	off += n
+	if v > uint64(len(b)-off) {
+		return bad("body")
+	}
+	r.bodyOff, r.bodyLen = off, int(v)
+	return r, off + int(v), nil
+}
+
+// materialize builds the Entry a raw record denotes. The body string is
+// the one allocation; every other string is a shared dictionary value.
+func (g *segment) materialize(r raw) Entry {
+	return Entry{
+		Record: logrec.Record{
+			Seq:       r.seq,
+			Time:      time.Unix(0, r.nanos).UTC(),
+			System:    g.sys,
+			Source:    g.sources[r.srcID],
+			Facility:  g.facilities[r.facID],
+			Severity:  r.sev,
+			Program:   g.programs[r.progID],
+			Body:      string(g.blob[r.bodyOff : r.bodyOff+r.bodyLen]),
+			Corrupted: r.flags&entryFlagCorrupted != 0,
+		},
+		Category: g.categories[r.catID],
+		Kept:     r.flags&entryFlagKept != 0,
+	}
+}
+
 // decodeAt decodes the record at absolute blob offset off, returning
 // the entry and the offset of the record after it.
 func (g *segment) decodeAt(off int) (Entry, int, error) {
-	d := &dec{b: g.blob, off: off}
-	seq := d.uvarint()
-	nanos := g.minNanos + int64(d.uvarint())
-	srcID, catID := d.uvarint(), d.uvarint()
-	progID, facID := d.uvarint(), d.uvarint()
-	sev := d.uvarint()
-	flags := d.byte()
-	body := d.str()
-	if d.err != nil {
-		return Entry{}, 0, d.err
+	r, next, err := g.decodeRawAt(off)
+	if err != nil {
+		return Entry{}, 0, err
 	}
-	if srcID >= uint64(len(g.sources)) || catID >= uint64(len(g.categories)) ||
-		progID >= uint64(len(g.programs)) || facID >= uint64(len(g.facilities)) {
-		return Entry{}, 0, fmt.Errorf("store: segment %s: dict id out of range at offset %d", g.name, off)
-	}
-	return Entry{
-		Record: logrec.Record{
-			Seq:       seq,
-			Time:      time.Unix(0, nanos).UTC(),
-			System:    g.sys,
-			Source:    g.sources[srcID],
-			Facility:  g.facilities[facID],
-			Severity:  logrec.Severity(sev),
-			Program:   g.programs[progID],
-			Body:      body,
-			Corrupted: flags&entryFlagCorrupted != 0,
-		},
-		Category: g.categories[catID],
-		Kept:     flags&entryFlagKept != 0,
-	}, d.off, nil
+	return g.materialize(r), next, nil
 }
 
 // entries decodes every record in the segment, in stored (canonical)
@@ -389,28 +466,47 @@ func (g *segment) candidates(f Filter) ([]uint32, bool) {
 	return acc, constrained
 }
 
-// scan emits the segment's entries matching f, in canonical order,
-// accounting its work in st. The caller has already pruned the segment
-// against the filter's time range.
-func (g *segment) scan(f Filter, st *ScanStats, emit func(Entry) error) error {
-	ords, constrained := g.candidates(f)
-	if constrained {
-		return g.scanOrdinals(ords, f, st, emit)
+// matchRaw applies the predicates postings do not cover — the Kept flag
+// and the body-substring predicate — to a raw record. The body bytes
+// are compared in place against bodyPat (the filter's BodyContains,
+// converted once per walk), so neither predicate allocates.
+func (g *segment) matchRaw(f *Filter, r raw, bodyPat []byte) bool {
+	if f.Kept != nil && *f.Kept != (r.flags&entryFlagKept != 0) {
+		return false
 	}
-	return g.scanRange(f, st, emit)
+	return len(bodyPat) == 0 || bytes.Contains(g.blob[r.bodyOff:r.bodyOff+r.bodyLen], bodyPat)
 }
 
-// scanRange walks the time window sequentially, seeking the start block
+// walk drives a segment scan in raw form: postings planning, sparse-
+// index seeking, time pruning, and predicate matching all happen here,
+// and every matching record is handed to visit without materialization.
+// Both read paths sit on top of it — the entry scan materializes each
+// match, the columnar scan counts ordinals — which is what guarantees
+// the two report identical ScanStats for identical filters.
+func (g *segment) walk(f Filter, st *ScanStats, visit func(raw) error) error {
+	ords, constrained := g.candidates(f)
+	if constrained {
+		return g.walkOrdinals(ords, f, st, visit)
+	}
+	return g.walkRange(f, st, visit)
+}
+
+// walkRange walks the time window sequentially, seeking the start block
 // through the sparse index and stopping at the first record past To.
-func (g *segment) scanRange(f Filter, st *ScanStats, emit func(Entry) error) error {
+func (g *segment) walkRange(f Filter, st *ScanStats, visit func(raw) error) error {
+	bodyPat := bodyPattern(f)
+	var fromN, toN int64
 	block := 0
 	if !f.From.IsZero() {
-		from := f.From.UnixNano()
+		fromN = f.From.UnixNano()
 		// Last index block whose first record is at or before From.
-		block = sort.Search(len(g.idxNanos), func(i int) bool { return g.idxNanos[i] > from })
+		block = sort.Search(len(g.idxNanos), func(i int) bool { return g.idxNanos[i] > fromN })
 		if block > 0 {
 			block--
 		}
+	}
+	if !f.To.IsZero() {
+		toN = f.To.UnixNano()
 	}
 	if block >= len(g.idxOffsets) {
 		return nil
@@ -419,32 +515,33 @@ func (g *segment) scanRange(f Filter, st *ScanStats, emit func(Entry) error) err
 	start := off
 	defer func() { st.BytesScanned += int64(off - start) }()
 	for ord := block * indexInterval; ord < g.count; ord++ {
-		en, next, err := g.decodeAt(off)
+		r, next, err := g.decodeRawAt(off)
 		if err != nil {
 			return err
 		}
 		off = next
 		st.RecordsScanned++
-		if !f.To.IsZero() && !en.Record.Time.Before(f.To) {
+		if toN != 0 && r.nanos >= toN {
 			return nil
 		}
-		if !f.From.IsZero() && en.Record.Time.Before(f.From) {
+		if fromN != 0 && r.nanos < fromN {
 			continue
 		}
-		if !f.matchUnindexed(en) {
+		if !g.matchRaw(&f, r, bodyPat) {
 			continue
 		}
 		st.Matched++
-		if err := emit(en); err != nil {
+		if err := visit(r); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// scanOrdinals decodes exactly the index blocks containing candidate
+// walkOrdinals decodes exactly the index blocks containing candidate
 // ordinals, sequentially within each block.
-func (g *segment) scanOrdinals(ords []uint32, f Filter, st *ScanStats, emit func(Entry) error) error {
+func (g *segment) walkOrdinals(ords []uint32, f Filter, st *ScanStats, visit func(raw) error) error {
+	bodyPat := bodyPattern(f)
 	var fromN, toN int64
 	if !f.From.IsZero() {
 		fromN = f.From.UnixNano()
@@ -472,7 +569,7 @@ func (g *segment) scanOrdinals(ords []uint32, f Filter, st *ScanStats, emit func
 		start := off
 		want := ords[i:end]
 		for ord := block * indexInterval; len(want) > 0 && ord < g.count; ord++ {
-			en, next, err := g.decodeAt(off)
+			r, next, err := g.decodeRawAt(off)
 			if err != nil {
 				return err
 			}
@@ -482,12 +579,11 @@ func (g *segment) scanOrdinals(ords []uint32, f Filter, st *ScanStats, emit func
 				continue
 			}
 			want = want[1:]
-			nanos := en.Record.Time.UnixNano()
-			if (fromN != 0 && nanos < fromN) || (toN != 0 && nanos >= toN) || !f.matchUnindexed(en) {
+			if (fromN != 0 && r.nanos < fromN) || (toN != 0 && r.nanos >= toN) || !g.matchRaw(&f, r, bodyPat) {
 				continue
 			}
 			st.Matched++
-			if err := emit(en); err != nil {
+			if err := visit(r); err != nil {
 				return err
 			}
 		}
@@ -495,4 +591,41 @@ func (g *segment) scanOrdinals(ords []uint32, f Filter, st *ScanStats, emit func
 		i = end
 	}
 	return nil
+}
+
+// bodyPattern converts the filter's body predicate for in-place byte
+// comparison (one small allocation per segment walk, amortized to ~0
+// per record).
+func bodyPattern(f Filter) []byte {
+	if f.BodyContains == "" {
+		return nil
+	}
+	return []byte(f.BodyContains)
+}
+
+// scan emits the segment's entries matching f, in canonical order,
+// accounting its work in st. The caller has already pruned the segment
+// against the filter's time range.
+func (g *segment) scan(f Filter, st *ScanStats, emit func(Entry) error) error {
+	return g.walk(f, st, func(r raw) error { return emit(g.materialize(r)) })
+}
+
+// scanColumns folds the segment's matching records into sc without
+// materializing any of them: dictionary-ordinal counts, severity-value
+// counts, the Kept tally, and the timestamp column.
+func (g *segment) scanColumns(f Filter, st *ScanStats, sc *SegmentColumns) error {
+	return g.walk(f, st, func(r raw) error {
+		sc.Matched++
+		if r.flags&entryFlagKept != 0 {
+			sc.Kept++
+		}
+		sc.SrcCounts[r.srcID]++
+		sc.CatCounts[r.catID]++
+		for int(r.sev) >= len(sc.SevCounts) {
+			sc.SevCounts = append(sc.SevCounts, 0)
+		}
+		sc.SevCounts[r.sev]++
+		sc.Times = append(sc.Times, r.nanos)
+		return nil
+	})
 }

@@ -31,6 +31,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -231,11 +232,19 @@ func Open(dir string, opts Options) (*Store, *OpenReport, error) {
 		if n := segNum(name); n >= s.nextSeg {
 			s.nextSeg = n + 1
 		}
-		blob, err := os.ReadFile(path)
+		// Map, don't read: opening a store touches only segment metadata.
+		// An I/O failure is fatal; a validation failure releases the
+		// mapping here and quarantines the file below.
+		ref, err := openBlob(path)
 		if err != nil {
 			return nil, nil, err
 		}
-		g, perr := parseSegment(name, blob)
+		g, perr := parseSegment(name, ref.data)
+		if perr != nil {
+			ref.release()
+		} else {
+			g.ref = ref
+		}
 		byName[name] = parsed{path: path, g: g, err: perr}
 	}
 
@@ -262,6 +271,9 @@ func Open(dir string, opts Options) (*Store, *OpenReport, error) {
 				}
 				if err := os.Remove(p.path); err != nil {
 					return nil, nil, err
+				}
+				if p.g != nil {
+					p.g.release()
 				}
 				delete(byName, in)
 				rep.SupersededSegments++
@@ -496,7 +508,9 @@ func (s *Store) sealLocked(n int) error {
 	if err := s.crashPoint(crashSealSegmentRenamed); err != nil {
 		return err
 	}
-	g, err := parseSegment(name, blob)
+	// Self-check by reopening the durable file — this is also what maps
+	// the new segment, releasing the heap blob built above to the GC.
+	g, err := openSegmentFile(path)
 	if err != nil {
 		// Can't happen for bytes we just built; treat as corruption bug.
 		return fmt.Errorf("store: seal %s: self-check failed: %w", name, err)
@@ -553,11 +567,18 @@ func (s *Store) rewriteWalLocked() error {
 	return nil
 }
 
-// Close stops background maintenance, seals any remaining tail, and
-// closes the wal.
+// Close stops background maintenance, seals any remaining tail, closes
+// the wal, and releases the store's segment mappings. In-flight scans
+// finish safely on their own references; the store itself is unusable
+// afterwards (scans see an empty inventory).
 func (s *Store) Close() error {
 	s.stopBackground()
-	if err := s.Seal(); err != nil {
+	err := s.Seal()
+	s.mu.Lock()
+	releaseAll(s.segs)
+	s.segs = nil
+	s.mu.Unlock()
+	if err != nil {
 		if s.wal != nil {
 			s.wal.Close()
 		}
@@ -596,13 +617,30 @@ type Filter struct {
 	// Kept, when non-nil, selects only entries that survived (true) or
 	// were removed by (false) Algorithm 3.1.
 	Kept *bool
+	// BodyContains, when nonempty, selects entries whose message body
+	// contains it as a substring. It is the one predicate the segment
+	// indexes cannot answer: scans check it against the body bytes in
+	// place, and the columnar path refuses filters that set it (see
+	// IndexAnswerable and ScanColumns).
+	BodyContains string
 }
 
+// IndexAnswerable reports whether every predicate in f is answerable
+// from segment metadata alone — the time window (sparse index +
+// min/max), Sources/Categories/Severities (postings), and Kept (a
+// record flag). A body predicate needs the message bytes, so filters
+// that set BodyContains take the row-decode path.
+func (f Filter) IndexAnswerable() bool { return f.BodyContains == "" }
+
 // matchUnindexed applies the predicates postings do not cover (the Kept
-// flag) to a decoded entry. Time and the indexed dimensions are handled
-// by the segment scan itself; the tail scan calls match instead.
+// flag, the body substring) to a decoded entry. Time and the indexed
+// dimensions are handled by the segment scan itself; the tail scan
+// calls match instead.
 func (f Filter) matchUnindexed(en Entry) bool {
-	return f.Kept == nil || *f.Kept == en.Kept
+	if f.Kept != nil && *f.Kept != en.Kept {
+		return false
+	}
+	return f.BodyContains == "" || strings.Contains(en.Record.Body, f.BodyContains)
 }
 
 // match applies every predicate to a decoded entry (the tail path,
@@ -668,7 +706,9 @@ func (s *Store) Scan(f Filter, fn func(Entry) error) (ScanStats, error) {
 	s.mu.RLock()
 	segs := append([]*segment(nil), s.segs...)
 	tail := append([]Entry(nil), s.tail...)
+	retainAll(segs)
 	s.mu.RUnlock()
+	defer releaseAll(segs)
 
 	var st ScanStats
 	st.Segments = len(segs)

@@ -32,8 +32,14 @@ const TimeLayout = time.Stamp // "Jan _2 15:04:05"
 // Program is omitted (along with its colon) when empty, which matches
 // messages emitted without a tag.
 func Render(r logrec.Record, withPriority bool) string {
-	var b strings.Builder
-	b.Grow(len(r.Body) + len(r.Source) + len(r.Program) + 32)
+	return string(AppendLine(nil, r, withPriority))
+}
+
+// AppendLine is Render in append form: it appends the wire line to dst
+// and returns the extended slice, allocating nothing beyond dst's own
+// growth. The generator's render loop reuses one scratch buffer per
+// chunk through it.
+func AppendLine(dst []byte, r logrec.Record, withPriority bool) []byte {
 	if withPriority {
 		if pri, ok := r.Severity.SyslogPriority(); ok {
 			// Facility "user" (1) unless a known facility is set; the
@@ -47,19 +53,20 @@ func Render(r logrec.Record, withPriority bool) string {
 			case "local0":
 				fac = 16
 			}
-			fmt.Fprintf(&b, "<%d>", fac*8+pri)
+			dst = append(dst, '<')
+			dst = strconv.AppendInt(dst, int64(fac*8+pri), 10)
+			dst = append(dst, '>')
 		}
 	}
-	b.WriteString(r.Time.Format(TimeLayout))
-	b.WriteByte(' ')
-	b.WriteString(r.Source)
-	b.WriteByte(' ')
+	dst = r.Time.AppendFormat(dst, TimeLayout)
+	dst = append(dst, ' ')
+	dst = append(dst, r.Source...)
+	dst = append(dst, ' ')
 	if r.Program != "" {
-		b.WriteString(r.Program)
-		b.WriteString(": ")
+		dst = append(dst, r.Program...)
+		dst = append(dst, ": "...)
 	}
-	b.WriteString(r.Body)
-	return b.String()
+	return append(dst, r.Body...)
 }
 
 // ParseError describes a line that could not be parsed as syslog.
