@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race verify verify-race verify-shard bench bench-smoke diff-smoke fuzz fuzz-smoke
+.PHONY: all build test vet race verify verify-race verify-shard bench bench-smoke diff-smoke subscribe-smoke fuzz fuzz-smoke
 
 # Every test invocation gets a hard wall-clock budget (a wedged-shard or
 # crash-recovery bug must fail the gate, not hang it) and a shuffled
@@ -44,7 +44,16 @@ verify-shard:
 	$(GO) test -race -count=1 -shuffle=on -timeout $(TEST_TIMEOUT) ./internal/shard/... ./internal/faultinject/...
 	$(GO) test -race -count=1 -timeout $(TEST_TIMEOUT) -run 'Sharded' ./cmd/logstudy/
 
-verify: build vet race bench-smoke diff-smoke fuzz-smoke
+verify: build vet race bench-smoke diff-smoke subscribe-smoke fuzz-smoke
+
+# Standing-query gate: the incremental-vs-rescan differential suites
+# (registry and cluster, every mutation class, shard counts 1/2/4/7),
+# the single-event-per-crossing latch tests, and the HTTP subscribe
+# smoke (POST subscribe → SSE fires exactly once per crossing, webhook
+# delivered at most once). -race because the registry sits on the store
+# mutation stream; -count=1 so the fenced re-baseline paths re-execute.
+subscribe-smoke:
+	$(GO) test -race -count=1 -timeout $(TEST_TIMEOUT) -run 'Standing|Registry|Subscribe' ./internal/query/ ./internal/shard/ ./cmd/logstudy/
 
 # Columnar-vs-decode differential smoke: the zero-materialization
 # aggregate path must answer byte-identically to the row-decode path at

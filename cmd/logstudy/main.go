@@ -910,6 +910,16 @@ func runBench(args []string, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "  columnar aggregate: %.2fx over row decode\n\n", rep.ColumnarSpeedup)
 	}
+	for _, rep := range led.StandingReports {
+		fmt.Fprintf(w, "%s standing: %s entries, %d batches of %d, %d subscriptions\n",
+			rep.System, report.Comma(int64(rep.Records)), rep.Batches, rep.BatchSize, rep.Subscriptions)
+		fmt.Fprintf(w, "  %-18s %14s %14s %14s\n", "stage", "rec/s", "allocs/rec", "bytes/rec")
+		for _, s := range rep.Stages {
+			fmt.Fprintf(w, "  %-18s %14.0f %14.2f %14.1f\n",
+				s.Name, s.RecPerSec, s.AllocsPerRecord, s.BytesPerRecord)
+		}
+		fmt.Fprintf(w, "  incremental maintenance: %.2fx over per-batch rescan\n\n", rep.IncrementalSpeedup)
+	}
 	if *outPath != "" {
 		if err := led.WriteJSON(*outPath); err != nil {
 			return err

@@ -211,7 +211,9 @@ type api struct {
 	opts apiOptions
 }
 
-// newAPI builds the HTTP handler for one open store.
+// newAPI builds the HTTP handler for one open store, including the
+// standing-query subscription endpoints: a registry observes the
+// store's mutation stream and its fires flow into a push hub.
 func newAPI(st *store.Store, opts apiOptions) http.Handler {
 	eng := &query.Engine{Store: st, DisableColumnar: opts.DisableColumnar}
 	if opts.CacheSize > 0 {
@@ -230,6 +232,21 @@ func newAPI(st *store.Store, opts apiOptions) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintln(w, `{"ok":true}`)
 	})
+
+	reg := query.NewRegistry(st)
+	st.SetObserver(reg.OnMutation)
+	hub := newPushHub()
+	reg.SetNotify(func(ev query.StandingEvent) {
+		hub.dispatch(subEvent{
+			SubscriptionID: ev.SubscriptionID,
+			Seq:            ev.Seq,
+			Threshold:      ev.Threshold,
+			Total:          ev.Total,
+			Aggregate:      ev.Aggregate,
+		})
+	})
+	sub := &subAPI{b: registryStanding{reg: reg, sys: st.System()}, hub: hub, opts: opts}
+	sub.register(mux)
 	return mux
 }
 
@@ -320,10 +337,18 @@ func parseAggregateOptions(q url.Values) (query.AggregateOptions, error) {
 	}
 	for _, part := range splitList(q.Get("quantiles")) {
 		p, err := strconv.ParseFloat(part, 64)
-		if err != nil || p <= 0 || p > 1 {
+		if err != nil {
 			return opts, fmt.Errorf("bad quantile %q", part)
 		}
 		opts.Quantiles = append(opts.Quantiles, p)
+	}
+	// Strict request-side validation (finite, in (0, 1], strictly
+	// increasing) with a detail message: garbage quantiles must 400
+	// here, not flow into stats.Percentiles and poison a cache entry.
+	// ParseFloat accepts "NaN" and "+Inf", so the parse above alone is
+	// not enough.
+	if err := query.ValidateQuantiles(opts.Quantiles); err != nil {
+		return opts, fmt.Errorf("bad quantiles: %w", err)
 	}
 	return opts, nil
 }

@@ -43,6 +43,24 @@ func newShardAPI(c *shard.Cluster, opts apiOptions) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, "{\"ok\":true,\"shards\":%d}\n", a.c.NumShards())
 	})
+
+	// Standing-query subscriptions: the cluster's per-shard registries
+	// evaluate the merged threshold, so one crossing spread across N
+	// shards pushes exactly one event through the hub.
+	hub := newPushHub()
+	c.SetStandingNotify(func(ev shard.ClusterEvent) {
+		hub.dispatch(subEvent{
+			SubscriptionID: ev.SubscriptionID,
+			Seq:            ev.Seq,
+			Threshold:      ev.Threshold,
+			Total:          ev.Total,
+			Aggregate:      ev.Aggregate,
+			ShardsStanding: ev.ShardsStanding,
+			ShardsTotal:    ev.ShardsTotal,
+		})
+	})
+	sub := &subAPI{b: clusterStandingBackend{c: c}, hub: hub, opts: opts}
+	sub.register(mux)
 	return mux
 }
 

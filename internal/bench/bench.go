@@ -116,6 +116,10 @@ type Ledger struct {
 	// StoreReports measures the storage read path (seal, scan, and the
 	// aggregate pair) per system; see store.go.
 	StoreReports []StoreReport `json:"store_reports,omitempty"`
+	// StandingReports measures the standing-query maintenance path
+	// (incremental delta-apply vs a from-scratch rescan after every
+	// mutation batch) per system; see standing.go.
+	StandingReports []StandingReport `json:"standing_reports,omitempty"`
 }
 
 // timeBest runs fn iters times and returns the best wall time. A
@@ -251,6 +255,11 @@ func Run(systems []logrec.System, opts Options) (*Ledger, error) {
 			return nil, err
 		}
 		led.StoreReports = append(led.StoreReports, srep)
+		standing, err := RunStandingSystem(sys, opts)
+		if err != nil {
+			return nil, err
+		}
+		led.StandingReports = append(led.StandingReports, standing)
 	}
 	return led, nil
 }

@@ -1,0 +1,232 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"whatsupersay/internal/filter"
+	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/obs"
+	"whatsupersay/internal/query"
+	"whatsupersay/internal/simulate"
+	"whatsupersay/internal/store"
+	"whatsupersay/internal/tag"
+)
+
+// Standing-query benchmarks: what a fresh aggregate after EVERY
+// mutation costs. The incremental side appends the stream in batches
+// with a registry observing the store — each batch folds a delta into
+// the materialized Partial and the answer is served by a merge, no
+// scan. The rescan side is the same append cadence with the aggregate
+// recomputed from scratch after each batch — the cost standing
+// subscriptions exist to avoid. Both sides produce byte-identical
+// answers (the differential tests pin that); the ledger pins the ratio.
+
+// StandingReport is one system's standing-path measurements.
+type StandingReport struct {
+	System  string `json:"system"`
+	Records int    `json:"records"`
+	// Batches is how many append-then-serve rounds the stream was fed
+	// in; BatchSize is the entries per round.
+	Batches   int `json:"batches"`
+	BatchSize int `json:"batch_size"`
+	// Subscriptions is how many standing filters were maintained/served.
+	Subscriptions int `json:"subscriptions"`
+	// Replicated is the stream replication factor applied to reach the
+	// measurement floor (1 = the raw alert stream).
+	Replicated int          `json:"replicated,omitempty"`
+	Stages     []StoreStage `json:"stages"`
+	// IncrementalSpeedup is rescan-per-batch time over standing-maintain
+	// time: how much incremental materialization wins by at this stream
+	// size. It grows with stream length — rescans are O(total), deltas
+	// are O(batch).
+	IncrementalSpeedup float64 `json:"incremental_speedup"`
+}
+
+// standingBatch is the append granularity: one "mutation" as the
+// maintenance loop sees it.
+const standingBatch = 512
+
+// minStandingEntries is the smallest stream the standing stages accept;
+// smaller streams replicate up to it (see replicateEntries).
+const minStandingEntries = 10_000
+
+// replicateEntries grows a short entry stream forward in time to at
+// least floor entries, returning the grown stream and the factor.
+func replicateEntries(entries []store.Entry, floor int) ([]store.Entry, int) {
+	n := len(entries)
+	if n == 0 || n >= floor {
+		return entries, 1
+	}
+	span := entries[n-1].Record.Time.Sub(entries[0].Record.Time) + time.Second
+	replicated := (floor + n - 1) / n
+	grown := make([]store.Entry, 0, n*replicated)
+	grown = append(grown, entries...)
+	for r := 1; r < replicated; r++ {
+		for _, en := range entries {
+			en.Record.Time = en.Record.Time.Add(time.Duration(r) * span)
+			en.Record.Seq += uint64(r * n)
+			grown = append(grown, en)
+		}
+	}
+	return grown, replicated
+}
+
+// RunStandingSystem benchmarks one system's standing-query maintenance
+// path against the per-mutation rescan it replaces.
+func RunStandingSystem(sys logrec.System, opts Options) (StandingReport, error) {
+	opts = opts.withDefaults()
+	out, err := simulate.Generate(simulate.Config{
+		System: sys, Scale: opts.Scale, Seed: opts.Seed, Workers: opts.Workers,
+	})
+	if err != nil {
+		return StandingReport{}, fmt.Errorf("bench standing %v: %w", sys, err)
+	}
+	alerts := tag.NewTagger(sys).TagAll(out.Records)
+	tag.SortAlerts(alerts)
+	filtered := filter.Simultaneous{T: filter.DefaultThreshold}.Filter(alerts)
+	entries := store.FromAlerts(alerts, filtered)
+	if len(entries) == 0 {
+		return StandingReport{}, fmt.Errorf("bench standing %v: no entries at scale %g", sys, opts.Scale)
+	}
+	entries, replicated := replicateEntries(entries, minStandingEntries)
+
+	// The standing filters: everything, the survivors, and one source —
+	// all index-answerable, so neither side pays a row-decode penalty
+	// the other doesn't.
+	kept := true
+	filters := []store.Filter{
+		{},
+		{Kept: &kept},
+		{Sources: []string{entries[0].Record.Source}},
+	}
+	batches := (len(entries) + standingBatch - 1) / standingBatch
+	rep := StandingReport{
+		System: sys.ShortName(), Records: len(entries),
+		Batches: batches, BatchSize: standingBatch,
+		Subscriptions: len(filters), Replicated: replicated,
+	}
+
+	// Incremental: registry observes the store; after each batch every
+	// subscription's fresh answer is served from the materialization.
+	runMaintain := func() {
+		dir, err := os.MkdirTemp("", "bench-standing-*")
+		if err != nil {
+			panic(err)
+		}
+		defer os.RemoveAll(dir)
+		st, err := store.Create(dir, sys, store.Options{})
+		if err != nil {
+			panic(err)
+		}
+		defer st.Close()
+		reg := query.NewRegistry(st)
+		defer reg.Close()
+		st.SetObserver(reg.OnMutation)
+		ids := make([]string, 0, len(filters))
+		for _, f := range filters {
+			info, err := reg.Register(f, query.AggregateOptions{}, 0)
+			if err != nil {
+				panic(err)
+			}
+			ids = append(ids, info.ID)
+		}
+		for i := 0; i < len(entries); i += standingBatch {
+			end := i + standingBatch
+			if end > len(entries) {
+				end = len(entries)
+			}
+			if err := st.Append(entries[i:end]...); err != nil {
+				panic(err)
+			}
+			for _, id := range ids {
+				if _, ok := reg.AggregateOf(id); !ok {
+					panic("subscription vanished")
+				}
+			}
+		}
+	}
+
+	// Rescan: the same cadence with every post-batch answer recomputed
+	// by a full engine aggregate.
+	runRescan := func() {
+		dir, err := os.MkdirTemp("", "bench-standing-*")
+		if err != nil {
+			panic(err)
+		}
+		defer os.RemoveAll(dir)
+		st, err := store.Create(dir, sys, store.Options{})
+		if err != nil {
+			panic(err)
+		}
+		defer st.Close()
+		eng := query.Engine{Store: st}
+		for i := 0; i < len(entries); i += standingBatch {
+			end := i + standingBatch
+			if end > len(entries) {
+				end = len(entries)
+			}
+			if err := st.Append(entries[i:end]...); err != nil {
+				panic(err)
+			}
+			for _, f := range filters {
+				if _, _, err := eng.Aggregate(f, query.AggregateOptions{}); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+
+	// Interleaved best-of, like the decode/columnar pair: both sides see
+	// the same noisy windows, best-of discards them symmetrically.
+	iters := opts.Iterations
+	if iters < pairIterations {
+		iters = pairIterations
+	}
+	runMaintain()
+	runRescan()
+	maintain := StoreStage{Name: "standing-maintain", Records: len(entries)}
+	rescan := StoreStage{Name: "standing-rescan", Records: len(entries)}
+	bestM, bestR := math.MaxFloat64, math.MaxFloat64
+	for i := 0; i < iters; i++ {
+		runtime.GC()
+		t0 := time.Now()
+		runMaintain()
+		m := time.Since(t0).Seconds()
+		t1 := time.Now()
+		runRescan()
+		r := time.Since(t1).Seconds()
+		bestM = math.Min(bestM, m)
+		bestR = math.Min(bestR, r)
+	}
+	maintain.Sec, rescan.Sec = bestM, bestR
+	for _, st := range []*StoreStage{&maintain, &rescan} {
+		if st.Sec > 0 {
+			st.RecPerSec = float64(len(entries)) / st.Sec
+		}
+	}
+	mAllocs, mBytes := allocsOf(runMaintain)
+	maintain.AllocsPerRecord = mAllocs / float64(len(entries))
+	maintain.BytesPerRecord = mBytes / float64(len(entries))
+	rAllocs, rBytes := allocsOf(runRescan)
+	rescan.AllocsPerRecord = rAllocs / float64(len(entries))
+	rescan.BytesPerRecord = rBytes / float64(len(entries))
+	rep.Stages = append(rep.Stages, maintain, rescan)
+
+	for _, s := range rep.Stages {
+		set := func(metric string, v float64) {
+			name := fmt.Sprintf("%s{system=%q,stage=%q}", metric, rep.System, s.Name)
+			obs.Default.Gauge(name).Set(v)
+		}
+		set("bench_standing_seconds", s.Sec)
+		set("bench_standing_records_per_sec", s.RecPerSec)
+	}
+	if bestM > 0 {
+		rep.IncrementalSpeedup = bestR / bestM
+	}
+	obs.Default.Gauge(fmt.Sprintf("bench_standing_incremental_speedup{system=%q}", rep.System)).Set(rep.IncrementalSpeedup)
+	return rep, nil
+}

@@ -115,21 +115,7 @@ func RunStoreSystem(sys logrec.System, opts Options) (StoreReport, error) {
 	// throughput measurement — fixed per-aggregate overhead swamps the
 	// per-record cost being measured. Replicate the stream forward in
 	// time to a floor, and record the factor so the ledger says so.
-	replicated := 1
-	if n := len(entries); n < minStoreEntries {
-		span := entries[n-1].Record.Time.Sub(entries[0].Record.Time) + time.Second
-		replicated = (minStoreEntries + n - 1) / n
-		grown := make([]store.Entry, 0, n*replicated)
-		grown = append(grown, entries...)
-		for r := 1; r < replicated; r++ {
-			for _, en := range entries {
-				en.Record.Time = en.Record.Time.Add(time.Duration(r) * span)
-				en.Record.Seq += uint64(r * n)
-				grown = append(grown, en)
-			}
-		}
-		entries = grown
-	}
+	entries, replicated := replicateEntries(entries, minStoreEntries)
 	rep := StoreReport{System: sys.ShortName(), Records: len(entries), Replicated: replicated}
 
 	// Seal: append the whole stream into a fresh store and seal it,

@@ -125,6 +125,26 @@ func (f *FaultyStore) Append(entries ...store.Entry) error {
 	return f.StoreBackend.Append(entries...)
 }
 
+// SetObserver delegates the mutation-observer hook when the wrapped
+// backend supports it (a real *store.Store does), so a faulted shard
+// still feeds its standing-query registry. Injected append failures
+// happen before delegation and never notify — matching the contract
+// that observers only see committed mutations.
+func (f *FaultyStore) SetObserver(fn store.Observer) {
+	if o, ok := f.StoreBackend.(interface{ SetObserver(store.Observer) }); ok {
+		o.SetObserver(fn)
+	}
+}
+
+// MutationSeq delegates the mutation sequence counter (0 when the
+// wrapped backend has none).
+func (f *FaultyStore) MutationSeq() uint64 {
+	if o, ok := f.StoreBackend.(interface{ MutationSeq() uint64 }); ok {
+		return o.MutationSeq()
+	}
+	return 0
+}
+
 // Scan applies the stall faults, then either fails (FailScans budget)
 // or delegates.
 func (f *FaultyStore) Scan(flt store.Filter, fn func(store.Entry) error) (store.ScanStats, error) {

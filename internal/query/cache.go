@@ -148,7 +148,13 @@ func Key(fp uint64, f store.Filter, opts AggregateOptions) string { return cache
 // key. Filter slices are order-sensitive here on purpose: two requests
 // naming the same sources in different orders are semantically equal
 // but key differently — a harmless extra miss, never a wrong hit.
+// Options, by contrast, are normalized before keying: defaults are
+// applied later in MergePartials, so TopK 0 and DefaultTopK (or nil
+// and explicit default quantiles) produce byte-identical answers and
+// must share one key — distinct keys would double entries and evict
+// real ones.
 func cacheKey(fp uint64, f store.Filter, opts AggregateOptions) string {
+	opts = opts.Normalize()
 	var b strings.Builder
 	fmt.Fprintf(&b, "%016x|%d|%d|", fp, f.From.UnixNano(), f.To.UnixNano())
 	if f.From.IsZero() {

@@ -51,9 +51,9 @@ func (e *Engine) columnarPartial(ctx context.Context, f store.Filter) (Partial, 
 	if err != nil {
 		return Partial{}, st, false, err
 	}
-	if err := ctx.Err(); err != nil {
-		return Partial{}, st, false, fmt.Errorf("query: scan aborted: %w", err)
-	}
+	// As in collect: a scan that completed without observing
+	// cancellation returns its finished result even if the deadline
+	// lapsed on the way out.
 	// Segment columns arrive in seal order and may interleave in time
 	// with one another and the tail; restore the nondecreasing order the
 	// Partial contract promises. Counts are order-independent, so this

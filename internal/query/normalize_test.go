@@ -1,0 +1,219 @@
+package query
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"whatsupersay/internal/store"
+)
+
+// Tests for the options-normalization invariant (one canonical form
+// feeds both the cache key and the merge, so key-equal options are
+// guaranteed byte-identical answers), the strict request-side quantile
+// validation, and the late-cancellation regression in collect.
+
+func TestNormalizeResolvesDefaultsAndScrubs(t *testing.T) {
+	cases := []struct {
+		name string
+		in   AggregateOptions
+		want AggregateOptions
+	}{
+		{"zero value", AggregateOptions{},
+			AggregateOptions{TopK: DefaultTopK, Quantiles: DefaultQuantiles}},
+		{"negative topk", AggregateOptions{TopK: -3},
+			AggregateOptions{TopK: DefaultTopK, Quantiles: DefaultQuantiles}},
+		{"explicit defaults unchanged", AggregateOptions{TopK: DefaultTopK, Quantiles: []float64{0.5, 0.9, 0.99}},
+			AggregateOptions{TopK: DefaultTopK, Quantiles: DefaultQuantiles}},
+		{"garbage quantiles scrubbed", AggregateOptions{TopK: 2, Quantiles: []float64{math.NaN(), -1, 0, 1.5, math.Inf(1), 0.7}},
+			AggregateOptions{TopK: 2, Quantiles: []float64{0.7}}},
+		{"all-garbage falls back", AggregateOptions{Quantiles: []float64{math.NaN(), 2}},
+			AggregateOptions{TopK: DefaultTopK, Quantiles: DefaultQuantiles}},
+		{"unsorted sorted", AggregateOptions{TopK: 1, Quantiles: []float64{0.9, 0.5}},
+			AggregateOptions{TopK: 1, Quantiles: []float64{0.5, 0.9}}},
+	}
+	for _, tc := range cases {
+		got := tc.in.Normalize()
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: Normalize(%+v) = %+v, want %+v", tc.name, tc.in, got, tc.want)
+		}
+		// Normalize is idempotent: the canonical form maps to itself.
+		if again := got.Normalize(); !reflect.DeepEqual(again, got) {
+			t.Errorf("%s: Normalize not idempotent: %+v -> %+v", tc.name, got, again)
+		}
+	}
+}
+
+func TestValidateQuantilesStrict(t *testing.T) {
+	bad := [][]float64{
+		{math.NaN()},
+		{math.Inf(1)},
+		{math.Inf(-1)},
+		{0},
+		{-0.5},
+		{1.0001},
+		{0.9, 0.5}, // not increasing
+		{0.5, 0.5}, // not strictly increasing
+		{0.5, math.NaN()},
+	}
+	for _, qs := range bad {
+		if err := ValidateQuantiles(qs); err == nil {
+			t.Errorf("ValidateQuantiles(%v) accepted garbage", qs)
+		}
+	}
+	good := [][]float64{
+		nil,
+		{0.5},
+		{0.5, 0.9, 0.99},
+		{1},
+		{0.000001, 1},
+	}
+	for _, qs := range good {
+		if err := ValidateQuantiles(qs); err != nil {
+			t.Errorf("ValidateQuantiles(%v): %v", qs, err)
+		}
+	}
+}
+
+// TestCacheKeyNormalizesOptions pins the regression: option values that
+// produce byte-identical answers (defaults spelled implicitly vs
+// explicitly) must share one cache key, and genuinely different shapes
+// must not.
+func TestCacheKeyNormalizesOptions(t *testing.T) {
+	f := store.Filter{Categories: []string{"KERNDTLB"}}
+	base := Key(7, f, AggregateOptions{})
+	same := []AggregateOptions{
+		{TopK: DefaultTopK},
+		{Quantiles: DefaultQuantiles},
+		{TopK: DefaultTopK, Quantiles: []float64{0.5, 0.9, 0.99}},
+		{TopK: -1, Quantiles: []float64{math.NaN()}}, // scrubs to defaults
+	}
+	for _, opts := range same {
+		if Key(7, f, opts) != base {
+			t.Errorf("Key(%+v) != Key(zero) — duplicate cache entries for one answer", opts)
+		}
+	}
+	diff := []AggregateOptions{
+		{TopK: 3},
+		{Quantiles: []float64{0.5}},
+		{TopK: DefaultTopK, Quantiles: []float64{0.5, 0.9}},
+	}
+	for _, opts := range diff {
+		if Key(7, f, opts) == base {
+			t.Errorf("Key(%+v) == Key(zero) — distinct answers share a key", opts)
+		}
+	}
+	if Key(8, f, AggregateOptions{}) == base {
+		t.Error("fingerprint not part of the key")
+	}
+}
+
+// TestCacheSharesEntryAcrossEquivalentOptions drives the same property
+// through the engine: implicit and explicit defaults hit one entry.
+func TestCacheSharesEntryAcrossEquivalentOptions(t *testing.T) {
+	st := openFixtureStore(t)
+	eng := &Engine{Store: st}
+	eng.EnableCache(8)
+	forms := []AggregateOptions{
+		{},
+		{TopK: DefaultTopK},
+		{Quantiles: append([]float64(nil), DefaultQuantiles...)},
+		{TopK: DefaultTopK, Quantiles: append([]float64(nil), DefaultQuantiles...)},
+	}
+	var first []byte
+	for i, opts := range forms {
+		agg, _, err := eng.Aggregate(store.Filter{}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := mustJSON(t, agg)
+		if i == 0 {
+			first = got
+		} else if string(got) != string(first) {
+			t.Fatalf("options form %d answer diverges:\n%s\n%s", i, got, first)
+		}
+	}
+	if n := eng.CacheLen(); n != 1 {
+		t.Fatalf("equivalent option spellings created %d cache entries, want 1", n)
+	}
+}
+
+// cancelAtEndScanner is a Scanner whose deadline lapses at the instant
+// the scan finishes: every entry is delivered, then the context is
+// canceled before control returns to the engine.
+type cancelAtEndScanner struct {
+	entries []store.Entry
+	cancel  context.CancelFunc
+}
+
+func (s cancelAtEndScanner) Scan(f store.Filter, fn func(store.Entry) error) (store.ScanStats, error) {
+	st := store.ScanStats{}
+	for _, en := range s.entries {
+		if !f.Match(en) {
+			continue
+		}
+		if err := fn(en); err != nil {
+			return st, err
+		}
+		st.Matched++
+	}
+	s.cancel()
+	return st, nil
+}
+
+func (s cancelAtEndScanner) Fingerprint() uint64 { return 1 }
+
+// TestCompletedScanSurvivesLateCancellation is the regression test for
+// the collect bug: a context that expires after the scan delivered its
+// last entry must not discard the finished work. Before the fix, a
+// post-scan ctx.Err() re-check turned complete answers into errors —
+// in the sharded path that charged healthy shards with failures and
+// degraded whole responses right at the deadline boundary.
+func TestCompletedScanSurvivesLateCancellation(t *testing.T) {
+	entries := fixture()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	eng := &Engine{Store: cancelAtEndScanner{entries: entries, cancel: cancel}}
+	got, stt, err := eng.SelectContext(ctx, store.Filter{}, 0)
+	if err != nil {
+		t.Fatalf("completed select discarded on late cancel: %v", err)
+	}
+	if len(got) != len(entries) || stt.Matched != len(entries) {
+		t.Fatalf("select returned %d entries (stats %+v), want %d", len(got), stt, len(entries))
+	}
+
+	ctx, cancel = context.WithCancel(context.Background())
+	eng = &Engine{Store: cancelAtEndScanner{entries: entries, cancel: cancel}}
+	agg, _, err := eng.AggregateContext(ctx, store.Filter{}, AggregateOptions{})
+	if err != nil {
+		t.Fatalf("completed aggregate discarded on late cancel: %v", err)
+	}
+	want := Aggregate(entries, AggregateOptions{})
+	if string(mustJSON(t, agg)) != string(mustJSON(t, want)) {
+		t.Fatalf("late-cancel aggregate diverges:\n%s\n%s", mustJSON(t, agg), mustJSON(t, want))
+	}
+
+	// A cancellation the scan DOES observe still aborts: deliver enough
+	// entries that the strided poll runs after the cancel.
+	big := make([]store.Entry, 0, 2*ctxCheckStride)
+	for len(big) < 2*ctxCheckStride {
+		big = append(big, entries...)
+	}
+	doneCtx, doneCancel := context.WithCancel(context.Background())
+	doneCancel()
+	eng = &Engine{Store: cancelAtEndScanner{entries: big, cancel: func() {}}}
+	if _, _, err := eng.SelectContext(doneCtx, store.Filter{}, 0); err == nil {
+		t.Fatal("mid-scan cancellation was ignored")
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

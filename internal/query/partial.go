@@ -71,14 +71,13 @@ func PartialOf(entries []store.Entry) Partial {
 // Aggregation — the same value Aggregate would compute over the
 // concatenated, canonically re-sorted entry sets.
 func MergePartials(parts []Partial, opts AggregateOptions) Aggregation {
+	// Normalize defensively: defaults applied, malformed quantiles
+	// (NaN, out of (0, 1], unsorted) scrubbed — the same normalization
+	// the cache key uses, so key-equal options always compute
+	// byte-identical answers.
+	opts = opts.Normalize()
 	topK := opts.TopK
-	if topK <= 0 {
-		topK = DefaultTopK
-	}
 	quantiles := opts.Quantiles
-	if len(quantiles) == 0 {
-		quantiles = DefaultQuantiles
-	}
 
 	agg := Aggregation{
 		ByCategory: map[string]int{},

@@ -16,6 +16,7 @@ package query
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -167,9 +168,11 @@ func (e *Engine) collect(ctx context.Context, f store.Filter) ([]store.Entry, st
 	if err != nil {
 		return nil, st, err
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, st, fmt.Errorf("query: scan aborted: %w", err)
-	}
+	// No post-scan ctx re-check: if the scan itself never observed
+	// cancellation, the result is complete — a deadline that lapsed
+	// between the last entry and this return must not discard finished
+	// work (or, in the sharded path, charge a completed shard answer as
+	// a failure). The strided poll above is the only abort point.
 	sort.SliceStable(entries, func(i, j int) bool {
 		return entries[i].Record.Before(entries[j].Record)
 	})
@@ -188,6 +191,55 @@ type AggregateOptions struct {
 	// Quantiles are the interarrival quantiles to report, each in
 	// (0, 1] (default DefaultQuantiles).
 	Quantiles []float64
+}
+
+// Normalize resolves the options' defaults and scrubs invalid
+// quantiles, returning the canonical options every consumer computes
+// under: TopK <= 0 becomes DefaultTopK; quantiles that are NaN,
+// infinite, nonpositive, or above 1 are dropped and the survivors
+// sorted ascending; an empty survivor list falls back to
+// DefaultQuantiles. Both the answer (MergePartials) and the cache key
+// normalize through here, so two option values that normalize equal are
+// guaranteed to produce byte-identical aggregations — the invariant
+// that keeps the cache from storing one answer under many keys.
+func (o AggregateOptions) Normalize() AggregateOptions {
+	n := AggregateOptions{TopK: o.TopK}
+	if n.TopK <= 0 {
+		n.TopK = DefaultTopK
+	}
+	for _, q := range o.Quantiles {
+		if math.IsNaN(q) || math.IsInf(q, 0) || q <= 0 || q > 1 {
+			continue
+		}
+		n.Quantiles = append(n.Quantiles, q)
+	}
+	if len(n.Quantiles) == 0 {
+		n.Quantiles = append([]float64(nil), DefaultQuantiles...)
+	} else if !sort.Float64sAreSorted(n.Quantiles) {
+		sort.Float64s(n.Quantiles)
+	}
+	return n
+}
+
+// ValidateQuantiles checks a request's quantile list strictly: every
+// value must be finite and in (0, 1], and the list must be strictly
+// increasing. The HTTP layer calls it to reject malformed requests with
+// a 400 and a detail message instead of letting them poison answers and
+// cache entries; Normalize is the lenient library-side counterpart that
+// scrubs rather than rejects.
+func ValidateQuantiles(qs []float64) error {
+	for i, q := range qs {
+		if math.IsNaN(q) || math.IsInf(q, 0) {
+			return fmt.Errorf("quantile %d is not a finite number", i)
+		}
+		if q <= 0 || q > 1 {
+			return fmt.Errorf("quantile %g out of range: must be in (0, 1]", q)
+		}
+		if i > 0 && q <= qs[i-1] {
+			return fmt.Errorf("quantiles must be strictly increasing: %g after %g", q, qs[i-1])
+		}
+	}
+	return nil
 }
 
 // SourceCount is one row of the top-sources ranking.

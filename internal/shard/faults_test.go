@@ -584,3 +584,179 @@ func TestRequestDeadlineDoesNotChargeBreaker(t *testing.T) {
 		t.Fatalf("client deadline charged the shard: %+v", h)
 	}
 }
+
+// TestDegradedAggregateNeverCached pins the cache/fault interaction:
+// an aggregate answered degraded (partial:true, a shard's scan failed)
+// must never enter the combined-fingerprint cache, so once the fault
+// heals the next query recomputes the complete answer instead of
+// replaying the degraded one — and only complete answers get cached.
+func TestDegradedAggregateNeverCached(t *testing.T) {
+	entries := makeEntries(t, 200, 41)
+	dir := t.TempDir()
+	open, faulty := faultyOpen(dir)
+
+	c, _, err := Create(dir, logrec.Thunderbird, 2, Options{
+		Store:            store.Options{FlushEvery: 1000},
+		OpenStore:        open,
+		CacheSize:        16,
+		FailureThreshold: 100, // keep the breaker closed; this is a cache test
+		Retries:          -1,  // one attempt per query: no retry masks the fault
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Append(entries); err != nil {
+		t.Fatal(err)
+	}
+
+	victim := 0
+	onVictim := 0
+	for _, en := range entries {
+		if ShardFor(en.Record.Source, 2) == victim {
+			onVictim++
+		}
+	}
+	faulty(victim).SetFaults(shardfault.StoreFaults{FailScans: -1})
+
+	// Two degraded queries while the shard is down: both must recompute
+	// (miss), neither may populate the cache with the partial answer.
+	for i := 0; i < 2; i++ {
+		agg, cov, _, err := c.Aggregate(context.Background(), store.Filter{}, query.AggregateOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cov.Partial || cov.ShardsAnswered != 1 {
+			t.Fatalf("query %d coverage %+v", i, cov)
+		}
+		if agg.Total != len(entries)-onVictim {
+			t.Fatalf("query %d degraded total %d, want %d", i, agg.Total, len(entries)-onVictim)
+		}
+	}
+	if hits, misses := c.CacheStats(); hits != 0 || misses != 2 {
+		t.Fatalf("degraded answers touched the cache: hits %d misses %d", hits, misses)
+	}
+
+	// Heal. The next query must be a fresh complete scatter — a cache
+	// hit here would replay the degraded answer.
+	faulty(victim).Heal()
+	agg, cov, _, err := c.Aggregate(context.Background(), store.Filter{}, query.AggregateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov.Partial || cov.ShardsAnswered != 2 {
+		t.Fatalf("post-heal coverage %+v", cov)
+	}
+	if agg.Total != len(entries) {
+		t.Fatalf("post-heal total %d, want %d", agg.Total, len(entries))
+	}
+	if hits, misses := c.CacheStats(); hits != 0 || misses != 3 {
+		t.Fatalf("post-heal query should miss: hits %d misses %d", hits, misses)
+	}
+
+	// And the complete answer IS cached: same query again hits.
+	agg, cov, _, err = c.Aggregate(context.Background(), store.Filter{}, query.AggregateOptions{})
+	if err != nil || cov.Partial {
+		t.Fatalf("cached complete query: %v %+v", err, cov)
+	}
+	if agg.Total != len(entries) {
+		t.Fatalf("cached total %d, want %d", agg.Total, len(entries))
+	}
+	if hits, _ := c.CacheStats(); hits != 1 {
+		t.Fatalf("complete answer was not cached: hits %d", hits)
+	}
+}
+
+// cancelAtScanEndBackend wraps a shard backend so that an armed cancel
+// function fires the instant one Scan has delivered its last entry —
+// the exact deadline-boundary window where a completed answer used to
+// be discarded and charged to the shard as a failure.
+type cancelAtScanEndBackend struct {
+	Backend
+	mu     sync.Mutex
+	cancel context.CancelFunc
+}
+
+func (b *cancelAtScanEndBackend) arm(cancel context.CancelFunc) {
+	b.mu.Lock()
+	b.cancel = cancel
+	b.mu.Unlock()
+}
+
+func (b *cancelAtScanEndBackend) Scan(f store.Filter, fn func(store.Entry) error) (store.ScanStats, error) {
+	st, err := b.Backend.Scan(f, fn)
+	b.mu.Lock()
+	if b.cancel != nil {
+		b.cancel()
+		b.cancel = nil
+	}
+	b.mu.Unlock()
+	return st, err
+}
+
+// TestGatherKeepsCompletedAnswerOnLateCancel is the gather-layer half
+// of the late-cancellation regression (the engine half lives in
+// internal/query): a context that dies after the shard's scan delivered
+// its last entry must not turn the finished answer into a failure — the
+// response stays complete, the breaker is not charged, and the cache
+// accepts the answer.
+func TestGatherKeepsCompletedAnswerOnLateCancel(t *testing.T) {
+	entries := makeEntries(t, 300, 43) // < ctxCheckStride: no mid-scan poll sees the cancel
+	dir := t.TempDir()
+	wrap := &cancelAtScanEndBackend{}
+	open := func(d string, sopts store.Options) (Backend, *store.OpenReport, error) {
+		st, rep, err := store.Open(d, sopts)
+		if err != nil {
+			return nil, rep, err
+		}
+		wrap.Backend = st
+		return wrap, rep, nil
+	}
+	c, _, err := Create(dir, logrec.Thunderbird, 1, Options{
+		Store:            store.Options{FlushEvery: 1000},
+		OpenStore:        open,
+		FailureThreshold: 1, // a single charged failure would open the breaker
+		Retries:          -1,
+		CacheSize:        8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Append(entries); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	wrap.arm(cancel)
+	agg, cov, _, err := c.Aggregate(ctx, store.Filter{}, query.AggregateOptions{})
+	if err != nil {
+		t.Fatalf("completed aggregate discarded on late cancel: %v", err)
+	}
+	if cov.Partial || cov.ShardsAnswered != 1 || len(cov.ShardErrors) != 0 {
+		t.Fatalf("late cancel degraded a completed answer: %+v", cov)
+	}
+	if agg.Total != len(entries) {
+		t.Fatalf("late-cancel aggregate total = %d, want %d", agg.Total, len(entries))
+	}
+	for _, h := range c.Health() {
+		if h.TotalFailures != 0 || h.State != "ok" {
+			t.Fatalf("completed answer charged the shard: %+v", h)
+		}
+	}
+
+	// The answer was cacheable (complete) and the breaker never opened:
+	// a fresh, uncanceled query serves from cache.
+	agg2, cov2, _, err := c.Aggregate(context.Background(), store.Filter{}, query.AggregateOptions{})
+	if err != nil || cov2.Partial {
+		t.Fatalf("follow-up query degraded: %v %+v", err, cov2)
+	}
+	if agg2.Total != agg.Total {
+		t.Fatalf("cache served a different answer: %d vs %d", agg2.Total, agg.Total)
+	}
+	hits, _ := c.CacheStats()
+	if hits == 0 {
+		t.Fatal("completed late-cancel answer was not cached")
+	}
+}

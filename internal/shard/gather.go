@@ -177,9 +177,26 @@ func (c *Cluster) runDeadlined(ctx context.Context, sh *shardState, work func(ct
 	case r := <-ch:
 		return r.ans, r.err
 	case <-actx.Done():
-		return shardAnswer{}, fmt.Errorf("shard deadline (%s): %w", c.opts.queryTimeout(), actx.Err())
+		// The deadline and the completion race at the boundary: a scan
+		// that delivered its last entry as the clock lapsed has a
+		// finished answer in flight (the engine returns completed work
+		// even when the context dies after the final entry — see
+		// Engine.collect). Grant a short grace for that answer to land
+		// rather than charging a completed shard as a failure; a truly
+		// wedged scan just pays deadlineGrace extra before abandonment.
+		select {
+		case r := <-ch:
+			return r.ans, r.err
+		case <-time.After(deadlineGrace):
+			return shardAnswer{}, fmt.Errorf("shard deadline (%s): %w", c.opts.queryTimeout(), actx.Err())
+		}
 	}
 }
+
+// deadlineGrace is how long runDeadlined waits past the per-attempt
+// deadline for an already-completed answer to surface before abandoning
+// the attempt.
+const deadlineGrace = 25 * time.Millisecond
 
 // coverageOf folds a scatter's answers into Coverage and splits out the
 // successful ones.

@@ -201,6 +201,10 @@ type Cluster struct {
 
 	shards []*shardState
 	cache  *query.Cache
+	// standing owns the cluster's standing-query state: one incremental
+	// registry per standing-capable shard plus the merged-threshold
+	// evaluator (see standing.go). Always non-nil after Open.
+	standing *clusterStanding
 
 	cacheHits, cacheMisses atomic.Int64
 
@@ -313,6 +317,7 @@ func Open(dir string, opts Options) (*Cluster, *OpenReport, error) {
 		}
 		c.shards = append(c.shards, sh)
 	}
+	c.standing = newClusterStanding(c)
 	return c, rep, nil
 }
 
@@ -489,6 +494,9 @@ func (c *Cluster) Close() error {
 	}
 	c.closed = true
 	c.mu.Unlock()
+	// Stop the standing-query tier first: observers detach, so the
+	// seals Close triggers below no longer fan into the registries.
+	c.standing.close()
 	var firstErr error
 	for _, sh := range c.shards {
 		if sh.backend == nil {

@@ -1,0 +1,466 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"whatsupersay/internal/obs"
+	"whatsupersay/internal/query"
+	"whatsupersay/internal/store"
+)
+
+// Cluster standing queries: one subscription at the router fans out to
+// a per-shard query.Registry on every standing-capable shard, each
+// maintaining its shard's materialized Partial incrementally off the
+// store's mutation stream. The cluster-level answer is MergePartials
+// over per-shard snapshots — the same merge a scatter aggregate runs,
+// minus the scans — and the threshold is evaluated on the *merged*
+// total, so `serve -shards N` fires exactly one cluster-level event per
+// crossing, not N shard-level ones (per-shard registrations carry
+// threshold 0 and never fire on their own).
+//
+// Lock discipline. Three lock families are in play: each shard
+// registry's mutex, the standing mutex here, and nothing else. The
+// registry's onChange hook (called with its registry lock held) only
+// touches the standing mutex to enqueue "re-evaluate subscription X";
+// the evaluation worker takes registry locks only while holding no
+// standing mutex and vice versa. No path holds a registry lock while
+// waiting on another registry's, so the families cannot cycle.
+//
+// Evaluation is snapshot-based rather than delta-accounting: the worker
+// re-reads every shard's current total when poked. That makes missed or
+// reordered pokes harmless (the pending set coalesces; totals are read
+// fresh), at the cost of an extra map lookup per shard per poke.
+
+// Standing cluster telemetry.
+var (
+	gStandingClusterSubs   = obs.Default.Gauge("standing_cluster_subscriptions")
+	mStandingClusterEvents = obs.Default.Counter("standing_cluster_events_total")
+)
+
+// ClusterEvent is one cluster-level threshold crossing.
+type ClusterEvent struct {
+	SubscriptionID string            `json:"id"`
+	Seq            uint64            `json:"seq"` // per-subscription event counter
+	Threshold      int               `json:"threshold"`
+	Total          int               `json:"total"`
+	Aggregate      query.Aggregation `json:"aggregate"`
+	// ShardsStanding is how many shards materialize this subscription
+	// (quarantined or standing-incapable shards are not covered).
+	ShardsStanding int `json:"shards_standing"`
+	ShardsTotal    int `json:"shards_total"`
+}
+
+// ClusterSubInfo describes one cluster subscription.
+type ClusterSubInfo struct {
+	ID             string                 `json:"id"`
+	Filter         store.Filter           `json:"-"`
+	Options        query.AggregateOptions `json:"-"`
+	Threshold      int                    `json:"threshold"`
+	Total          int                    `json:"total"`
+	Fired          bool                   `json:"fired"`
+	Events         uint64                 `json:"events"`
+	ShardsStanding int                    `json:"shards_standing"`
+	ShardsTotal    int                    `json:"shards_total"`
+}
+
+// standingCapable is the backend surface per-shard registries need:
+// the scan/seq side plus the observer hook. *store.Store satisfies it;
+// fault-injection wrappers delegate.
+type standingCapable interface {
+	query.StandingStore
+	SetObserver(store.Observer)
+}
+
+// clusterSub is one router-level subscription.
+type clusterSub struct {
+	id        string
+	filter    store.Filter
+	opts      query.AggregateOptions
+	threshold int
+	shardSubs map[int]string // shard id -> per-shard registry sub id
+	fired     bool
+	events    uint64
+}
+
+type shardSubKey struct {
+	shard int
+	sub   string
+}
+
+// clusterStanding owns the cluster's standing-query state.
+type clusterStanding struct {
+	c    *Cluster
+	regs map[int]*query.Registry // per standing-capable shard
+
+	mu      sync.Mutex
+	subs    map[string]*clusterSub
+	order   []string
+	byShard map[shardSubKey]string // reverse mapping for onChange
+	next    int
+	pending map[string]bool // subscription ids awaiting evaluation
+	notify  func(ClusterEvent)
+
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+}
+
+// newClusterStanding wires a registry onto every standing-capable shard
+// and starts the evaluation worker. Called once from Open.
+func newClusterStanding(c *Cluster) *clusterStanding {
+	s := &clusterStanding{
+		c:       c,
+		regs:    map[int]*query.Registry{},
+		subs:    map[string]*clusterSub{},
+		byShard: map[shardSubKey]string{},
+		pending: map[string]bool{},
+		wake:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for _, sh := range c.shards {
+		sb, ok := sh.backend.(standingCapable)
+		if !ok || sh.backend == nil {
+			continue
+		}
+		reg := query.NewRegistry(sb)
+		shardID := sh.id
+		reg.SetOnChange(func(subID string, total int) {
+			s.poke(shardID, subID)
+		})
+		sb.SetObserver(reg.OnMutation)
+		s.regs[shardID] = reg
+	}
+	go s.run()
+	return s
+}
+
+// close stops the worker and the per-shard registries, detaching the
+// observers so store Close (which seals tails) no longer notifies.
+func (s *clusterStanding) close() {
+	close(s.stop)
+	<-s.done
+	for id, reg := range s.regs {
+		if sb, ok := s.c.shards[id].backend.(standingCapable); ok {
+			sb.SetObserver(nil)
+		}
+		reg.Close()
+	}
+}
+
+// poke enqueues a subscription for re-evaluation. Runs under a shard
+// registry's lock — it must only touch the standing mutex, and must
+// not block.
+func (s *clusterStanding) poke(shard int, subID string) {
+	s.mu.Lock()
+	id, ok := s.byShard[shardSubKey{shard, subID}]
+	if ok {
+		s.pending[id] = true
+	}
+	s.mu.Unlock()
+	if ok {
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// run is the evaluation worker: it drains the pending set, re-reads
+// each poked subscription's per-shard totals, and runs the edge
+// latch on the merged value.
+func (s *clusterStanding) run() {
+	defer close(s.done)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.wake:
+		}
+		for {
+			s.mu.Lock()
+			var id string
+			for k := range s.pending {
+				id = k
+				break
+			}
+			if id == "" {
+				s.mu.Unlock()
+				break
+			}
+			delete(s.pending, id)
+			s.mu.Unlock()
+			s.evaluate(id)
+			select {
+			case <-s.stop:
+				return
+			default:
+			}
+		}
+	}
+}
+
+// evaluate recomputes one subscription's merged total and fires the
+// cluster event on an upward crossing.
+func (s *clusterStanding) evaluate(id string) {
+	s.mu.Lock()
+	cs, ok := s.subs[id]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	shardSubs := make(map[int]string, len(cs.shardSubs))
+	for k, v := range cs.shardSubs {
+		shardSubs[k] = v
+	}
+	threshold := cs.threshold
+	s.mu.Unlock()
+
+	// Registry reads happen with no standing mutex held (lock
+	// discipline above).
+	total := 0
+	for shard, subID := range shardSubs {
+		if t, ok := s.regs[shard].TotalOf(subID); ok {
+			total += t
+		}
+	}
+
+	var ev *ClusterEvent
+	s.mu.Lock()
+	if cs, ok = s.subs[id]; ok && threshold > 0 {
+		if !cs.fired && total >= threshold {
+			cs.fired = true
+			cs.events++
+			mStandingClusterEvents.Add(1)
+			ev = &ClusterEvent{
+				SubscriptionID: id,
+				Seq:            cs.events,
+				Threshold:      threshold,
+				Total:          total,
+				ShardsStanding: len(shardSubs),
+				ShardsTotal:    len(s.c.shards),
+			}
+		} else if cs.fired && total < threshold {
+			// A rebuild (retention) dropped the merged total back below
+			// the line: re-arm.
+			cs.fired = false
+		}
+	}
+	fn := s.notify
+	s.mu.Unlock()
+
+	if ev != nil {
+		// Materialize the event's aggregate outside every lock; the
+		// snapshot may include entries that landed after the crossing
+		// instant, never fewer.
+		ev.Aggregate, ev.Total = s.merged(shardSubs, ev.Total)
+		if fn != nil {
+			fn(*ev)
+		}
+	}
+}
+
+// merged merges the per-shard materialized partials into the cluster
+// aggregation; fallbackTotal is reported if a shard sub vanished
+// mid-read (unsubscribe race).
+func (s *clusterStanding) merged(shardSubs map[int]string, fallbackTotal int) (query.Aggregation, int) {
+	parts := make([]query.Partial, 0, len(shardSubs))
+	var opts query.AggregateOptions
+	for shard, subID := range shardSubs {
+		if p, o, ok := s.regs[shard].PartialSnapshotOf(subID); ok {
+			parts = append(parts, p)
+			opts = o
+		}
+	}
+	agg := query.MergePartials(parts, opts)
+	if agg.Total == 0 && fallbackTotal != 0 && len(parts) == 0 {
+		return agg, fallbackTotal
+	}
+	return agg, agg.Total
+}
+
+// SetStandingNotify installs the cluster event sink. Called from the
+// evaluation worker with no locks held; it may block briefly.
+func (c *Cluster) SetStandingNotify(fn func(ClusterEvent)) {
+	s := c.standing
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.notify = fn
+}
+
+// Subscribe registers a cluster standing query: one per-shard
+// subscription (threshold 0 — the cluster evaluates the merged total)
+// on every standing-capable shard the filter's routing targets. If the
+// merged baseline already meets the threshold, the event fires
+// immediately.
+func (c *Cluster) Subscribe(f store.Filter, opts query.AggregateOptions, threshold int) (ClusterSubInfo, error) {
+	s := c.standing
+	opts = opts.Normalize()
+
+	var targets []int
+	for _, id := range c.targets(f) {
+		if _, ok := s.regs[id]; ok {
+			targets = append(targets, id)
+		}
+	}
+	if len(targets) == 0 {
+		return ClusterSubInfo{}, fmt.Errorf("shard: no standing-capable shard serves this filter")
+	}
+
+	s.mu.Lock()
+	s.next++
+	id := fmt.Sprintf("csub-%d", s.next)
+	cs := &clusterSub{
+		id: id, filter: f, opts: opts, threshold: threshold,
+		shardSubs: map[int]string{},
+	}
+	s.subs[id] = cs
+	s.order = append(s.order, id)
+	gStandingClusterSubs.Set(float64(len(s.subs)))
+	s.mu.Unlock()
+
+	for _, shardID := range targets {
+		info, err := s.regs[shardID].Register(f, opts, 0)
+		if err != nil {
+			c.Unsubscribe(id)
+			return ClusterSubInfo{}, fmt.Errorf("shard %d: standing register: %w", shardID, err)
+		}
+		s.mu.Lock()
+		cs.shardSubs[shardID] = info.ID
+		s.byShard[shardSubKey{shardID, info.ID}] = id
+		s.mu.Unlock()
+	}
+	// Pokes raced against the mapping install above are absolute-total
+	// reads, so one queued evaluation now covers everything so far —
+	// including a baseline that already crosses the threshold.
+	s.mu.Lock()
+	s.pending[id] = true
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	return c.subscriptionInfo(id)
+}
+
+// Unsubscribe removes a cluster subscription and its per-shard
+// registrations; reports whether it existed.
+func (c *Cluster) Unsubscribe(id string) bool {
+	s := c.standing
+	s.mu.Lock()
+	cs, ok := s.subs[id]
+	if !ok {
+		s.mu.Unlock()
+		return false
+	}
+	delete(s.subs, id)
+	delete(s.pending, id)
+	for i, v := range s.order {
+		if v == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	shardSubs := cs.shardSubs
+	for shard, subID := range shardSubs {
+		delete(s.byShard, shardSubKey{shard, subID})
+	}
+	gStandingClusterSubs.Set(float64(len(s.subs)))
+	s.mu.Unlock()
+	for shard, subID := range shardSubs {
+		s.regs[shard].Unregister(subID)
+	}
+	return true
+}
+
+// Subscriptions lists every cluster subscription with fresh merged
+// totals, in registration order.
+func (c *Cluster) Subscriptions() []ClusterSubInfo {
+	s := c.standing
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]ClusterSubInfo, 0, len(ids))
+	for _, id := range ids {
+		if info, err := c.subscriptionInfo(id); err == nil {
+			out = append(out, info)
+		}
+	}
+	return out
+}
+
+// subscriptionInfo builds one subscription's info with a fresh merged
+// total.
+func (c *Cluster) subscriptionInfo(id string) (ClusterSubInfo, error) {
+	s := c.standing
+	s.mu.Lock()
+	cs, ok := s.subs[id]
+	if !ok {
+		s.mu.Unlock()
+		return ClusterSubInfo{}, fmt.Errorf("shard: unknown subscription %s", id)
+	}
+	info := ClusterSubInfo{
+		ID:             id,
+		Filter:         cs.filter,
+		Options:        cs.opts,
+		Threshold:      cs.threshold,
+		Fired:          cs.fired,
+		Events:         cs.events,
+		ShardsStanding: len(cs.shardSubs),
+		ShardsTotal:    len(c.shards),
+	}
+	shardSubs := make(map[int]string, len(cs.shardSubs))
+	for k, v := range cs.shardSubs {
+		shardSubs[k] = v
+	}
+	s.mu.Unlock()
+	for shard, subID := range shardSubs {
+		if t, ok := s.regs[shard].TotalOf(subID); ok {
+			info.Total += t
+		}
+	}
+	return info, nil
+}
+
+// StandingAggregate answers a cluster standing query from the merged
+// per-shard materializations — no scans. Byte-identical to a scatter
+// Aggregate over the same filter and options (pinned by differential
+// tests).
+func (c *Cluster) StandingAggregate(id string) (query.Aggregation, bool) {
+	s := c.standing
+	s.mu.Lock()
+	cs, ok := s.subs[id]
+	if !ok {
+		s.mu.Unlock()
+		return query.Aggregation{}, false
+	}
+	shardSubs := make(map[int]string, len(cs.shardSubs))
+	for k, v := range cs.shardSubs {
+		shardSubs[k] = v
+	}
+	opts := cs.opts
+	s.mu.Unlock()
+	parts := make([]query.Partial, 0, len(shardSubs))
+	for shard, subID := range shardSubs {
+		if p, _, ok := s.regs[shard].PartialSnapshotOf(subID); ok {
+			parts = append(parts, p)
+		}
+	}
+	return query.MergePartials(parts, opts), true
+}
+
+// StandingSettled reports whether every per-shard registry backing the
+// given subscriptions is clean (no rebuild pending) — the quiesce tests
+// and the smoke target wait on before differential checks.
+func (c *Cluster) StandingSettled() bool {
+	s := c.standing
+	for _, reg := range s.regs {
+		for _, info := range reg.List() {
+			if info.Dirty {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -121,7 +121,7 @@ func (s *Store) Compact() (CompactStats, error) {
 
 	var st CompactStats
 	for {
-		merged, n, err := s.compactOnce()
+		merged, n, seq, err := s.compactOnce()
 		if err != nil {
 			return st, err
 		}
@@ -134,6 +134,10 @@ func (s *Store) Compact() (CompactStats, error) {
 		mCompactions.Add(1)
 		mCompactSegsIn.Add(int64(n.segments))
 		mCompactEntries.Add(int64(n.entries))
+		// compactOnce released mu before returning; safe to notify. The
+		// entry set is unchanged, but the fingerprint moved and derived
+		// state keyed by layout must refresh.
+		s.notify(Mutation{Kind: MutationCompact, Seq: seq})
 	}
 }
 
@@ -169,7 +173,7 @@ func pickCompactRun(segs []*segment, target int) (start, end int, ok bool) {
 // segments after the ones merged here, since seals are newer in both
 // time and name), but nothing else can remove or replace the run's
 // segments between the snapshot and the commit.
-func (s *Store) compactOnce() (bool, mergeSize, error) {
+func (s *Store) compactOnce() (bool, mergeSize, uint64, error) {
 	// Snapshot the run under a read lock; segments are immutable so the
 	// merge itself needs no lock at all.
 	s.mu.RLock()
@@ -181,7 +185,7 @@ func (s *Store) compactOnce() (bool, mergeSize, error) {
 	}
 	s.mu.RUnlock()
 	if !ok {
-		return false, mergeSize{}, nil
+		return false, mergeSize{}, 0, nil
 	}
 	// The snapshot reference keeps the run's mappings alive for the
 	// merge read below even if something else could drop them; the
@@ -193,7 +197,7 @@ func (s *Store) compactOnce() (bool, mergeSize, error) {
 	for _, g := range run {
 		ents, err := g.entries()
 		if err != nil {
-			return false, mergeSize{}, fmt.Errorf("store: compact read %s: %w", g.name, err)
+			return false, mergeSize{}, 0, fmt.Errorf("store: compact read %s: %w", g.name, err)
 		}
 		merged = append(merged, ents...)
 		inputs = append(inputs, g.name)
@@ -210,53 +214,53 @@ func (s *Store) compactOnce() (bool, mergeSize, error) {
 
 	// 1. stage
 	if err := writeFileSync(tmp, blob); err != nil {
-		return false, mergeSize{}, fmt.Errorf("store: compact stage %s: %w", name, err)
+		return false, mergeSize{}, 0, fmt.Errorf("store: compact stage %s: %w", name, err)
 	}
 	if err := s.crashPoint(crashCompactTmpWritten); err != nil {
-		return false, mergeSize{}, err
+		return false, mergeSize{}, 0, err
 	}
 	// 2. intend
 	cm, err := readCompactManifest(s.dir)
 	if err != nil {
-		return false, mergeSize{}, err
+		return false, mergeSize{}, 0, err
 	}
 	cm.Pending = append(cm.Pending, compactRecord{Output: name, Inputs: inputs})
 	if err := writeCompactManifest(s.dir, cm); err != nil {
-		return false, mergeSize{}, err
+		return false, mergeSize{}, 0, err
 	}
 	if err := s.crashPoint(crashCompactManifestWritten); err != nil {
-		return false, mergeSize{}, err
+		return false, mergeSize{}, 0, err
 	}
 	// 3. commit
 	if err := os.Rename(tmp, path); err != nil {
-		return false, mergeSize{}, err
+		return false, mergeSize{}, 0, err
 	}
 	if err := syncDir(s.dir); err != nil {
-		return false, mergeSize{}, err
+		return false, mergeSize{}, 0, err
 	}
 	if err := s.crashPoint(crashCompactOutputRenamed); err != nil {
-		return false, mergeSize{}, err
+		return false, mergeSize{}, 0, err
 	}
 	// 4. gc
 	for _, in := range inputs {
 		if err := os.Remove(filepath.Join(s.dir, in)); err != nil {
-			return false, mergeSize{}, err
+			return false, mergeSize{}, 0, err
 		}
 	}
 	if err := syncDir(s.dir); err != nil {
-		return false, mergeSize{}, err
+		return false, mergeSize{}, 0, err
 	}
 	if err := s.crashPoint(crashCompactInputsRemoved); err != nil {
-		return false, mergeSize{}, err
+		return false, mergeSize{}, 0, err
 	}
 	// 5. clear
 	if err := writeCompactManifest(s.dir, compactManifest{}); err != nil {
-		return false, mergeSize{}, err
+		return false, mergeSize{}, 0, err
 	}
 
 	g, err := openSegmentFile(path)
 	if err != nil {
-		return false, mergeSize{}, fmt.Errorf("store: compact %s: self-check failed: %w", name, err)
+		return false, mergeSize{}, 0, fmt.Errorf("store: compact %s: self-check failed: %w", name, err)
 	}
 	// Replace the run in place. Concurrent seals may have appended new
 	// segments since the snapshot; the run's indexes are still valid
@@ -283,10 +287,10 @@ func (s *Store) compactOnce() (bool, mergeSize, error) {
 	// nextSeg advanced, so the wal's epoch header is stale; refresh it
 	// (also re-covers the tail, unchanged by compaction).
 	if err := s.rewriteWalLocked(); err != nil {
-		return false, mergeSize{}, err
+		return false, mergeSize{}, 0, err
 	}
 	s.publishSizes()
-	return true, mergeSize{segments: len(run), entries: len(merged)}, nil
+	return true, mergeSize{segments: len(run), entries: len(merged)}, s.mutSeq.Add(1), nil
 }
 
 // ApplyRetention drops every sealed segment whose newest record is
@@ -297,6 +301,17 @@ func (s *Store) compactOnce() (bool, mergeSize, error) {
 func (s *Store) ApplyRetention(horizon time.Time) (RetentionStats, error) {
 	s.compactMu.Lock()
 	defer s.compactMu.Unlock()
+	st, seq, err := s.applyRetentionLocked(horizon)
+	if err == nil && st.SegmentsDropped > 0 {
+		// mu is released; notify (still under compactMu, see notify).
+		// Retention genuinely shrinks the entry set — incremental views
+		// must rebuild from a scan.
+		s.notify(Mutation{Kind: MutationRetention, Seq: seq})
+	}
+	return st, err
+}
+
+func (s *Store) applyRetentionLocked(horizon time.Time) (RetentionStats, uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
@@ -310,26 +325,26 @@ func (s *Store) ApplyRetention(horizon time.Time) (RetentionStats, error) {
 			continue
 		}
 		if err := os.Remove(filepath.Join(s.dir, g.name)); err != nil {
-			return st, err
+			return st, 0, err
 		}
 		dropped = append(dropped, g)
 		st.SegmentsDropped++
 		st.EntriesDropped += g.count
 	}
 	if st.SegmentsDropped == 0 {
-		return st, nil
+		return st, 0, nil
 	}
 	s.segs = keep
 	// As with compaction gc: the files are unlinked, the mappings live
 	// until the last in-flight scan holding a snapshot reference ends.
 	releaseAll(dropped)
 	if err := syncDir(s.dir); err != nil {
-		return st, err
+		return st, 0, err
 	}
 	mRetentionSegs.Add(int64(st.SegmentsDropped))
 	mRetentionEntries.Add(int64(st.EntriesDropped))
 	s.publishSizes()
-	return st, nil
+	return st, s.mutSeq.Add(1), nil
 }
 
 // retentionHorizon computes the data-relative horizon: the newest

@@ -159,6 +159,10 @@ type Store struct {
 	// always compactMu before mu).
 	compactMu sync.Mutex
 
+	// obsState carries the mutation observer (see observer.go).
+	// Notifications fire after mu is released, never under it.
+	obsState
+
 	// Background maintenance loop (Options.CompactEvery).
 	bgStop chan struct{}
 	bgDone chan struct{}
@@ -444,34 +448,65 @@ func (s *Store) Append(entries ...Entry) error {
 		batch[i].Record.Raw = ""
 		frames = appendWalFrame(frames, batch[i])
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, err := s.wal.Write(frames); err != nil {
-		return fmt.Errorf("store: wal append: %w", err)
-	}
-	if s.opts.SyncAppends {
-		if err := s.wal.Sync(); err != nil {
-			return err
+	appendSeq, sealSeq, err := func() (uint64, uint64, error) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if _, err := s.wal.Write(frames); err != nil {
+			return 0, 0, fmt.Errorf("store: wal append: %w", err)
+		}
+		if s.opts.SyncAppends {
+			if err := s.wal.Sync(); err != nil {
+				return 0, 0, err
+			}
+		}
+		s.tail = append(s.tail, batch...)
+		// Seq assignment happens here, after the effects and under mu —
+		// the ordering MutationSeq documents.
+		aSeq := s.mutSeq.Add(1)
+		var sSeq uint64
+		for len(s.tail) >= s.opts.flushEvery() {
+			if err := s.sealLocked(s.opts.flushEvery()); err != nil {
+				return aSeq, sSeq, err
+			}
+			sSeq = s.mutSeq.Add(1)
+		}
+		s.publishSizes()
+		return aSeq, sSeq, nil
+	}()
+	if appendSeq != 0 {
+		// Notify outside mu: observers may re-enter the store (Scan,
+		// Fingerprint). The appended batch commits before any seal it
+		// triggered, so the append notification goes first. Notify even
+		// when a subsequent seal failed — the append itself committed.
+		s.notify(Mutation{Kind: MutationAppend, Seq: appendSeq, Entries: batch})
+		if sealSeq != 0 {
+			s.notify(Mutation{Kind: MutationSeal, Seq: sealSeq})
 		}
 	}
-	s.tail = append(s.tail, batch...)
-	for len(s.tail) >= s.opts.flushEvery() {
-		if err := s.sealLocked(s.opts.flushEvery()); err != nil {
-			return err
-		}
-	}
-	s.publishSizes()
-	return nil
+	return err
 }
 
 // Seal flushes the whole tail into a sealed segment (no-op when empty).
 func (s *Store) Seal() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.sealLocked(len(s.tail)); err != nil {
+	sealSeq, err := func() (uint64, error) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		n := len(s.tail)
+		if err := s.sealLocked(n); err != nil {
+			return 0, err
+		}
+		s.publishSizes()
+		if n == 0 {
+			return 0, nil
+		}
+		return s.mutSeq.Add(1), nil
+	}()
+	if err != nil {
 		return err
 	}
-	s.publishSizes()
+	if sealSeq != 0 {
+		s.notify(Mutation{Kind: MutationSeal, Seq: sealSeq})
+	}
 	return nil
 }
 
@@ -642,6 +677,13 @@ func (f Filter) matchUnindexed(en Entry) bool {
 	}
 	return f.BodyContains == "" || strings.Contains(en.Record.Body, f.BodyContains)
 }
+
+// Match reports whether en satisfies every predicate in f — the
+// entry-at-a-time form of the filter, exported for layers that classify
+// entries outside a scan (the standing-query registry applies it to
+// each appended entry to decide which materialized aggregates the
+// entry's delta touches).
+func (f Filter) Match(en Entry) bool { return f.match(en) }
 
 // match applies every predicate to a decoded entry (the tail path,
 // where nothing is indexed).
