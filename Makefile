@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race verify verify-race verify-shard bench bench-smoke diff-smoke subscribe-smoke fuzz fuzz-smoke
+.PHONY: all build test vet race verify verify-race verify-shard bench bench-smoke diff-smoke subscribe-smoke correlate-smoke fuzz fuzz-smoke
 
 # Every test invocation gets a hard wall-clock budget (a wedged-shard or
 # crash-recovery bug must fail the gate, not hang it) and a shuffled
@@ -44,7 +44,7 @@ verify-shard:
 	$(GO) test -race -count=1 -shuffle=on -timeout $(TEST_TIMEOUT) ./internal/shard/... ./internal/faultinject/...
 	$(GO) test -race -count=1 -timeout $(TEST_TIMEOUT) -run 'Sharded' ./cmd/logstudy/
 
-verify: build vet race bench-smoke diff-smoke subscribe-smoke fuzz-smoke
+verify: build vet race bench-smoke diff-smoke subscribe-smoke correlate-smoke fuzz-smoke
 
 # Standing-query gate: the incremental-vs-rescan differential suites
 # (registry and cluster, every mutation class, shard counts 1/2/4/7),
@@ -54,6 +54,17 @@ verify: build vet race bench-smoke diff-smoke subscribe-smoke fuzz-smoke
 # mutation stream; -count=1 so the fenced re-baseline paths re-execute.
 subscribe-smoke:
 	$(GO) test -race -count=1 -timeout $(TEST_TIMEOUT) -run 'Standing|Registry|Subscribe' ./internal/query/ ./internal/shard/ ./cmd/logstudy/
+
+# Correlation-mining gate: the incremental-vs-batch miner differentials
+# (every mutation class, warm starts, cluster shard counts 1/2/4/7) and
+# the /api/correlations + /api/predict HTTP smoke, including the
+# sharded-equals-single prediction purity check and the bounded-limit
+# contract. -race because the miner sits on the store mutation stream;
+# -count=1 so the Seq-fenced baseline paths re-execute every run.
+correlate-smoke:
+	$(GO) test -race -count=1 -timeout $(TEST_TIMEOUT) ./internal/correlate/
+	$(GO) test -race -count=1 -timeout $(TEST_TIMEOUT) -run 'ClusterCorrelate|ClusterPrediction' ./internal/shard/
+	$(GO) test -race -count=1 -timeout $(TEST_TIMEOUT) -run 'Correlations|Predict|ListLimit|SubscriptionsLimit' ./cmd/logstudy/
 
 # Columnar-vs-decode differential smoke: the zero-materialization
 # aggregate path must answer byte-identically to the row-decode path at

@@ -72,9 +72,9 @@ func TestAggregateColumnarMatchesDecodeOverHTTP(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	columnar := httptest.NewServer(newAPI(st, apiOptions{}))
+	columnar := httptest.NewServer(newTestAPI(t, st, apiOptions{}))
 	t.Cleanup(columnar.Close)
-	decode := httptest.NewServer(newAPI(st, apiOptions{DisableColumnar: true}))
+	decode := httptest.NewServer(newTestAPI(t, st, apiOptions{DisableColumnar: true}))
 	t.Cleanup(decode.Close)
 
 	for _, p := range columnarParams(entries) {
@@ -138,7 +138,7 @@ func TestShardedAggregateMatchesDecodeReference(t *testing.T) {
 	if err := st.Append(entries...); err != nil {
 		t.Fatal(err)
 	}
-	decode := httptest.NewServer(newAPI(st, apiOptions{DisableColumnar: true}))
+	decode := httptest.NewServer(newTestAPI(t, st, apiOptions{DisableColumnar: true}))
 	t.Cleanup(decode.Close)
 
 	for _, n := range []int{1, 2, 4, 7} {

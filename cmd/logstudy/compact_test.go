@@ -33,7 +33,7 @@ func TestAggregateByteIdenticalAcrossCompactionAndCache(t *testing.T) {
 	if err := st.Append(entries...); err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newAPI(st, apiOptions{CacheSize: 32}))
+	srv := httptest.NewServer(newTestAPI(t, st, apiOptions{CacheSize: 32}))
 	defer srv.Close()
 
 	// get returns the full response body and the raw bytes of its
@@ -105,7 +105,7 @@ func TestIngestBodyLimitReturns413(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer st.Close()
-	srv := httptest.NewServer(newAPI(st, apiOptions{MaxBody: 512}))
+	srv := httptest.NewServer(newTestAPI(t, st, apiOptions{MaxBody: 512}))
 	defer srv.Close()
 
 	big := strings.Repeat("x", 2048)

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+
+	"whatsupersay/internal/correlate"
+	"whatsupersay/internal/report"
+	"whatsupersay/internal/store"
+)
+
+// runCorrelate is the batch counterpart of GET /api/correlations: mine
+// the event-correlation graph from a store built by build-store (or
+// filled through serve's ingest endpoint) in one scan and print the
+// strongest precedence edges — which categories foreshadow which, how
+// often, and with what typical lag. With -predict it also runs the
+// live-prediction evaluation (the /api/predict scoreboard) over the
+// same scan. The graph is byte-identical to what the online miner
+// serves over the same entries — the differential tests pin that.
+func runCorrelate(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("correlate", flag.ContinueOnError)
+	dir := fs.String("dir", "", "store directory (required)")
+	window := fs.Duration("window", correlate.DefaultWindow, "co-occurrence window")
+	nodes := fs.String("nodes", "category", "node identity: category, source-category, or template")
+	minSupport := fs.Int("min-support", 2, "only edges with at least this many precedence pairs")
+	minConfidence := fs.Float64("min-confidence", 0, "only edges with at least this P(target | source)")
+	node := fs.String("node", "", "only edges touching this node (neighborhood view)")
+	top := fs.Int("top", 20, "edges to print")
+	asJSON := fs.Bool("json", false, "emit the filtered graph as JSON instead of a table")
+	doPredict := fs.Bool("predict", false, "also evaluate the predictor pool and print the champion scoreboard")
+	if help, err := parseFlags(fs, args); help || err != nil {
+		return err
+	}
+	if *dir == "" {
+		return usageError("correlate: -dir is required")
+	}
+	if *minSupport < 0 || *minConfidence < 0 || *minConfidence > 1 {
+		return usageError("correlate: -min-support must be >= 0 and -min-confidence in [0, 1]")
+	}
+	nodeMode, err := correlate.ParseNodeMode(*nodes)
+	if err != nil {
+		return usageError(fmt.Sprintf("correlate: %v", err))
+	}
+	cfg := correlate.Config{Window: *window, NodeMode: nodeMode}
+
+	st, _, err := store.Open(*dir, store.Options{})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	g, err := correlate.MineStore(st, cfg)
+	if err != nil {
+		return err
+	}
+	g.Edges = correlate.FilterEdges(g.Edges, int64(*minSupport), *minConfidence, *node)
+
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(g); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(w, "%s events across %d %s nodes; %d edges above support %d / confidence %.2f (window %v)\n\n",
+			report.Comma(int64(g.Events)), len(g.Nodes), g.NodeMode, len(g.Edges), *minSupport, *minConfidence, g.Window)
+		t := report.NewTable("strongest precedence edges (source precedes target within the window)",
+			"Source", "Target", "Pairs", "Confidence", "Mean Lag")
+		for i, e := range g.Edges {
+			if i >= *top {
+				fmt.Fprintf(w, "... %d more edges\n", len(g.Edges)-*top)
+				break
+			}
+			t.AddRow(e.Source, e.Target, report.Comma(e.Pairs),
+				fmt.Sprintf("%.3f", e.Confidence), e.MeanLag.String())
+		}
+		t.Render(w)
+	}
+
+	if !*doPredict {
+		return nil
+	}
+	rep, err := correlate.PredictStore(st, cfg, correlate.PredictOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nprediction scoreboard as of %s (%d events, %d categories, horizon %v):\n",
+		rep.AsOf.Format("2006-01-02 15:04:05"), rep.Events, rep.Categories, rep.Horizon)
+	t := report.NewTable("per-category champions (holdout precision/recall)",
+		"Category", "Predictor", "Precision", "Recall", "F1", "Lead")
+	for _, row := range rep.Scoreboard {
+		lead := "-"
+		if row.FromGraph {
+			lead = row.Lag.String()
+		}
+		t.AddRow(row.Category, row.Predictor,
+			fmt.Sprintf("%.3f", row.Precision), fmt.Sprintf("%.3f", row.Recall),
+			fmt.Sprintf("%.3f", row.F1), lead)
+	}
+	t.Render(w)
+	if len(rep.Warnings) == 0 {
+		fmt.Fprintln(w, "no active warnings in the final horizon")
+		return nil
+	}
+	fmt.Fprintf(w, "active warnings (%d):\n", len(rep.Warnings))
+	for _, warn := range rep.Warnings {
+		fmt.Fprintf(w, "  %s  %-14s via %s\n",
+			warn.Time.Format("2006-01-02 15:04:05"), warn.Category, warn.Predictor)
+	}
+	return nil
+}

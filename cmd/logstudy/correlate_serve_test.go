@@ -1,0 +1,332 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"whatsupersay/internal/correlate"
+	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/shard"
+	"whatsupersay/internal/store"
+)
+
+// The HTTP-level correlation differential: GET /api/correlations must
+// serve a graph byte-identical to a from-scratch batch mine over the
+// same entries — through the single-store miner and through the merged
+// cluster view at shard counts {1, 2, 4, 7} — and GET /api/predict must
+// serve the identical report through both tiers (it is a pure function
+// of the merged columns). Plus the response-bounding contract: limit
+// defaults, caps, and 400s shared with /api/subscriptions.
+
+// correlationsBody is the wire form of GET /api/correlations.
+type correlationsBody struct {
+	WindowNS  int64            `json:"window_ns"`
+	NodeMode  string           `json:"node_mode"`
+	Events    int              `json:"events"`
+	Settled   bool             `json:"settled"`
+	NodeCount int              `json:"node_count"`
+	Nodes     []correlate.Node `json:"nodes"`
+	EdgeCount int              `json:"edge_count"`
+	Edges     []correlate.Edge `json:"edges"`
+	Truncated bool             `json:"truncated"`
+}
+
+// getCorrelationsSettled polls the endpoint until the miner reports
+// settled, so the comparison runs against a fully-installed graph.
+func getCorrelationsSettled(t *testing.T, baseURL string) correlationsBody {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var body correlationsBody
+		getJSON(t, baseURL+"/api/correlations?limit=1000", &body)
+		if body.Settled {
+			return body
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("correlation miner did not settle within 5s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// checkCorrelationsDifferential pins the served graph to the batch mine
+// over the same entries.
+func checkCorrelationsDifferential(t *testing.T, baseURL string, entries []store.Entry) {
+	t.Helper()
+	body := getCorrelationsSettled(t, baseURL)
+	want := correlate.MineEntries(correlate.Config{}, entries)
+	got := correlate.Graph{
+		Window:   time.Duration(body.WindowNS),
+		NodeMode: body.NodeMode,
+		Events:   body.Events,
+		Nodes:    body.Nodes,
+		Edges:    body.Edges,
+	}
+	g, _ := json.Marshal(got)
+	w, _ := json.Marshal(want)
+	if string(g) != string(w) {
+		t.Fatalf("served graph diverges from batch mine\nserved: %s\nbatch:  %s", g, w)
+	}
+	if body.NodeCount != len(want.Nodes) || body.EdgeCount != len(want.Edges) || body.Truncated {
+		t.Fatalf("graph counts diverge: %+v", body)
+	}
+}
+
+// correlateServeEntries fabricates Liberty entries whose categories
+// cascade, spread across sources so sharding splits windowed pairs.
+func correlateServeEntries(n int) []store.Entry {
+	base := time.Date(2004, 3, 1, 12, 0, 0, 0, time.UTC)
+	cats := []string{"GM_PAR", "GM_LANAI", "PBS_CHK"}
+	out := make([]store.Entry, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, store.Entry{
+			Record: logrec.Record{
+				Seq:    uint64(i),
+				Time:   base.Add(time.Duration(i) * time.Minute),
+				System: logrec.Liberty,
+				Source: fmt.Sprintf("ln%d", i%13),
+			},
+			Category: cats[i%len(cats)],
+			Kept:     i%5 != 4,
+		})
+	}
+	return out
+}
+
+func TestCorrelationsEndpointSingleStore(t *testing.T) {
+	entries := correlateServeEntries(60)
+	st, err := store.Create(t.TempDir(), logrec.Liberty, store.Options{FlushEvery: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	if err := st.Append(entries...); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newTestAPI(t, st, apiOptions{}))
+	t.Cleanup(srv.Close)
+
+	checkCorrelationsDifferential(t, srv.URL, entries)
+
+	// Ingest-path appends reach the miner through the observer too:
+	// append more and re-check.
+	if err := st.Append(correlateServeEntries(80)[60:]...); err != nil {
+		t.Fatal(err)
+	}
+	checkCorrelationsDifferential(t, srv.URL, correlateServeEntries(80))
+
+	// Neighborhood + threshold filters apply server-side.
+	var filtered correlationsBody
+	getJSON(t, srv.URL+"/api/correlations?node=GM_LANAI&min_support=1&min_confidence=0.1", &filtered)
+	full := correlate.MineEntries(correlate.Config{}, correlateServeEntries(80))
+	wantEdges := correlate.FilterEdges(full.Edges, 1, 0.1, "GM_LANAI")
+	ge, _ := json.Marshal(filtered.Edges)
+	we, _ := json.Marshal(wantEdges)
+	if string(ge) != string(we) {
+		t.Fatalf("filtered edges diverge\nserved: %s\nbatch:  %s", ge, we)
+	}
+}
+
+func TestCorrelationsEndpointSharded(t *testing.T) {
+	entries := correlateServeEntries(60)
+	for _, shards := range []int{1, 2, 4, 7} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			c, _, err := shard.Create(t.TempDir(), logrec.Liberty, shards, shard.Options{
+				Store: store.Options{FlushEvery: 7},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { c.Close() })
+			if _, err := c.Append(entries); err != nil {
+				t.Fatal(err)
+			}
+			srv := httptest.NewServer(newShardAPI(c, apiOptions{}))
+			t.Cleanup(srv.Close)
+			checkCorrelationsDifferential(t, srv.URL, entries)
+		})
+	}
+}
+
+// TestPredictEndpointShardedMatchesSingle: /api/predict is a pure
+// function of the merged columns, so the sharded response must equal
+// the single-store response over the same entries, at every shard
+// count.
+func TestPredictEndpointShardedMatchesSingle(t *testing.T) {
+	entries := correlateServeEntries(90)
+
+	st, err := store.Create(t.TempDir(), logrec.Liberty, store.Options{FlushEvery: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	if err := st.Append(entries...); err != nil {
+		t.Fatal(err)
+	}
+	single := httptest.NewServer(newTestAPI(t, st, apiOptions{}))
+	t.Cleanup(single.Close)
+	want := getPredictSettled(t, single.URL)
+	if want["events"].(float64) == 0 {
+		t.Fatalf("single-store predict report is empty: %v", want)
+	}
+
+	for _, shards := range []int{1, 2, 4, 7} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			c, _, err := shard.Create(t.TempDir(), logrec.Liberty, shards, shard.Options{
+				Store: store.Options{FlushEvery: 1000},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { c.Close() })
+			if _, err := c.Append(entries); err != nil {
+				t.Fatal(err)
+			}
+			srv := httptest.NewServer(newShardAPI(c, apiOptions{}))
+			t.Cleanup(srv.Close)
+			got := getPredictSettled(t, srv.URL)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("sharded predict diverges from single store\nsharded: %v\nsingle:  %v", got, want)
+			}
+		})
+	}
+}
+
+// getPredictSettled polls /api/predict until settled, then returns the
+// body with the settled flag dropped (it is the only legal difference
+// between tiers).
+func getPredictSettled(t *testing.T, baseURL string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var body map[string]any
+		getJSON(t, baseURL+"/api/predict?limit=1000", &body)
+		if body["settled"] == true {
+			delete(body, "settled")
+			return body
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("predict endpoint did not settle within 5s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestListLimitValidation pins the response-bounding contract on the
+// three list endpoints: default limit, hard max, and 400 on garbage.
+func TestListLimitValidation(t *testing.T) {
+	st, err := store.Create(t.TempDir(), logrec.Liberty, store.Options{FlushEvery: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	srv := httptest.NewServer(newTestAPI(t, st, apiOptions{}))
+	t.Cleanup(srv.Close)
+
+	for _, path := range []string{"/api/correlations", "/api/predict", "/api/subscriptions"} {
+		for _, bad := range []string{"0", "-1", "abc", "1001", "1.5", ""} {
+			resp, err := http.Get(srv.URL + path + "?limit=" + bad)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if bad == "" {
+				// Empty value means "absent": the default applies.
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("GET %s with empty limit: %d, want 200", path, resp.StatusCode)
+				}
+				continue
+			}
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("GET %s with limit=%s: %d, want 400", path, bad, resp.StatusCode)
+			}
+		}
+		// The cap itself is legal.
+		resp, err := http.Get(srv.URL + path + "?limit=1000")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s with limit=1000: %d, want 200", path, resp.StatusCode)
+		}
+	}
+
+	// Bad correlation filters 400 too.
+	for _, q := range []string{"min_support=-1", "min_support=x", "min_confidence=1.5", "min_confidence=x"} {
+		resp, err := http.Get(srv.URL + "/api/correlations?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET /api/correlations?%s: %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+// TestSubscriptionsLimitTruncates: the listing clips at limit and says
+// so, while count keeps the full population.
+func TestSubscriptionsLimitTruncates(t *testing.T) {
+	st, err := store.Create(t.TempDir(), logrec.Liberty, store.Options{FlushEvery: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	srv := httptest.NewServer(newTestAPI(t, st, apiOptions{}))
+	t.Cleanup(srv.Close)
+
+	for i := 0; i < 3; i++ {
+		postSubscribe(t, srv.URL, subscribeRequest{Threshold: 100 + i})
+	}
+	var list struct {
+		Count     int       `json:"count"`
+		Subs      []subJSON `json:"subscriptions"`
+		Truncated bool      `json:"truncated"`
+	}
+	getJSON(t, srv.URL+"/api/subscriptions?limit=2", &list)
+	if list.Count != 3 || len(list.Subs) != 2 || !list.Truncated {
+		t.Fatalf("truncated listing: count=%d len=%d truncated=%t", list.Count, len(list.Subs), list.Truncated)
+	}
+	getJSON(t, srv.URL+"/api/subscriptions", &list)
+	if list.Count != 3 || len(list.Subs) != 3 || list.Truncated {
+		t.Fatalf("full listing: count=%d len=%d truncated=%t", list.Count, len(list.Subs), list.Truncated)
+	}
+}
+
+// TestCorrelationsTruncation: a limit smaller than the graph clips both
+// lists and flags it, without disturbing the counts.
+func TestCorrelationsTruncation(t *testing.T) {
+	entries := correlateServeEntries(60)
+	st, err := store.Create(t.TempDir(), logrec.Liberty, store.Options{FlushEvery: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	if err := st.Append(entries...); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newTestAPI(t, st, apiOptions{}))
+	t.Cleanup(srv.Close)
+
+	full := getCorrelationsSettled(t, srv.URL)
+	if full.EdgeCount < 2 {
+		t.Fatalf("fixture too small: %d edges", full.EdgeCount)
+	}
+	var clipped correlationsBody
+	getJSON(t, srv.URL+"/api/correlations?limit=1", &clipped)
+	if len(clipped.Edges) != 1 || len(clipped.Nodes) != 1 || !clipped.Truncated {
+		t.Fatalf("clipped response: %+v", clipped)
+	}
+	if clipped.EdgeCount != full.EdgeCount || clipped.NodeCount != full.NodeCount {
+		t.Fatalf("clipping disturbed counts: %+v vs %+v", clipped, full)
+	}
+	if !reflect.DeepEqual(clipped.Edges[0], full.Edges[0]) {
+		t.Fatalf("clipping reordered edges: %+v vs %+v", clipped.Edges[0], full.Edges[0])
+	}
+}

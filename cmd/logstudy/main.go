@@ -20,6 +20,7 @@
 //	logstudy build-store -dir DIR [-system NAME] [-scale S] [-seed N] [-in FILE] [-compact]
 //	logstudy serve -dir DIR [-addr ADDR] [-system NAME] [-max-body N] [-cache N] [-compact-every D] [-retention D]
 //	logstudy compact -dir DIR [-target N] [-retention D]
+//	logstudy correlate -dir DIR [-window D] [-nodes MODE] [-min-support N] [-min-confidence P] [-top N] [-json] [-predict]
 //
 // Exit status is 0 on success (including -h/help), 1 on a runtime
 // failure, and 2 on a command-line usage error.
@@ -221,6 +222,8 @@ func dispatch(args []string, w io.Writer) error {
 		return runServe(args[1:], w)
 	case "compact":
 		return runCompact(args[1:], w)
+	case "correlate":
+		return runCorrelate(args[1:], w)
 	case "help", "-h", "--help":
 		usage(w)
 		return nil
@@ -256,6 +259,10 @@ subcommands:
                    pipeline
   compact          merge a store's small segments into large sorted ones
                    and apply the retention horizon (-dir)
+  correlate        mine the event-correlation graph from a store in one
+                   scan: which categories precede which, with what
+                   confidence and lag (-predict adds the champion
+                   prediction scoreboard)
 
 global flags (any subcommand, before or after its name):
   -metrics FILE    write a JSON snapshot of all pipeline telemetry at exit
@@ -919,6 +926,16 @@ func runBench(args []string, w io.Writer) error {
 				s.Name, s.RecPerSec, s.AllocsPerRecord, s.BytesPerRecord)
 		}
 		fmt.Fprintf(w, "  incremental maintenance: %.2fx over per-batch rescan\n\n", rep.IncrementalSpeedup)
+	}
+	for _, rep := range led.CorrelateReports {
+		fmt.Fprintf(w, "%s correlate: %s events, %d batches of %d, graph %d nodes / %d edges\n",
+			rep.System, report.Comma(int64(rep.Records)), rep.Batches, rep.BatchSize, rep.Nodes, rep.Edges)
+		fmt.Fprintf(w, "  %-18s %14s %14s %14s\n", "stage", "events/s", "allocs/rec", "bytes/rec")
+		for _, s := range rep.Stages {
+			fmt.Fprintf(w, "  %-18s %14.0f %14.2f %14.1f\n",
+				s.Name, s.RecPerSec, s.AllocsPerRecord, s.BytesPerRecord)
+		}
+		fmt.Fprintf(w, "  incremental mining: %.2fx over per-batch re-mine\n\n", rep.IncrementalSpeedup)
 	}
 	if *outPath != "" {
 		if err := led.WriteJSON(*outPath); err != nil {

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"whatsupersay/internal/cluster"
+	"whatsupersay/internal/correlate"
 	"whatsupersay/internal/filter"
 	"whatsupersay/internal/ingest"
 	"whatsupersay/internal/logrec"
@@ -58,11 +59,17 @@ func runServe(args []string, w io.Writer) error {
 	retention := fs.Duration("retention", 0, "drop segments older than this horizon before the newest record (0 = keep everything)")
 	shards := fs.Int("shards", 0, "serve a sharded cluster with N shards (0 = single store; existing clusters use their on-disk shape)")
 	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request deadline on query/aggregate handlers (0 = none)")
+	corrWindow := fs.Duration("correlate-window", correlate.DefaultWindow, "co-occurrence window for the online correlation miner")
+	corrNodes := fs.String("correlate-nodes", "category", "correlation node identity: category, source-category, or template")
 	if help, err := parseFlags(fs, args); help || err != nil {
 		return err
 	}
 	if *dir == "" {
 		return usageError("serve: -dir is required")
+	}
+	nodeMode, err := correlate.ParseNodeMode(*corrNodes)
+	if err != nil {
+		return usageError(fmt.Sprintf("serve: %v", err))
 	}
 	opts := store.Options{
 		FlushEvery:    *flushEvery,
@@ -71,7 +78,10 @@ func runServe(args []string, w io.Writer) error {
 		CompactEvery:  *compactEvery,
 		Retention:     *retention,
 	}
-	apiOpts := apiOptions{MaxBody: *maxBody, CacheSize: *cacheSize, RequestTimeout: *reqTimeout}
+	apiOpts := apiOptions{
+		MaxBody: *maxBody, CacheSize: *cacheSize, RequestTimeout: *reqTimeout,
+		Correlate: correlate.Config{Window: *corrWindow, NodeMode: nodeMode},
+	}
 
 	var handler http.Handler
 	var closeStore func() error
@@ -80,7 +90,7 @@ func runServe(args []string, w io.Writer) error {
 		var c *shard.Cluster
 		var crep *shard.OpenReport
 		var err error
-		sopts := shard.Options{Store: opts, CacheSize: *cacheSize}
+		sopts := shard.Options{Store: opts, CacheSize: *cacheSize, Correlate: apiOpts.Correlate}
 		if *sysName != "" {
 			sys, perr := logrec.ParseSystem(*sysName)
 			if perr != nil {
@@ -115,8 +125,20 @@ func runServe(args []string, w io.Writer) error {
 		} else if st, rep, err = store.Open(*dir, opts); err != nil {
 			return err
 		}
-		closeStore = st.Close
-		handler = newAPI(st, apiOpts)
+		apiOpts.CorrelateArtifact = correlate.ArtifactPath(*dir)
+		as, err := newAPI(st, apiOpts)
+		if err != nil {
+			st.Close()
+			return err
+		}
+		// Close the push tier (seal, detach, final miner save) before the
+		// store, so the persisted correlation artifact warm-starts the
+		// next open.
+		closeStore = func() error {
+			as.Close()
+			return st.Close()
+		}
+		handler = as
 		reportOpen(w, st, rep)
 		banner = fmt.Sprintf("serving alert store API on http://%%s/ (%s entries)\n",
 			report.Comma(int64(st.Len())))
@@ -191,6 +213,14 @@ type apiOptions struct {
 	// DisableColumnar forces the engine's row-decode aggregate path —
 	// the reference side of the columnar differential tests.
 	DisableColumnar bool
+	// Correlate configures the online correlation miner behind
+	// /api/correlations (zero value = defaults).
+	Correlate correlate.Config
+	// CorrelateArtifact is where the miner persists its graph for warm
+	// starts (empty disables persistence — tests).
+	CorrelateArtifact string
+	// Predict tunes the /api/predict evaluation (zero value = defaults).
+	Predict correlate.PredictOptions
 }
 
 // requestContext applies the configured per-request deadline to an
@@ -211,10 +241,37 @@ type api struct {
 	opts apiOptions
 }
 
+// apiServer is the single-store handler plus the push tier behind it:
+// the standing-query registry and the correlation miner, both fed by
+// the store's (single, multiplexed) mutation observer.
+type apiServer struct {
+	http.Handler
+	st    *store.Store
+	reg   *query.Registry
+	miner *correlate.Miner
+}
+
+// Close shuts the push tier down in warm-start-preserving order: seal
+// the tail while the miner still observes (so the persisted artifact's
+// fingerprint matches the store a reopen will see), detach the
+// observer, close the miner (final artifact save), then the registry.
+// The store stays open — the caller owns it, and its own Close's seal
+// finds an empty tail, a no-op that leaves the fingerprint stable.
+func (a *apiServer) Close() error {
+	err := a.st.Seal()
+	a.st.SetObserver(nil)
+	a.miner.Close()
+	a.reg.Close()
+	return err
+}
+
 // newAPI builds the HTTP handler for one open store, including the
-// standing-query subscription endpoints: a registry observes the
-// store's mutation stream and its fires flow into a push hub.
-func newAPI(st *store.Store, opts apiOptions) http.Handler {
+// standing-query subscription endpoints (a registry observes the
+// store's mutation stream and its fires flow into a push hub) and the
+// correlation miner behind /api/correlations and /api/predict. The
+// error is the miner's baseline scan failing. Call Close before
+// closing the store.
+func newAPI(st *store.Store, opts apiOptions) (*apiServer, error) {
 	eng := &query.Engine{Store: st, DisableColumnar: opts.DisableColumnar}
 	if opts.CacheSize > 0 {
 		eng.EnableCache(opts.CacheSize)
@@ -234,7 +291,18 @@ func newAPI(st *store.Store, opts apiOptions) http.Handler {
 	})
 
 	reg := query.NewRegistry(st)
-	st.SetObserver(reg.OnMutation)
+	miner := correlate.NewMiner(st, opts.Correlate, opts.CorrelateArtifact)
+	// One observer per store: fan the stream out to both consumers.
+	st.SetObserver(func(mu store.Mutation) {
+		reg.OnMutation(mu)
+		miner.OnMutation(mu)
+	})
+	if err := miner.Init(); err != nil {
+		st.SetObserver(nil)
+		miner.Close()
+		reg.Close()
+		return nil, fmt.Errorf("correlate init: %w", err)
+	}
 	hub := newPushHub()
 	reg.SetNotify(func(ev query.StandingEvent) {
 		hub.dispatch(subEvent{
@@ -247,7 +315,9 @@ func newAPI(st *store.Store, opts apiOptions) http.Handler {
 	})
 	sub := &subAPI{b: registryStanding{reg: reg, sys: st.System()}, hub: hub, opts: opts}
 	sub.register(mux)
-	return mux
+	ca := &correlAPI{b: minerCorrelate{m: miner, live: correlate.NewLiveService(miner, opts.Predict)}}
+	ca.register(mux)
+	return &apiServer{Handler: mux, st: st, reg: reg, miner: miner}, nil
 }
 
 // instrument wraps a handler with per-path request latency and count

@@ -29,6 +29,19 @@ import (
 
 const testScale = 0.00005
 
+// newTestAPI builds the single-store handler, failing the test on a
+// miner baseline error and closing the push tier (registry + miner) at
+// cleanup, before the store's own cleanup closes the store.
+func newTestAPI(t *testing.T, st *store.Store, opts apiOptions) http.Handler {
+	t.Helper()
+	as, err := newAPI(st, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { as.Close() })
+	return as
+}
+
 // newTestStudy runs the batch pipeline once at test scale.
 func newTestStudy(t *testing.T) *core.Study {
 	t.Helper()
@@ -57,7 +70,7 @@ func newTestServer(t *testing.T, s *core.Study) (*httptest.Server, []store.Entry
 	if err := st.Append(entries...); err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newAPI(st, apiOptions{}))
+	srv := httptest.NewServer(newTestAPI(t, st, apiOptions{}))
 	t.Cleanup(srv.Close)
 	return srv, entries
 }
@@ -273,7 +286,7 @@ func TestIngestEndpointMatchesBatchPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer st.Close()
-	srv := httptest.NewServer(newAPI(st, apiOptions{}))
+	srv := httptest.NewServer(newTestAPI(t, st, apiOptions{}))
 	defer srv.Close()
 
 	resp, err := http.Post(srv.URL+"/api/ingest", "text/plain", strings.NewReader(body))
@@ -378,7 +391,7 @@ func TestBuildStoreAndServeCommands(t *testing.T) {
 	if rep.TailEntries != 0 || len(rep.CorruptSegments) != 0 {
 		t.Fatalf("build-store left a dirty store: %+v", rep)
 	}
-	srv := httptest.NewServer(newAPI(st, apiOptions{}))
+	srv := httptest.NewServer(newTestAPI(t, st, apiOptions{}))
 	defer srv.Close()
 
 	s := newTestStudy(t)

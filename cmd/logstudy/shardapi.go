@@ -61,6 +61,10 @@ func newShardAPI(c *shard.Cluster, opts apiOptions) http.Handler {
 	})
 	sub := &subAPI{b: clusterStandingBackend{c: c}, hub: hub, opts: opts}
 	sub.register(mux)
+
+	// Correlation mining + live prediction over the merged cluster view.
+	ca := &correlAPI{b: clusterCorrelateBackend{c: c, opts: opts.Predict}}
+	ca.register(mux)
 	return mux
 }
 

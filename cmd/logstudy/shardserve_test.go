@@ -247,7 +247,7 @@ func TestShardedIngestMatchesBatchPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer st.Close()
-	single := httptest.NewServer(newAPI(st, apiOptions{}))
+	single := httptest.NewServer(newTestAPI(t, st, apiOptions{}))
 	defer single.Close()
 	postLines(t, single.URL, body, http.StatusOK)
 	var want struct {

@@ -362,12 +362,26 @@ func (s *subAPI) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(info)
 }
 
+// handleSubscriptions lists subscriptions, bounded by the shared limit
+// parameter (default 100, max 1000, 400 on garbage) so a server with
+// thousands of standing queries cannot be made to render them all in
+// one response. count is the full population; truncated flags a
+// clipped listing.
 func (s *subAPI) handleSubscriptions(w http.ResponseWriter, r *http.Request) {
+	limit, err := parseBoundedLimit(r.URL.Query())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	subs := s.b.Subscriptions()
+	total := len(subs)
+	if len(subs) > limit {
+		subs = subs[:limit]
+	}
 	for i := range subs {
 		subs[i].Webhook = s.hub.webhookOf(subs[i].ID)
 	}
-	writeJSON(w, map[string]any{"count": len(subs), "subscriptions": subs})
+	writeJSON(w, map[string]any{"count": total, "subscriptions": subs, "truncated": total > limit})
 }
 
 func (s *subAPI) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {

@@ -161,7 +161,7 @@ func TestSubscribeSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { st.Close() })
-	srv := httptest.NewServer(newAPI(st, apiOptions{}))
+	srv := httptest.NewServer(newTestAPI(t, st, apiOptions{}))
 	t.Cleanup(srv.Close)
 
 	// A webhook target that records every delivery.
@@ -359,7 +359,7 @@ func TestSubscribeValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { st.Close() })
-	srv := httptest.NewServer(newAPI(st, apiOptions{}))
+	srv := httptest.NewServer(newTestAPI(t, st, apiOptions{}))
 	t.Cleanup(srv.Close)
 
 	bad := []subscribeRequest{

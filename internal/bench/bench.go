@@ -120,6 +120,10 @@ type Ledger struct {
 	// (incremental delta-apply vs a from-scratch rescan after every
 	// mutation batch) per system; see standing.go.
 	StandingReports []StandingReport `json:"standing_reports,omitempty"`
+	// CorrelateReports measures the online correlation miner
+	// (incremental column/edge folds vs a from-scratch re-mine after
+	// every mutation batch) per system; see correlate.go.
+	CorrelateReports []CorrelateReport `json:"correlate_reports,omitempty"`
 }
 
 // timeBest runs fn iters times and returns the best wall time. A
@@ -260,6 +264,11 @@ func Run(systems []logrec.System, opts Options) (*Ledger, error) {
 			return nil, err
 		}
 		led.StandingReports = append(led.StandingReports, standing)
+		correl, err := RunCorrelateSystem(sys, opts)
+		if err != nil {
+			return nil, err
+		}
+		led.CorrelateReports = append(led.CorrelateReports, correl)
 	}
 	return led, nil
 }

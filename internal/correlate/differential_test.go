@@ -1,0 +1,257 @@
+package correlate
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/store"
+)
+
+// The correlate differential: after every mutation class — append,
+// seal, compaction, retention — the online miner's graph must marshal
+// to exactly the bytes a from-scratch batch mine over the same store
+// produces. Same discipline as the standing-query suite.
+
+func waitSettled(t *testing.T, miners ...*Miner) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		settled := true
+		for _, m := range miners {
+			if !m.Settled() {
+				settled = false
+				break
+			}
+		}
+		if settled {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("miner did not settle")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func checkMinerDifferential(t *testing.T, step string, st *store.Store, miners []*Miner) {
+	t.Helper()
+	waitSettled(t, miners...)
+	for _, m := range miners {
+		want, err := MineStore(st, m.Config())
+		if err != nil {
+			t.Fatalf("%s: batch mine: %v", step, err)
+		}
+		g, _ := json.Marshal(m.Snapshot())
+		w, _ := json.Marshal(want)
+		if string(g) != string(w) {
+			t.Fatalf("%s: cfg %s diverges from batch mine\nincremental: %s\nbatch:       %s",
+				step, m.Config().Key(), g, w)
+		}
+	}
+}
+
+// openMiners wires one multiplexed observer across all miners (the
+// store supports a single observer) and installs their baselines.
+func openMiners(t *testing.T, st *store.Store, cfgs []Config) []*Miner {
+	t.Helper()
+	miners := make([]*Miner, len(cfgs))
+	for i, cfg := range cfgs {
+		miners[i] = NewMiner(st, cfg, "")
+	}
+	st.SetObserver(func(mu store.Mutation) {
+		for _, m := range miners {
+			m.OnMutation(mu)
+		}
+	})
+	for _, m := range miners {
+		if err := m.Init(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return miners
+}
+
+func closeMiners(st *store.Store, miners []*Miner) {
+	st.SetObserver(nil)
+	for _, m := range miners {
+		m.Close()
+	}
+}
+
+// minerEntries fabricates a stream with several categories and sources
+// at minute spacing so windowed pairs exist across batches.
+func minerEntries(base time.Time, startSeq uint64, n int) []store.Entry {
+	cats := []string{"GM_PAR", "GM_LANAI", "PBS_CHK"}
+	srcs := []string{"ladm1", "ln12"}
+	out := make([]store.Entry, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, store.Entry{
+			Record: logrec.Record{
+				Seq:    startSeq + uint64(i),
+				Time:   base.Add(time.Duration(i) * time.Minute),
+				System: logrec.Liberty,
+				Source: srcs[i%len(srcs)],
+				Body:   "unit check failed",
+			},
+			Category: cats[i%len(cats)],
+			Kept:     i%4 != 3,
+		})
+	}
+	return out
+}
+
+func TestMinerDifferential(t *testing.T) {
+	st, err := store.Create(t.TempDir(), logrec.Liberty, store.Options{FlushEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	miners := openMiners(t, st, []Config{
+		{},
+		{Window: 2 * time.Minute},
+		{NodeMode: NodeSourceCategory},
+		{IncludeRemoved: true},
+	})
+	defer closeMiners(st, miners)
+
+	base := time.Date(2004, 3, 1, 12, 0, 0, 0, time.UTC)
+	checkMinerDifferential(t, "empty baseline", st, miners)
+
+	// Appends with auto-seal every 3 entries (append + seal mutations).
+	if err := st.Append(minerEntries(base, 0, 7)...); err != nil {
+		t.Fatal(err)
+	}
+	checkMinerDifferential(t, "append+autoseal", st, miners)
+
+	// A second era, then an explicit seal.
+	if err := st.Append(minerEntries(base.Add(40*time.Minute), 100, 5)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	checkMinerDifferential(t, "seal", st, miners)
+
+	// Compaction: entry set unchanged, miner must survive the rebuild.
+	cst, err := st.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cst.Compactions == 0 {
+		t.Fatal("compaction did not run; test needs a real compact mutation")
+	}
+	checkMinerDifferential(t, "compaction rebuild", st, miners)
+
+	// Retention drops the oldest segment — the graph's decay: aged-out
+	// events must leave the columns and every touched edge must shrink
+	// to exactly the batch mine of what remains.
+	if err := st.Append(minerEntries(base.Add(3*time.Hour), 200, 6)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	before := miners[0].Snapshot().Events
+	rst, err := st.ApplyRetention(base.Add(2 * time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rst.SegmentsDropped == 0 {
+		t.Fatal("retention dropped nothing; test needs a real retention mutation")
+	}
+	checkMinerDifferential(t, "retention rebuild", st, miners)
+	if after := miners[0].Snapshot().Events; after >= before {
+		t.Fatalf("retention did not decay the graph: %d events before, %d after", before, after)
+	}
+
+	// Deltas resume on the new baseline.
+	if err := st.Append(minerEntries(base.Add(4*time.Hour), 300, 4)...); err != nil {
+		t.Fatal(err)
+	}
+	checkMinerDifferential(t, "post-retention append", st, miners)
+
+	stats := miners[0].Stats()
+	if stats.DeltasApplied == 0 || stats.Rebuilds == 0 {
+		t.Fatalf("exercise did not cover both paths: %+v", stats)
+	}
+}
+
+// TestMinerInitDuringAppends races Init's fenced baseline against a
+// concurrent append stream: every entry must land exactly once.
+func TestMinerInitDuringAppends(t *testing.T) {
+	st, err := store.Create(t.TempDir(), logrec.Liberty, store.Options{FlushEvery: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	m := NewMiner(st, Config{}, "")
+	st.SetObserver(m.OnMutation)
+	defer func() {
+		st.SetObserver(nil)
+		m.Close()
+	}()
+
+	base := time.Date(2004, 3, 1, 0, 0, 0, 0, time.UTC)
+	const batches, per = 40, 7
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < batches; i++ {
+			batch := minerEntries(base.Add(time.Duration(i)*time.Hour), uint64(i*per), per)
+			if err := st.Append(batch...); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	if err := m.Init(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	checkMinerDifferential(t, "quiesced", st, []*Miner{m})
+	// minerEntries keeps 6 of every 7-entry batch (index 3 is removed).
+	total := batches * (per - 1)
+	if got := m.Snapshot().Events; got != total {
+		t.Fatalf("events = %d, want %d", got, total)
+	}
+}
+
+// TestMinerVersionAdvances pins the cache key: the version moves on
+// applied deltas and installed rebuilds, not on no-op mutations.
+func TestMinerVersionAdvances(t *testing.T) {
+	st, err := store.Create(t.TempDir(), logrec.Liberty, store.Options{FlushEvery: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	m := NewMiner(st, Config{}, "")
+	st.SetObserver(m.OnMutation)
+	defer func() {
+		st.SetObserver(nil)
+		m.Close()
+	}()
+	if err := m.Init(); err != nil {
+		t.Fatal(err)
+	}
+	v0 := m.Version()
+	base := time.Date(2004, 3, 1, 0, 0, 0, 0, time.UTC)
+	if err := st.Append(minerEntries(base, 0, 4)...); err != nil {
+		t.Fatal(err)
+	}
+	waitSettled(t, m)
+	v1 := m.Version()
+	if v1 <= v0 {
+		t.Fatalf("append did not advance version: %d -> %d", v0, v1)
+	}
+	if err := st.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	waitSettled(t, m)
+	if v := m.Version(); v != v1 {
+		t.Fatalf("seal changed version: %d -> %d", v1, v)
+	}
+}

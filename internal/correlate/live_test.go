@@ -1,0 +1,226 @@
+package correlate
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"whatsupersay/internal/core"
+	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/simulate"
+	"whatsupersay/internal/store"
+	"whatsupersay/internal/tag"
+)
+
+// libertyEntries runs the study pipeline on simulated Liberty data and
+// converts the alert stream into store entries, Kept marking the
+// alerts that survived Algorithm 3.1 — the five-system dataset the
+// acceptance criterion names.
+func libertyEntries(t *testing.T) []store.Entry {
+	t.Helper()
+	study, err := core.New(simulate.Config{System: logrec.Liberty, Scale: 0.0002, AlertScale: 1, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := make(map[uint64]bool, len(study.Filtered))
+	for _, a := range study.Filtered {
+		kept[a.Record.Seq] = true
+	}
+	entries := make([]store.Entry, 0, len(study.Alerts))
+	for _, a := range study.Alerts {
+		entries = append(entries, store.Entry{
+			Record:   a.Record,
+			Category: a.Category.Name,
+			Kept:     kept[a.Record.Seq],
+		})
+	}
+	return entries
+}
+
+// TestLibertyGraphFindsGMEdge: the miner rediscovers Figure 3 — a
+// GM_PAR → GM_LANAI edge with real support and minutes-scale lag —
+// from the filtered Liberty stream.
+func TestLibertyGraphFindsGMEdge(t *testing.T) {
+	g := MineEntries(Config{}, libertyEntries(t))
+	var edge *Edge
+	for i := range g.Edges {
+		if g.Edges[i].Source == "GM_PAR" && g.Edges[i].Target == "GM_LANAI" {
+			edge = &g.Edges[i]
+			break
+		}
+	}
+	if edge == nil {
+		t.Fatalf("no GM_PAR→GM_LANAI edge mined; edges: %+v", g.Edges)
+	}
+	if edge.Pairs < int64(DefaultMinEdgeSupport) {
+		t.Fatalf("edge support %d too weak: %+v", edge.Pairs, edge)
+	}
+	if edge.MeanLag <= 0 || edge.MeanLag > time.Hour {
+		t.Fatalf("edge lag out of the Figure 3 range: %+v", edge)
+	}
+}
+
+// TestLibertyGraphPredictorSelected is the acceptance criterion: on one
+// of the five study systems' data, AutoEnsemble picks a graph-derived
+// predictor as a category's champion and the report carries warnings
+// from it.
+func TestLibertyGraphPredictorSelected(t *testing.T) {
+	entries := libertyEntries(t)
+	cfg := Config{}.withDefaults()
+	cols := columnsOf(cfg, entries)
+
+	rep := PredictFromColumns(cfg, cols, PredictOptions{})
+	var row *ScoreRow
+	for i := range rep.Scoreboard {
+		if rep.Scoreboard[i].FromGraph && rep.Scoreboard[i].Category == "GM_LANAI" {
+			row = &rep.Scoreboard[i]
+			break
+		}
+	}
+	if row == nil {
+		t.Fatalf("no graph-derived champion for GM_LANAI; scoreboard: %+v", rep.Scoreboard)
+	}
+	if !strings.Contains(row.Predictor, "GM_PAR") {
+		t.Fatalf("GM_LANAI champion is not the GM_PAR edge: %+v", row)
+	}
+	if row.F1 <= 0 {
+		t.Fatalf("graph champion scored zero on holdout: %+v", row)
+	}
+	if row.Lag <= 0 {
+		t.Fatalf("graph champion carries no lead-time estimate: %+v", row)
+	}
+
+	// Truncate the stream just after a GM_PAR event: the live view's
+	// final-horizon window must then carry a warning issued by the graph
+	// champion ("current warnings" in the /api/predict sense).
+	lastPar := int64(0)
+	for _, ts := range cols["GM_PAR"] {
+		lastPar = ts
+	}
+	if lastPar == 0 {
+		t.Fatal("no GM_PAR events")
+	}
+	cut := make(map[string][]int64, len(cols))
+	for node, col := range cols {
+		var kept []int64
+		for _, ts := range col {
+			if ts <= lastPar {
+				kept = append(kept, ts)
+			}
+		}
+		if len(kept) > 0 {
+			cut[node] = kept
+		}
+	}
+	rep = PredictFromColumns(cfg, cut, PredictOptions{})
+	found := false
+	for _, w := range rep.Warnings {
+		if w.Category == "GM_LANAI" && strings.Contains(w.Predictor, "graph(") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no live graph warning after a GM_PAR event; warnings: %+v", rep.Warnings)
+	}
+}
+
+// TestPredictFromColumnsDeterministic: same columns, same bytes — the
+// purity the cluster merge and the HTTP differential rely on.
+func TestPredictFromColumnsDeterministic(t *testing.T) {
+	entries := libertyEntries(t)
+	cfg := Config{}.withDefaults()
+	cols := columnsOf(cfg, entries)
+	a := PredictFromColumns(cfg, cols, PredictOptions{})
+	b := PredictFromColumns(cfg, cols, PredictOptions{})
+	if len(a.Scoreboard) != len(b.Scoreboard) || len(a.Warnings) != len(b.Warnings) || !a.AsOf.Equal(b.AsOf) {
+		t.Fatalf("report not deterministic:\n%+v\n%+v", a, b)
+	}
+	for i := range a.Scoreboard {
+		if a.Scoreboard[i] != b.Scoreboard[i] {
+			t.Fatalf("scoreboard row %d differs: %+v vs %+v", i, a.Scoreboard[i], b.Scoreboard[i])
+		}
+	}
+}
+
+func TestPredictEmptyColumns(t *testing.T) {
+	rep := PredictFromColumns(Config{}, nil, PredictOptions{})
+	if rep.Events != 0 || len(rep.Scoreboard) != 0 || len(rep.Warnings) != 0 {
+		t.Fatalf("empty columns produced content: %+v", rep)
+	}
+}
+
+// TestLiveServiceCache: the report recomputes only when the miner's
+// version moves.
+func TestLiveServiceCache(t *testing.T) {
+	st, err := store.Create(t.TempDir(), logrec.Liberty, store.Options{FlushEvery: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	m := NewMiner(st, Config{}, "")
+	st.SetObserver(m.OnMutation)
+	defer func() {
+		st.SetObserver(nil)
+		m.Close()
+	}()
+	if err := m.Init(); err != nil {
+		t.Fatal(err)
+	}
+	svc := NewLiveService(m, PredictOptions{})
+
+	base := time.Date(2004, 3, 1, 0, 0, 0, 0, time.UTC)
+	if err := st.Append(minerEntries(base, 0, 12)...); err != nil {
+		t.Fatal(err)
+	}
+	waitSettled(t, m)
+	before := mPredictEvals.Value()
+	r1 := svc.Report()
+	afterFirst := mPredictEvals.Value()
+	if afterFirst != before+1 {
+		t.Fatalf("first report ran %d evaluations, want 1", afterFirst-before)
+	}
+	r2 := svc.Report()
+	if got := mPredictEvals.Value(); got != afterFirst {
+		t.Fatal("cached report re-evaluated")
+	}
+	if !r1.AsOf.Equal(r2.AsOf) || r1.Events != r2.Events {
+		t.Fatalf("cached report differs: %+v vs %+v", r1, r2)
+	}
+
+	if err := st.Append(minerEntries(base.Add(2*time.Hour), 100, 3)...); err != nil {
+		t.Fatal(err)
+	}
+	waitSettled(t, m)
+	r3 := svc.Report()
+	if got := mPredictEvals.Value(); got != afterFirst+1 {
+		t.Fatal("version change did not re-evaluate")
+	}
+	if r3.Events <= r2.Events {
+		t.Fatalf("report did not advance: %+v", r3)
+	}
+}
+
+// alerts reconstruction sanity: pseudo alerts match tag.Alert shape.
+func TestAlertsFromColumns(t *testing.T) {
+	cols := map[string][]int64{
+		"B": {100, 300},
+		"A": {100, 200},
+	}
+	alerts := alertsFromColumns(cols)
+	if len(alerts) != 4 {
+		t.Fatalf("got %d alerts", len(alerts))
+	}
+	wantOrder := []struct {
+		ts  int64
+		cat string
+	}{{100, "A"}, {100, "B"}, {200, "A"}, {300, "B"}}
+	for i, w := range wantOrder {
+		a := alerts[i]
+		if a.Record.Time.UnixNano() != w.ts || a.Category.Name != w.cat {
+			t.Fatalf("alert %d = (%d, %s), want (%d, %s)",
+				i, a.Record.Time.UnixNano(), a.Category.Name, w.ts, w.cat)
+		}
+	}
+	var _ []tag.Alert = alerts
+}

@@ -1,0 +1,217 @@
+package correlate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"whatsupersay/internal/obs"
+	"whatsupersay/internal/store"
+)
+
+// Graph persistence: the miner writes its integer state as a versioned
+// artifact next to the store manifest, with the same atomic-rename
+// discipline every other store file uses (store.AtomicWriteFile: tmp →
+// fsync → rename → dir fsync). The artifact is keyed by the config and
+// the store fingerprint it describes; on reopen, a matching fingerprint
+// under a seq-stable check lets the miner install the saved state
+// without rescanning (a warm start). A stale or mismatched artifact is
+// ignored and overwritten — it is a cache of derived state, never a
+// source of truth, so no recovery protocol is needed beyond "rebuild
+// from a scan".
+//
+// Saves run on a dedicated goroutine with a coalescing wake channel:
+// observers run synchronously on the append path and must not block on
+// disk, so applyDelta only pokes the saver. Close writes a final
+// artifact so the fingerprint matches the sealed-on-close store.
+
+// ArtifactName is the graph artifact's filename, next to MANIFEST.
+const ArtifactName = "CORRGRAPH"
+
+// artifactVersion is bumped on any encoding change; readers ignore
+// other versions (and rebuild from a scan).
+const artifactVersion = 1
+
+var mCorrelateSaves = obs.Default.Counter("correlate_saves_total")
+
+// ArtifactPath returns the graph artifact path for a store directory.
+func ArtifactPath(storeDir string) string {
+	return filepath.Join(storeDir, ArtifactName)
+}
+
+// artifactEdge is one persisted edge accumulator.
+type artifactEdge struct {
+	Source string `json:"source"`
+	Target string `json:"target"`
+	Pairs  int64  `json:"pairs"`
+	LagSum int64  `json:"lag_sum"`
+}
+
+// artifact is the on-disk form of the miner's integer state.
+type artifact struct {
+	Version int `json:"version"`
+	// ConfigKey pins the mining configuration; a miner with a different
+	// key ignores the artifact.
+	ConfigKey string `json:"config_key"`
+	// Fingerprint is the store fingerprint the state describes; a warm
+	// start requires it to match the open store's.
+	Fingerprint uint64 `json:"fingerprint"`
+	// Seq is the mutation sequence at save time — informational only
+	// (sequence numbers are process-local and reset on reopen).
+	Seq   uint64             `json:"seq"`
+	Cols  map[string][]int64 `json:"cols"`
+	Edges []artifactEdge     `json:"edges"`
+}
+
+// loadArtifact reads and validates an artifact file.
+func loadArtifact(path string) (*artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var art artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		return nil, fmt.Errorf("correlate: artifact %s: %w", path, err)
+	}
+	if art.Version != artifactVersion {
+		return nil, fmt.Errorf("correlate: artifact %s: version %d, want %d", path, art.Version, artifactVersion)
+	}
+	return &art, nil
+}
+
+// saveLoop is the saver worker: coalesced wakes, one write per wake.
+func (m *Miner) saveLoop() {
+	defer close(m.saveDone)
+	if m.artifactPath == "" {
+		return
+	}
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-m.saveCh:
+		}
+		m.save()
+	}
+}
+
+// wakeSave pokes the saver (no-op without an artifact path).
+func (m *Miner) wakeSave() {
+	if m.artifactPath == "" {
+		return
+	}
+	select {
+	case m.saveCh <- struct{}{}:
+	default:
+	}
+}
+
+// save snapshots the state and writes the artifact atomically. The
+// fingerprint is read under a seq-stable window and must correspond to
+// the same mutation sequence the state reflects (lastSeq), so the saved
+// (state, fingerprint) pair is consistent; on a busy store the save
+// simply retries a few times and lets the next quiet moment win.
+func (m *Miner) save() {
+	if m.artifactPath == "" {
+		return
+	}
+	for attempt := 0; attempt < 8; attempt++ {
+		s1 := m.st.MutationSeq()
+		fp := m.st.Fingerprint()
+		if m.st.MutationSeq() != s1 {
+			continue
+		}
+		m.mu.Lock()
+		if m.scanning || m.dirty {
+			// No installed clean state to persist; the next install will
+			// wake the saver again.
+			m.mu.Unlock()
+			return
+		}
+		if m.lastSeq != s1 {
+			// Mutations are committed that this state has not reflected
+			// yet (delivery in flight); retry for a consistent pair.
+			m.mu.Unlock()
+			continue
+		}
+		art := &artifact{
+			Version:     artifactVersion,
+			ConfigKey:   m.cfg.Key(),
+			Fingerprint: fp,
+			Seq:         s1,
+			Cols:        make(map[string][]int64, len(m.state.cols)),
+		}
+		for node, col := range m.state.cols {
+			art.Cols[node] = append([]int64(nil), col...)
+		}
+		art.Edges = make([]artifactEdge, 0, len(m.state.edges))
+		for k, acc := range m.state.edges {
+			art.Edges = append(art.Edges, artifactEdge{Source: k.a, Target: k.b, Pairs: acc.Pairs, LagSum: acc.LagSum})
+		}
+		m.mu.Unlock()
+
+		data, err := json.Marshal(art)
+		if err != nil {
+			return
+		}
+		if err := store.AtomicWriteFile(m.artifactPath, data); err != nil {
+			return
+		}
+		mCorrelateSaves.Add(1)
+		return
+	}
+}
+
+// tryWarmStart installs the persisted artifact when it matches this
+// miner's config and the open store's fingerprint (checked under a
+// seq-stable window). Returns false to fall back to a baseline scan.
+func (m *Miner) tryWarmStart() bool {
+	if m.artifactPath == "" {
+		return false
+	}
+	art, err := loadArtifact(m.artifactPath)
+	if err != nil || art.ConfigKey != m.cfg.Key() {
+		return false
+	}
+	for {
+		s1 := m.st.MutationSeq()
+		fp := m.st.Fingerprint()
+		if m.st.MutationSeq() != s1 {
+			continue
+		}
+		if fp != art.Fingerprint {
+			return false
+		}
+		st := newGraphState()
+		st.cols = art.Cols
+		for _, e := range art.Edges {
+			st.edges[edgeKey{e.Source, e.Target}] = edgeAccum{Pairs: e.Pairs, LagSum: e.LagSum}
+		}
+		m.mu.Lock()
+		if m.st.MutationSeq() != s1 {
+			m.mu.Unlock()
+			continue
+		}
+		m.state = st
+		m.baseSeq = s1
+		m.lastSeq = s1
+		for _, bd := range m.buf {
+			if bd.seq > s1 {
+				m.state.fold(bd.d, m.cfg.Window.Nanoseconds())
+				m.deltas++
+				mCorrelateDeltas.Add(1)
+			}
+		}
+		m.buf = nil
+		m.scanning = false
+		m.dirty = false
+		m.inScan = false
+		m.warmStart = true
+		m.version++
+		mCorrelateWarmStarts.Add(1)
+		m.publishLocked()
+		m.mu.Unlock()
+		return true
+	}
+}

@@ -1,0 +1,146 @@
+package mining
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Templates are correlation-node identities now (internal/correlate's
+// NodeTemplate mode), so assignment must be a pure function of the body
+// multiset: any order dependence would silently fork graph nodes. The
+// signature (Tokens) and Count are order-independent by construction —
+// (position, token) counts don't care about order — but Example is the
+// first body encountered per bucket and is explicitly excluded here.
+
+// templateBodies fabricates printf-shaped messages: a handful of format
+// strings with variable fields, plus rare one-off lines.
+func templateBodies(rng *rand.Rand, n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			out = append(out, fmt.Sprintf("ECC error at address %x corrected", rng.Intn(1<<16)))
+		case 1:
+			out = append(out, fmt.Sprintf("GM parity error on unit %d lanai %d", rng.Intn(8), rng.Intn(4)))
+		case 2:
+			out = append(out, fmt.Sprintf("job %d exceeded walltime limit %d", rng.Intn(9999), rng.Intn(100)))
+		default:
+			out = append(out, fmt.Sprintf("unique-%d one off line", i))
+		}
+	}
+	return out
+}
+
+// signatureSet reduces mined templates to their order-independent core:
+// "tokens\x00count" strings, sorted by Mine's own output order.
+func signatureSet(tpls []Template) []string {
+	out := make([]string, 0, len(tpls))
+	for _, t := range tpls {
+		out = append(out, fmt.Sprintf("%s\x00%d", t.String(), t.Count))
+	}
+	return out
+}
+
+// assignment maps each body to the template it matches first (the
+// vocabulary-lookup rule correlate's NodeTemplate mode uses).
+func assignment(tpls []Template, bodies []string) map[string]string {
+	out := make(map[string]string, len(bodies))
+	for _, b := range bodies {
+		for _, t := range tpls {
+			if t.Matches(b) {
+				out[b] = t.String()
+				break
+			}
+		}
+	}
+	return out
+}
+
+// TestMineOrderIndependent is the property test: for fixed Support and
+// MaxTokens, shuffling the body stream changes neither the template set
+// (tokens + counts) nor any body's template assignment.
+func TestMineOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 10; trial++ {
+		bodies := templateBodies(rng, 100+rng.Intn(300))
+		cfg := Config{Support: 2 + rng.Intn(3), MaxTokens: 8 + rng.Intn(16)}
+		want := Mine(bodies, cfg)
+		wantSigs := signatureSet(want)
+		wantAssign := assignment(want, bodies)
+		for shuffle := 0; shuffle < 5; shuffle++ {
+			shuffled := append([]string(nil), bodies...)
+			rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+			got := Mine(shuffled, cfg)
+			gotSigs := signatureSet(got)
+			if len(gotSigs) != len(wantSigs) {
+				t.Fatalf("trial %d: shuffled mine found %d templates, want %d", trial, len(gotSigs), len(wantSigs))
+			}
+			for i := range wantSigs {
+				if gotSigs[i] != wantSigs[i] {
+					t.Fatalf("trial %d: template %d differs under shuffle:\ngot:  %q\nwant: %q",
+						trial, i, gotSigs[i], wantSigs[i])
+				}
+			}
+			gotAssign := assignment(got, shuffled)
+			for b, tpl := range wantAssign {
+				if gotAssign[b] != tpl {
+					t.Fatalf("trial %d: body %q reassigned under shuffle: %q -> %q",
+						trial, b, tpl, gotAssign[b])
+				}
+			}
+		}
+	}
+}
+
+// TestMineDeterministicFullOutput: identical input, identical output —
+// including slice order and examples, which callers persist.
+func TestMineDeterministicFullOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	bodies := templateBodies(rng, 200)
+	cfg := Config{Support: 3, MaxTokens: 12}
+	a := Mine(bodies, cfg)
+	b := Mine(bodies, cfg)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() || a[i].Count != b[i].Count || a[i].Example != b[i].Example {
+			t.Fatalf("template %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// FuzzMineOrderIndependent fuzzes the same property over arbitrary
+// body streams: reversing the stream must preserve templates and
+// counts.
+func FuzzMineOrderIndependent(f *testing.F) {
+	f.Add("alpha beta 1\nalpha beta 2\ngamma delta\n", 2, 8)
+	f.Add("x\nx\nx y z\n", 2, 4)
+	f.Add("", 3, 24)
+	f.Fuzz(func(t *testing.T, blob string, support, maxTokens int) {
+		if support < 0 || support > 10 || maxTokens < 1 || maxTokens > 64 {
+			t.Skip()
+		}
+		bodies := strings.Split(blob, "\n")
+		if len(bodies) > 200 {
+			t.Skip()
+		}
+		cfg := Config{Support: support, MaxTokens: maxTokens}
+		fwd := signatureSet(Mine(bodies, cfg))
+		rev := make([]string, len(bodies))
+		for i, b := range bodies {
+			rev[len(bodies)-1-i] = b
+		}
+		got := signatureSet(Mine(rev, cfg))
+		if len(got) != len(fwd) {
+			t.Fatalf("reversed mine found %d templates, want %d", len(got), len(fwd))
+		}
+		for i := range fwd {
+			if got[i] != fwd[i] {
+				t.Fatalf("template %d differs under reversal: %q vs %q", i, got[i], fwd[i])
+			}
+		}
+	})
+}

@@ -67,6 +67,7 @@ func AutoSelect(alerts []tag.Alert, targets []string, candidates []Candidate, sp
 	if len(alerts) == 0 || splitFrac <= 0 || splitFrac >= 1 {
 		return nil
 	}
+	alerts = sortedAlerts(alerts)
 	start := alerts[0].Record.Time
 	end := alerts[len(alerts)-1].Record.Time
 	split := start.Add(time.Duration(float64(end.Sub(start)) * splitFrac))
@@ -92,8 +93,12 @@ func AutoSelect(alerts []tag.Alert, targets []string, candidates []Candidate, sp
 		var best *Selection
 		for _, cand := range candidates {
 			// A precursor of the target itself is degenerate (it
-			// "predicts" with zero lead); skip it.
+			// "predicts" with zero lead); skip it. A graph edge competes
+			// only for the target it points at.
 			if pc, ok := cand.Predictor.(Precursor); ok && pc.PrecursorCategory == target {
+				continue
+			}
+			if gp, ok := cand.Predictor.(GraphPrecursor); ok && (gp.Target != target || gp.Precursor == target) {
 				continue
 			}
 			warnings := cand.Predictor.Predict(train, target)

@@ -49,6 +49,7 @@ func (p EWMA) Predict(alerts []tag.Alert, target string) []Warning {
 	if p.Bucket <= 0 || p.Alpha <= 0 || p.Alpha > 1 || p.Factor <= 0 {
 		return nil
 	}
+	alerts = sortedAlerts(alerts)
 	var (
 		out        []Warning
 		mean       float64

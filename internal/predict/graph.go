@@ -1,0 +1,81 @@
+package predict
+
+import (
+	"time"
+
+	"whatsupersay/internal/tag"
+)
+
+// Graph-derived predictors: internal/correlate mines a weighted
+// precedence graph from the store's mutation stream; each strong edge
+// A→B becomes a GraphPrecursor candidate in the AutoEnsemble pool. The
+// difference from the plain Precursor is provenance and specificity —
+// a Precursor candidate is enumerated blindly for every category pair,
+// while a GraphPrecursor exists only because the miner measured the
+// precedence (with a confidence and a typical lag), and it competes
+// only for the target its edge points at.
+
+// GraphEdge is one mined precedence edge handed across from the
+// correlation graph: Precursor events are followed by Target events
+// within the mining window with the given confidence and typical lag.
+type GraphEdge struct {
+	Precursor  string
+	Target     string
+	Confidence float64
+	Lag        time.Duration
+}
+
+// GraphPrecursor warns for Target whenever Precursor fires, like
+// Precursor, but bound to the single edge that justified it.
+type GraphPrecursor struct {
+	// Precursor is the leading signal; Target the predicted category.
+	Precursor string
+	Target    string
+	// Cooldown suppresses repeated warnings from one precursor burst.
+	Cooldown time.Duration
+	// Lag is the mined mean precursor→target lag — the expected lead
+	// time a warning carries. Informational; Predict does not use it.
+	Lag time.Duration
+}
+
+// Name implements Predictor.
+func (p GraphPrecursor) Name() string { return "graph(" + p.Precursor + "→" + p.Target + ")" }
+
+// Predict implements Predictor. It emits nothing for any target other
+// than its own edge's — the edge measured one directed pair, and the
+// predictor does not generalize past it.
+func (p GraphPrecursor) Predict(alerts []tag.Alert, target string) []Warning {
+	if target != p.Target || p.Precursor == p.Target {
+		return nil
+	}
+	alerts = sortedAlerts(alerts)
+	var out []Warning
+	var lastWarn time.Time
+	for _, a := range alerts {
+		if a.Category.Name != p.Precursor {
+			continue
+		}
+		t := a.Record.Time
+		if !lastWarn.IsZero() && t.Sub(lastWarn) < p.Cooldown {
+			continue
+		}
+		out = append(out, Warning{Time: t, Category: target})
+		lastWarn = t
+	}
+	return out
+}
+
+// GraphCandidates converts mined edges into candidate predictors for
+// the AutoEnsemble pool. Self-edges are dropped (zero-lead prediction
+// is degenerate, same rule AutoSelect applies to plain Precursors).
+func GraphCandidates(edges []GraphEdge) []Candidate {
+	out := make([]Candidate, 0, len(edges))
+	for _, e := range edges {
+		if e.Precursor == e.Target {
+			continue
+		}
+		p := GraphPrecursor{Precursor: e.Precursor, Target: e.Target, Cooldown: time.Hour, Lag: e.Lag}
+		out = append(out, Candidate{Predictor: p, Label: p.Name()})
+	}
+	return out
+}

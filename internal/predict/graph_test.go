@@ -1,0 +1,88 @@
+package predict
+
+import (
+	"testing"
+	"time"
+
+	"whatsupersay/internal/catalog"
+	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/tag"
+)
+
+func graphAlerts(base time.Time) []tag.Alert {
+	par := &catalog.Category{Name: "GM_PAR"}
+	lanai := &catalog.Category{Name: "GM_LANAI"}
+	mk := func(c *catalog.Category, d time.Duration) tag.Alert {
+		return tag.Alert{Record: logrec.Record{Time: base.Add(d), System: logrec.Liberty}, Category: c}
+	}
+	return []tag.Alert{
+		mk(par, 0), mk(lanai, 10*time.Minute),
+		mk(par, 3*time.Hour), mk(lanai, 3*time.Hour+20*time.Minute),
+		mk(par, 6*time.Hour), mk(lanai, 6*time.Hour+15*time.Minute),
+	}
+}
+
+func TestGraphPrecursorPredict(t *testing.T) {
+	base := time.Date(2004, 3, 1, 0, 0, 0, 0, time.UTC)
+	alerts := graphAlerts(base)
+	p := GraphPrecursor{Precursor: "GM_PAR", Target: "GM_LANAI", Cooldown: time.Hour}
+
+	ws := p.Predict(alerts, "GM_LANAI")
+	if len(ws) != 3 {
+		t.Fatalf("got %d warnings, want 3: %v", len(ws), ws)
+	}
+	for i, w := range ws {
+		if w.Category != "GM_LANAI" {
+			t.Fatalf("warning %d category %q", i, w.Category)
+		}
+	}
+	// Bound to its own edge: no output for any other target.
+	if ws := p.Predict(alerts, "GM_PAR"); ws != nil {
+		t.Fatalf("foreign target produced warnings: %v", ws)
+	}
+	// A degenerate self-edge predicts nothing.
+	self := GraphPrecursor{Precursor: "X", Target: "X", Cooldown: time.Hour}
+	if ws := self.Predict(alerts, "X"); ws != nil {
+		t.Fatalf("self-edge produced warnings: %v", ws)
+	}
+}
+
+func TestGraphCandidates(t *testing.T) {
+	edges := []GraphEdge{
+		{Precursor: "GM_PAR", Target: "GM_LANAI", Confidence: 0.7, Lag: 12 * time.Minute},
+		{Precursor: "X", Target: "X", Confidence: 1}, // self-edge dropped
+		{Precursor: "PBS_CHK", Target: "PBS_BFD", Confidence: 0.4, Lag: time.Minute},
+	}
+	cands := GraphCandidates(edges)
+	if len(cands) != 2 {
+		t.Fatalf("got %d candidates, want 2: %+v", len(cands), cands)
+	}
+	gp, ok := cands[0].Predictor.(GraphPrecursor)
+	if !ok || gp.Precursor != "GM_PAR" || gp.Target != "GM_LANAI" || gp.Lag != 12*time.Minute {
+		t.Fatalf("candidate 0: %+v", cands[0])
+	}
+	if cands[0].Label != gp.Name() {
+		t.Fatalf("label %q != name %q", cands[0].Label, gp.Name())
+	}
+}
+
+// TestAutoSelectGraphScope: a graph candidate competes only for the
+// target its edge points at, and never as a self-precursor.
+func TestAutoSelectGraphScope(t *testing.T) {
+	base := time.Date(2004, 3, 1, 0, 0, 0, 0, time.UTC)
+	alerts := graphAlerts(base)
+	cands := GraphCandidates([]GraphEdge{
+		{Precursor: "GM_PAR", Target: "GM_LANAI", Confidence: 1, Lag: 15 * time.Minute},
+	})
+	sels := AutoSelect(alerts, []string{"GM_PAR", "GM_LANAI"}, cands, 0.7, time.Minute, time.Hour, 0.01)
+	for _, s := range sels {
+		if s.Category == "GM_PAR" {
+			t.Fatalf("graph edge selected for a target it does not point at: %+v", s)
+		}
+		if s.Category == "GM_LANAI" {
+			if _, ok := s.Predictor.(GraphPrecursor); !ok {
+				t.Fatalf("GM_LANAI champion is not the graph edge: %+v", s)
+			}
+		}
+	}
+}

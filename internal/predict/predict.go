@@ -63,6 +63,7 @@ func (p RateThreshold) Predict(alerts []tag.Alert, target string) []Warning {
 	if p.Count <= 0 {
 		return nil
 	}
+	alerts = sortedAlerts(alerts)
 	var recent []time.Time
 	var out []Warning
 	var lastWarn time.Time
@@ -102,6 +103,7 @@ func (p Precursor) Name() string { return "precursor(" + p.PrecursorCategory + "
 
 // Predict implements Predictor.
 func (p Precursor) Predict(alerts []tag.Alert, target string) []Warning {
+	alerts = sortedAlerts(alerts)
 	var out []Warning
 	var lastWarn time.Time
 	for _, a := range alerts {
@@ -132,6 +134,7 @@ func (p Periodic) Predict(alerts []tag.Alert, target string) []Warning {
 	if len(alerts) == 0 || p.Interval <= 0 {
 		return nil
 	}
+	alerts = sortedAlerts(alerts)
 	start := alerts[0].Record.Time
 	end := alerts[len(alerts)-1].Record.Time
 	var out []Warning
@@ -151,6 +154,7 @@ type Ensemble struct {
 // Predict runs every member predictor and returns the merged,
 // time-sorted warning stream.
 func (e Ensemble) Predict(alerts []tag.Alert) []Warning {
+	alerts = sortedAlerts(alerts)
 	var out []Warning
 	// Deterministic iteration order for reproducible output.
 	cats := make([]string, 0, len(e.ByCategory))
@@ -199,8 +203,10 @@ func (e Eval) Recall() float64 {
 // Evaluate scores warnings against event times. A warning is a true
 // positive if an event falls in (warning, warning+horizon]; an event
 // counts as detected if some warning precedes it by at least minLead and
-// at most horizon. Warnings and events must be time-sorted.
+// at most horizon. Unsorted input is sorted on a copy first.
 func Evaluate(warnings []Warning, events []time.Time, minLead, horizon time.Duration) Eval {
+	warnings = sortedWarnings(warnings)
+	events = sortedTimes(events)
 	ev := Eval{TotalEvents: len(events)}
 	for _, w := range warnings {
 		// Find the first event after the warning.

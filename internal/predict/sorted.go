@@ -1,0 +1,82 @@
+package predict
+
+import (
+	"sort"
+	"time"
+
+	"whatsupersay/internal/tag"
+)
+
+// Input-order guards. Every Predictor and Evaluate assumes a
+// time-sorted stream ("only information from before each warning's
+// timestamp") — an assumption batch callers satisfied by construction
+// but live mutation-order delivery can violate. Each entry point now
+// verifies order with one O(n) scan and, only when violated, sorts a
+// copy (never the caller's slice). Ties on identical timestamps are
+// broken by category name so duplicate-timestamp input yields one
+// deterministic order instead of whatever the caller happened to pass.
+
+// alertsSorted reports whether alerts are in (time, category) order.
+func alertsSorted(alerts []tag.Alert) bool {
+	for i := 1; i < len(alerts); i++ {
+		ti, tj := alerts[i-1].Record.Time, alerts[i].Record.Time
+		if ti.After(tj) {
+			return false
+		}
+		if ti.Equal(tj) && alerts[i-1].Category.Name > alerts[i].Category.Name {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedAlerts returns alerts in (time, category) order — the input
+// itself when already ordered, else a sorted copy.
+func sortedAlerts(alerts []tag.Alert) []tag.Alert {
+	if alertsSorted(alerts) {
+		return alerts
+	}
+	cp := append([]tag.Alert(nil), alerts...)
+	sort.SliceStable(cp, func(i, j int) bool {
+		ti, tj := cp[i].Record.Time, cp[j].Record.Time
+		if !ti.Equal(tj) {
+			return ti.Before(tj)
+		}
+		return cp[i].Category.Name < cp[j].Category.Name
+	})
+	return cp
+}
+
+// sortedWarnings returns warnings in time order (copy only if needed).
+func sortedWarnings(ws []Warning) []Warning {
+	sorted := true
+	for i := 1; i < len(ws); i++ {
+		if ws[i-1].Time.After(ws[i].Time) {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return ws
+	}
+	cp := append([]Warning(nil), ws...)
+	sort.SliceStable(cp, func(i, j int) bool { return cp[i].Time.Before(cp[j].Time) })
+	return cp
+}
+
+// sortedTimes returns times in order (copy only if needed).
+func sortedTimes(ts []time.Time) []time.Time {
+	sorted := true
+	for i := 1; i < len(ts); i++ {
+		if ts[i-1].After(ts[i]) {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return ts
+	}
+	cp := append([]time.Time(nil), ts...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i].Before(cp[j]) })
+	return cp
+}

@@ -1,0 +1,120 @@
+package predict
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"whatsupersay/internal/catalog"
+	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/tag"
+)
+
+// The sort-guard regression: every entry point must produce identical
+// output for a shuffled copy of the same alert stream, including
+// duplicate timestamps — live (mutation-order) delivery cannot be
+// trusted to arrive sorted.
+
+func shuffledAlerts(rng *rand.Rand, n int) (sorted, shuffled []tag.Alert) {
+	cats := []*catalog.Category{
+		{Name: "GM_PAR"}, {Name: "GM_LANAI"}, {Name: "PBS_CHK"},
+	}
+	base := time.Date(2004, 3, 1, 0, 0, 0, 0, time.UTC)
+	out := make([]tag.Alert, 0, n)
+	for i := 0; i < n; i++ {
+		// Coarse buckets force duplicate timestamps.
+		at := base.Add(time.Duration(rng.Intn(n/2)) * time.Minute)
+		out = append(out, tag.Alert{
+			Record:   logrec.Record{Seq: uint64(i), Time: at, System: logrec.Liberty},
+			Category: cats[rng.Intn(len(cats))],
+		})
+	}
+	sorted = sortedAlerts(out)
+	shuffled = append([]tag.Alert(nil), sorted...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	return sorted, shuffled
+}
+
+func TestPredictorsOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sorted, shuffled := shuffledAlerts(rng, 400)
+	preds := []Predictor{
+		RateThreshold{Window: 10 * time.Minute, Count: 3, Cooldown: time.Hour},
+		Precursor{PrecursorCategory: "GM_PAR", Cooldown: time.Hour},
+		Periodic{Interval: 6 * time.Hour},
+		DefaultEWMA(),
+		GraphPrecursor{Precursor: "GM_PAR", Target: "GM_LANAI", Cooldown: time.Hour},
+	}
+	for _, p := range preds {
+		want := p.Predict(sorted, "GM_LANAI")
+		got := p.Predict(shuffled, "GM_LANAI")
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: shuffled input changed warnings\ngot:  %v\nwant: %v", p.Name(), got, want)
+		}
+	}
+}
+
+func TestPredictorsDoNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	_, shuffled := shuffledAlerts(rng, 100)
+	snapshot := append([]tag.Alert(nil), shuffled...)
+	for _, p := range []Predictor{
+		RateThreshold{Window: 10 * time.Minute, Count: 2, Cooldown: time.Hour},
+		DefaultEWMA(),
+	} {
+		p.Predict(shuffled, "GM_PAR")
+	}
+	Ensemble{ByCategory: map[string]Predictor{
+		"GM_LANAI": Precursor{PrecursorCategory: "GM_PAR", Cooldown: time.Hour},
+	}}.Predict(shuffled)
+	if !reflect.DeepEqual(shuffled, snapshot) {
+		t.Fatal("a guard sorted the caller's slice in place")
+	}
+}
+
+func TestAutoSelectOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	sorted, shuffled := shuffledAlerts(rng, 600)
+	targets := []string{"GM_PAR", "GM_LANAI", "PBS_CHK"}
+	cands := DefaultCandidates(targets)
+	want := AutoSelect(sorted, targets, cands, 0.7, time.Minute, time.Hour, 0.01)
+	got := AutoSelect(shuffled, targets, cands, 0.7, time.Minute, time.Hour, 0.01)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("shuffled input changed selections\ngot:  %+v\nwant: %+v", got, want)
+	}
+}
+
+func TestEvaluateUnsortedInput(t *testing.T) {
+	base := time.Date(2004, 3, 1, 0, 0, 0, 0, time.UTC)
+	warnings := []Warning{
+		{Time: base.Add(10 * time.Minute), Category: "X"},
+		{Time: base, Category: "X"},
+	}
+	events := []time.Time{base.Add(30 * time.Minute), base.Add(5 * time.Minute)}
+	got := Evaluate(warnings, events, time.Minute, time.Hour)
+	want := Evaluate(sortedWarnings(warnings), sortedTimes(events), time.Minute, time.Hour)
+	if got != want {
+		t.Fatalf("unsorted evaluate diverged: %+v vs %+v", got, want)
+	}
+	if got.TruePositives != 2 || got.DetectedEvents != 2 {
+		t.Fatalf("unexpected eval: %+v", got)
+	}
+}
+
+func TestSortedHelpersNoCopyWhenSorted(t *testing.T) {
+	base := time.Date(2004, 3, 1, 0, 0, 0, 0, time.UTC)
+	alerts := []tag.Alert{
+		{Record: logrec.Record{Time: base}, Category: &catalog.Category{Name: "A"}},
+		{Record: logrec.Record{Time: base}, Category: &catalog.Category{Name: "B"}},
+		{Record: logrec.Record{Time: base.Add(time.Second)}, Category: &catalog.Category{Name: "A"}},
+	}
+	if got := sortedAlerts(alerts); &got[0] != &alerts[0] {
+		t.Fatal("sorted input was copied")
+	}
+	// Duplicate timestamps out of category order do trigger a copy.
+	alerts[0], alerts[1] = alerts[1], alerts[0]
+	if got := sortedAlerts(alerts); &got[0] == &alerts[0] {
+		t.Fatal("tie-violating input was not re-sorted")
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"whatsupersay/internal/correlate"
 	"whatsupersay/internal/logrec"
 	"whatsupersay/internal/obs"
 	"whatsupersay/internal/query"
@@ -123,6 +124,10 @@ type Options struct {
 	// seam fault-injection tests use to fail an open or wrap a shard in
 	// a faulty backend. Production leaves it nil.
 	OpenStore func(dir string, opts store.Options) (Backend, *store.OpenReport, error)
+	// Correlate tunes the per-shard correlation miners (see
+	// internal/correlate). The zero value works: category nodes, the
+	// default window, kept entries only.
+	Correlate correlate.Config
 }
 
 func (o Options) queueDepth() int {
@@ -205,6 +210,10 @@ type Cluster struct {
 	// registry per standing-capable shard plus the merged-threshold
 	// evaluator (see standing.go). Always non-nil after Open.
 	standing *clusterStanding
+	// correlate owns the per-shard correlation miners and the merged
+	// cluster graph/prediction views (see correlate.go). Always non-nil
+	// after Open.
+	correlate *clusterCorrelate
 
 	cacheHits, cacheMisses atomic.Int64
 
@@ -318,6 +327,21 @@ func Open(dir string, opts Options) (*Cluster, *OpenReport, error) {
 		c.shards = append(c.shards, sh)
 	}
 	c.standing = newClusterStanding(c)
+	c.correlate = newClusterCorrelate(c)
+	// Wire one multiplexed observer per shard (the store supports a
+	// single observer), then install miner baselines — in that order, so
+	// no mutation slips between a baseline scan and observation.
+	for _, sh := range c.shards {
+		if sb, ok := sh.backend.(standingCapable); ok && sh.backend != nil {
+			if obsFn := c.observerFor(sh.id); obsFn != nil {
+				sb.SetObserver(obsFn)
+			}
+		}
+	}
+	if err := c.correlate.init(); err != nil {
+		c.Close()
+		return nil, nil, fmt.Errorf("shard: correlate init: %w", err)
+	}
 	return c, rep, nil
 }
 
@@ -494,9 +518,12 @@ func (c *Cluster) Close() error {
 	}
 	c.closed = true
 	c.mu.Unlock()
-	// Stop the standing-query tier first: observers detach, so the
-	// seals Close triggers below no longer fan into the registries.
-	c.standing.close()
+	// Shutdown order matters for warm starts: stop ingest, seal every
+	// tail while the observers are still attached (the miners note the
+	// post-seal fingerprint), detach, close the miners (each writes its
+	// final artifact under that fingerprint), stop the standing tier,
+	// then close the backends — whose own closing seal is a no-op on the
+	// already-empty tails, so the persisted fingerprints survive reopen.
 	var firstErr error
 	for _, sh := range c.shards {
 		if sh.backend == nil {
@@ -504,6 +531,21 @@ func (c *Cluster) Close() error {
 		}
 		close(sh.queue)
 		sh.workerWG.Wait()
+		if err := sh.backend.Seal(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("shard %d: %w", sh.id, err)
+		}
+	}
+	for _, sh := range c.shards {
+		if sb, ok := sh.backend.(standingCapable); ok && sh.backend != nil {
+			sb.SetObserver(nil)
+		}
+	}
+	c.correlate.close()
+	c.standing.close()
+	for _, sh := range c.shards {
+		if sh.backend == nil {
+			continue
+		}
 		if err := sh.backend.Close(); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("shard %d: %w", sh.id, err)
 		}

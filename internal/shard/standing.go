@@ -106,8 +106,10 @@ type clusterStanding struct {
 	done chan struct{}
 }
 
-// newClusterStanding wires a registry onto every standing-capable shard
-// and starts the evaluation worker. Called once from Open.
+// newClusterStanding builds a registry for every standing-capable shard
+// and starts the evaluation worker. Called once from Open, which wires
+// the store observers afterwards (multiplexed with the correlation
+// miners — the store supports a single observer).
 func newClusterStanding(c *Cluster) *clusterStanding {
 	s := &clusterStanding{
 		c:       c,
@@ -129,22 +131,19 @@ func newClusterStanding(c *Cluster) *clusterStanding {
 		reg.SetOnChange(func(subID string, total int) {
 			s.poke(shardID, subID)
 		})
-		sb.SetObserver(reg.OnMutation)
 		s.regs[shardID] = reg
 	}
 	go s.run()
 	return s
 }
 
-// close stops the worker and the per-shard registries, detaching the
-// observers so store Close (which seals tails) no longer notifies.
+// close stops the worker and the per-shard registries. The caller
+// (Cluster.Close) has already detached the store observers, so no
+// mutation can fan in mid-close.
 func (s *clusterStanding) close() {
 	close(s.stop)
 	<-s.done
-	for id, reg := range s.regs {
-		if sb, ok := s.c.shards[id].backend.(standingCapable); ok {
-			sb.SetObserver(nil)
-		}
+	for _, reg := range s.regs {
 		reg.Close()
 	}
 }
