@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race verify verify-race verify-shard bench bench-smoke diff-smoke subscribe-smoke correlate-smoke fuzz fuzz-smoke
+.PHONY: all build test vet race verify verify-race verify-shard bench bench-smoke diff-smoke subscribe-smoke correlate-smoke loadgen-smoke fuzz fuzz-smoke
 
 # Every test invocation gets a hard wall-clock budget (a wedged-shard or
 # crash-recovery bug must fail the gate, not hang it) and a shuffled
@@ -44,7 +44,7 @@ verify-shard:
 	$(GO) test -race -count=1 -shuffle=on -timeout $(TEST_TIMEOUT) ./internal/shard/... ./internal/faultinject/...
 	$(GO) test -race -count=1 -timeout $(TEST_TIMEOUT) -run 'Sharded' ./cmd/logstudy/
 
-verify: build vet race bench-smoke diff-smoke subscribe-smoke correlate-smoke fuzz-smoke
+verify: build vet race bench-smoke diff-smoke subscribe-smoke correlate-smoke loadgen-smoke fuzz-smoke
 
 # Standing-query gate: the incremental-vs-rescan differential suites
 # (registry and cluster, every mutation class, shard counts 1/2/4/7),
@@ -85,6 +85,19 @@ bench:
 # without perturbing the committed ledger.
 bench-smoke:
 	$(GO) run ./cmd/logstudy bench -system liberty -scale 0.0001 -iters 1 -o $(if $(TMPDIR),$(TMPDIR),/tmp)/BENCH_smoke.json
+
+# Load-harness gate: plan determinism, the graphite connector's
+# paused-sink/drop/backoff contract, and the serve-tier-under-load
+# regression trio (SSE exempt from request deadlines, uniform
+# drain-rate-derived 429 retry contract on both store shapes, graceful
+# drain-and-seal with acked batches durable), ending with the loadgen
+# CLI end-to-end against a self-hosted 4-shard serve writing the
+# ledger's load_reports section. Race on — the harness, the pump, and
+# the admission queue are all concurrency; -count=1 so the kill and
+# backpressure state machines re-execute every run.
+loadgen-smoke:
+	$(GO) test -race -count=1 -timeout $(TEST_TIMEOUT) ./internal/loadgen/ ./internal/connectors/...
+	$(GO) test -race -count=1 -timeout $(TEST_TIMEOUT) -run 'Loadgen|RequestDeadline|SSESurvives|Backpressure429|RetryAfter|GracefulShutdown|Graphite' ./cmd/logstudy/
 
 # Short exploratory fuzz of every parser and the streaming framer
 # (native Go fuzzing; seed corpora always run under plain `make test`).

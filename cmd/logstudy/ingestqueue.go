@@ -1,0 +1,127 @@
+package main
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"whatsupersay/internal/shard"
+	"whatsupersay/internal/store"
+)
+
+// defaultIngestQueueDepth bounds the single-store ingest admission
+// queue, mirroring the per-shard queue depth of the sharded tier.
+const defaultIngestQueueDepth = 64
+
+// queuedAppend is one admitted ingest batch awaiting its turn on the
+// store.
+type queuedAppend struct {
+	entries []store.Entry
+	done    chan error
+}
+
+// ingestQueue gives the single-store path the same admission contract
+// the sharded tier has: a bounded queue drained by one worker, overflow
+// rejected with a drain-rate-derived Retry-After, and the same
+// rejected_sources body (shard id 0) so clients retry identically
+// against either tier. One worker also serializes appends, which is
+// what makes the drain EWMA an honest per-batch cost.
+type ingestQueue struct {
+	queue    chan queuedAppend
+	wg       sync.WaitGroup
+	inflight atomic.Int32
+	depth    atomic.Int32
+	drain    shard.DrainEWMA
+	fallback time.Duration
+	apply    func(entries []store.Entry) error
+	hook     func() // test seam: runs in the worker before each apply
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+func newIngestQueue(depth int, fallback time.Duration, apply func([]store.Entry) error, hook func()) *ingestQueue {
+	if depth <= 0 {
+		depth = defaultIngestQueueDepth
+	}
+	if fallback <= 0 {
+		fallback = shard.DefaultRetryAfter
+	}
+	q := &ingestQueue{
+		queue:    make(chan queuedAppend, depth),
+		fallback: fallback,
+		apply:    apply,
+		hook:     hook,
+	}
+	q.wg.Add(1)
+	go q.run()
+	return q
+}
+
+func (q *ingestQueue) run() {
+	defer q.wg.Done()
+	for b := range q.queue {
+		q.depth.Add(-1)
+		q.inflight.Store(1)
+		if q.hook != nil {
+			q.hook()
+		}
+		t0 := time.Now()
+		b.done <- q.apply(b.entries)
+		q.drain.Observe(time.Since(t0))
+		q.inflight.Store(0)
+	}
+}
+
+// offer admits the batch or rejects it. On admission the returned
+// channel delivers the append's result (the handler acks 200 only after
+// the batch is applied). On a full queue it is nil with retryAfter > 0;
+// on a closed (shutting-down) queue it is nil with retryAfter 0.
+func (q *ingestQueue) offer(entries []store.Entry) (done chan error, retryAfter time.Duration) {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	if q.closed {
+		return nil, 0
+	}
+	b := queuedAppend{entries: entries, done: make(chan error, 1)}
+	select {
+	case q.queue <- b:
+		q.depth.Add(1)
+		return b.done, 0
+	default:
+		pending := int(q.depth.Load() + q.inflight.Load())
+		return nil, shard.RetryAfterEstimate(pending, q.drain.Value(), q.fallback)
+	}
+}
+
+// close stops admission and waits for every already-admitted batch to
+// reach the store — the wal-flush ordering apiServer.Close relies on
+// before sealing: nothing a client saw a 200 for may still be in
+// flight when the tail seals.
+func (q *ingestQueue) close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	close(q.queue)
+	q.mu.Unlock()
+	q.wg.Wait()
+}
+
+// entrySources returns the distinct sources in a batch, sorted — the
+// single-store twin of the shard router's rejected-sources listing.
+func entrySources(entries []store.Entry) []string {
+	seen := make(map[string]bool)
+	out := make([]string, 0, 1)
+	for _, en := range entries {
+		if !seen[en.Record.Source] {
+			seen[en.Record.Source] = true
+			out = append(out, en.Record.Source)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"whatsupersay/internal/bench"
+)
+
+// TestLoadgenEndToEndSharded is the acceptance run: the loadgen
+// subcommand self-hosts a 4-shard serve tier in-process, completes the
+// seeded closed-loop warmup plus open-loop ramp against it, and writes
+// a load_reports section into the benchmark ledger. A second run with
+// the same configuration upserts (replaces) its row instead of
+// appending a duplicate.
+func TestLoadgenEndToEndSharded(t *testing.T) {
+	ledger := filepath.Join(t.TempDir(), "BENCH_pipeline.json")
+	args := []string{
+		"-shards", "4",
+		"-system", "liberty",
+		"-scale", "0.0002",
+		"-seed", "5",
+		"-ingesters", "3",
+		"-queriers", "2",
+		"-batch-lines", "50",
+		"-step", "300ms",
+		"-ramp-steps", "2",
+		"-start-rate", "8",
+		"-ramp-factor", "2",
+		"-o", ledger,
+	}
+	var out bytes.Buffer
+	if err := runLoadgen(args, &out); err != nil {
+		t.Fatalf("loadgen: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"plan:", "self-hosted liberty", "load report appended"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	led, err := bench.ReadJSON(ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(led.LoadReports) != 1 {
+		t.Fatalf("load_reports rows: %d, want 1", len(led.LoadReports))
+	}
+	rep := led.LoadReports[0]
+	if rep.System != "liberty" || rep.Shards != 4 || rep.Ingesters != 3 || rep.Queriers != 2 {
+		t.Fatalf("report shape: %+v", rep)
+	}
+	if rep.PlanFingerprint == "" || rep.Cores < 1 {
+		t.Fatalf("report missing fingerprint or cores: %+v", rep)
+	}
+	if len(rep.Steps) != 3 { // closed warmup + 2 ramp steps
+		t.Fatalf("steps: %d, want 3", len(rep.Steps))
+	}
+	if rep.Steps[0].Mode != "closed" {
+		t.Fatalf("step 0 mode %q", rep.Steps[0].Mode)
+	}
+	var ingestOK, queryOK int64
+	for i, s := range rep.Steps {
+		if i > 0 && (s.Mode != "open" || s.OfferedPerSec <= 0) {
+			t.Fatalf("ramp step %d: %+v", i, s)
+		}
+		ingestOK += s.Ingest.OK
+		queryOK += s.Query.OK
+		if s.Ingest.OK > 0 {
+			if _, ok := s.Ingest.LatencyQuantiles["p50"]; !ok {
+				t.Fatalf("step %d missing ingest p50: %+v", i, s.Ingest.LatencyQuantiles)
+			}
+		}
+	}
+	if ingestOK == 0 || queryOK == 0 {
+		t.Fatalf("no successful traffic: ingest %d, query %d", ingestOK, queryOK)
+	}
+
+	// Same configuration again: the row is replaced, not duplicated, and
+	// the plan fingerprint is identical (determinism at the CLI layer).
+	var out2 bytes.Buffer
+	if err := runLoadgen(args, &out2); err != nil {
+		t.Fatalf("loadgen rerun: %v\n%s", err, out2.String())
+	}
+	led2, err := bench.ReadJSON(ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(led2.LoadReports) != 1 {
+		t.Fatalf("after rerun load_reports rows: %d, want 1", len(led2.LoadReports))
+	}
+	if led2.LoadReports[0].PlanFingerprint != rep.PlanFingerprint {
+		t.Fatalf("fingerprint drifted across runs: %s vs %s",
+			led2.LoadReports[0].PlanFingerprint, rep.PlanFingerprint)
+	}
+}
+
+// TestLoadgenUsageErrors pins the flag contract.
+func TestLoadgenUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	err := runLoadgen([]string{"-target", "http://127.0.0.1:1", "-shards", "2"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-shards only applies") {
+		t.Fatalf("want usage error for -target + -shards, got %v", err)
+	}
+	err = runLoadgen([]string{"-system", "nosuch"}, &out)
+	if err == nil {
+		t.Fatal("want error for unknown system")
+	}
+}

@@ -18,7 +18,8 @@
 //	logstudy rules [-system NAME] [-export]
 //	logstudy bench [-system NAME|all] [-scale S] [-seed N] [-iters N] [-workers N] [-o FILE]
 //	logstudy build-store -dir DIR [-system NAME] [-scale S] [-seed N] [-in FILE] [-compact]
-//	logstudy serve -dir DIR [-addr ADDR] [-system NAME] [-max-body N] [-cache N] [-compact-every D] [-retention D]
+//	logstudy serve -dir DIR [-addr ADDR] [-system NAME] [-max-body N] [-cache N] [-compact-every D] [-retention D] [-graphite ADDR]
+//	logstudy loadgen [-target URL | -shards N] [-system NAME] [-ingesters K] [-queriers M] [-ramp-steps N] [-o FILE]
 //	logstudy compact -dir DIR [-target N] [-retention D]
 //	logstudy correlate -dir DIR [-window D] [-nodes MODE] [-min-support N] [-min-confidence P] [-top N] [-json] [-predict]
 //
@@ -220,6 +221,8 @@ func dispatch(args []string, w io.Writer) error {
 		return runBuildStore(args[1:], w)
 	case "serve":
 		return runServe(args[1:], w)
+	case "loadgen":
+		return runLoadgen(args[1:], w)
 	case "compact":
 		return runCompact(args[1:], w)
 	case "correlate":
@@ -257,6 +260,10 @@ subcommands:
   serve            answer /api/query, /api/aggregate, /api/segments, and
                    POST /api/ingest over a store, without re-running the
                    pipeline
+  loadgen          drive a live serve endpoint (or a self-hosted one) with
+                   concurrent ingesters and queriers on a seeded plan:
+                   latency quantiles, throughput, and the saturation knee,
+                   appended to the BENCH_pipeline.json ledger
   compact          merge a store's small segments into large sorted ones
                    and apply the retention horizon (-dir)
   correlate        mine the event-correlation graph from a store in one

@@ -7,7 +7,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net"
+	"math"
 	"net/http"
 	"net/url"
 	"os"
@@ -24,8 +24,6 @@ import (
 	"whatsupersay/internal/logrec"
 	"whatsupersay/internal/obs"
 	"whatsupersay/internal/query"
-	"whatsupersay/internal/report"
-	"whatsupersay/internal/shard"
 	"whatsupersay/internal/store"
 	"whatsupersay/internal/tag"
 )
@@ -59,8 +57,12 @@ func runServe(args []string, w io.Writer) error {
 	retention := fs.Duration("retention", 0, "drop segments older than this horizon before the newest record (0 = keep everything)")
 	shards := fs.Int("shards", 0, "serve a sharded cluster with N shards (0 = single store; existing clusters use their on-disk shape)")
 	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request deadline on query/aggregate handlers (0 = none)")
+	shutdownGrace := fs.Duration("shutdown-grace", defaultShutdownGrace, "budget for draining in-flight requests on SIGTERM")
 	corrWindow := fs.Duration("correlate-window", correlate.DefaultWindow, "co-occurrence window for the online correlation miner")
 	corrNodes := fs.String("correlate-nodes", "category", "correlation node identity: category, source-category, or template")
+	graphiteAddr := fs.String("graphite", "", "pump aggregate metrics to this graphite (carbon plaintext) host:port")
+	graphiteEvery := fs.Duration("graphite-every", 10*time.Second, "graphite pump cadence")
+	graphitePrefix := fs.String("graphite-prefix", "logstudy", "graphite metric path prefix")
 	if help, err := parseFlags(fs, args); help || err != nil {
 		return err
 	}
@@ -71,115 +73,35 @@ func runServe(args []string, w io.Writer) error {
 	if err != nil {
 		return usageError(fmt.Sprintf("serve: %v", err))
 	}
-	opts := store.Options{
-		FlushEvery:    *flushEvery,
-		SyncAppends:   *syncAppends,
-		CompactTarget: *compactTarget,
-		CompactEvery:  *compactEvery,
-		Retention:     *retention,
-	}
-	apiOpts := apiOptions{
-		MaxBody: *maxBody, CacheSize: *cacheSize, RequestTimeout: *reqTimeout,
-		Correlate: correlate.Config{Window: *corrWindow, NodeMode: nodeMode},
-	}
-
-	var handler http.Handler
-	var closeStore func() error
-	var banner string
-	if *shards > 0 {
-		var c *shard.Cluster
-		var crep *shard.OpenReport
-		var err error
-		sopts := shard.Options{Store: opts, CacheSize: *cacheSize, Correlate: apiOpts.Correlate}
-		if *sysName != "" {
-			sys, perr := logrec.ParseSystem(*sysName)
-			if perr != nil {
-				return perr
-			}
-			c, crep, err = shard.Create(*dir, sys, *shards, sopts)
-		} else {
-			c, crep, err = shard.Open(*dir, sopts)
-		}
-		if err != nil {
-			return err
-		}
-		closeStore = c.Close
-		handler = newShardAPI(c, apiOpts)
-		for id, reason := range crep.Quarantined {
-			fmt.Fprintf(w, "WARNING: shard %d quarantined: %s\n", id, reason)
-		}
-		banner = fmt.Sprintf("serving sharded alert store API on http://%%s/ (%d shards, %d quarantined, %s entries)\n",
-			c.NumShards(), len(crep.Quarantined), report.Comma(int64(c.Len())))
-	} else {
-		var st *store.Store
-		var rep *store.OpenReport
-		var err error
-		if *sysName != "" {
-			sys, perr := logrec.ParseSystem(*sysName)
-			if perr != nil {
-				return perr
-			}
-			if st, err = store.Create(*dir, sys, opts); err != nil {
-				return err
-			}
-		} else if st, rep, err = store.Open(*dir, opts); err != nil {
-			return err
-		}
-		apiOpts.CorrelateArtifact = correlate.ArtifactPath(*dir)
-		as, err := newAPI(st, apiOpts)
-		if err != nil {
-			st.Close()
-			return err
-		}
-		// Close the push tier (seal, detach, final miner save) before the
-		// store, so the persisted correlation artifact warm-starts the
-		// next open.
-		closeStore = func() error {
-			as.Close()
-			return st.Close()
-		}
-		handler = as
-		reportOpen(w, st, rep)
-		banner = fmt.Sprintf("serving alert store API on http://%%s/ (%s entries)\n",
-			report.Comma(int64(st.Len())))
-	}
-	defer closeStore()
-
-	ln, err := net.Listen("tcp", *addr)
+	b, err := openServeBackend(serveBackendConfig{
+		Dir:     *dir,
+		SysName: *sysName,
+		Shards:  *shards,
+		StoreOpts: store.Options{
+			FlushEvery:    *flushEvery,
+			SyncAppends:   *syncAppends,
+			CompactTarget: *compactTarget,
+			CompactEvery:  *compactEvery,
+			Retention:     *retention,
+		},
+		APIOpts: apiOptions{
+			MaxBody: *maxBody, CacheSize: *cacheSize, RequestTimeout: *reqTimeout,
+			Correlate: correlate.Config{Window: *corrWindow, NodeMode: nodeMode},
+		},
+		CacheSize:      *cacheSize,
+		GraphiteAddr:   *graphiteAddr,
+		GraphiteEvery:  *graphiteEvery,
+		GraphitePrefix: *graphitePrefix,
+	}, w)
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{
-		Handler: handler,
-		// Slowloris defense: a client must finish its headers promptly
-		// and cannot park an idle keep-alive connection forever.
-		ReadHeaderTimeout: 10 * time.Second,
-		IdleTimeout:       2 * time.Minute,
-		// WriteTimeout backstops the per-request deadline: even a handler
-		// that ignores its context cannot hold a connection past the
-		// request budget plus response-writing headroom.
-		WriteTimeout: writeTimeout(*reqTimeout),
-	}
-	fmt.Fprintf(w, banner, ln.Addr())
 
 	// SIGTERM is how orchestrators (systemd, Kubernetes) ask for a
 	// graceful stop; treat it exactly like Ctrl-C.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	errc := make(chan error, 1)
-	go func() { errc <- srv.Serve(ln) }()
-	select {
-	case err := <-errc:
-		return err
-	case <-ctx.Done():
-	}
-	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	if err := srv.Shutdown(shutCtx); err != nil {
-		return err
-	}
-	fmt.Fprintln(w, "shut down; tail sealed on close")
-	return nil
+	return serveAndWait(ctx, b, *addr, *reqTimeout, *shutdownGrace, w, nil)
 }
 
 // defaultMaxBody bounds POST /api/ingest bodies: large enough for any
@@ -221,6 +143,17 @@ type apiOptions struct {
 	CorrelateArtifact string
 	// Predict tunes the /api/predict evaluation (zero value = defaults).
 	Predict correlate.PredictOptions
+	// IngestQueueDepth bounds the single-store ingest admission queue
+	// (default defaultIngestQueueDepth). Overflow is rejected with 429 +
+	// Retry-After, matching the sharded tier's contract.
+	IngestQueueDepth int
+	// SSEHeartbeat overrides the SSE comment-heartbeat cadence (default
+	// sseHeartbeat; tests shrink it to cross deadline windows quickly).
+	SSEHeartbeat time.Duration
+	// ingestApplyHook, when set, runs inside the ingest queue's worker
+	// just before each batch applies — a test seam to wedge or slow the
+	// drain without faulting the store.
+	ingestApplyHook func()
 }
 
 // requestContext applies the configured per-request deadline to an
@@ -232,6 +165,35 @@ func (o apiOptions) requestContext(r *http.Request) (context.Context, context.Ca
 	return context.WithTimeout(r.Context(), o.RequestTimeout)
 }
 
+// isSSERequest recognizes GET /api/subscribe/{id}/events — the one
+// endpoint that is designed to outlive every per-request budget.
+func isSSERequest(r *http.Request) bool {
+	return r.Method == http.MethodGet &&
+		strings.HasPrefix(r.URL.Path, "/api/subscribe/") &&
+		strings.HasSuffix(r.URL.Path, "/events")
+}
+
+// withRequestDeadlines applies RequestTimeout to every route's context
+// uniformly — except the SSE stream, which must be exempt from both
+// this deadline and the server's WriteTimeout (the handler clears the
+// latter itself) or every subscriber would be dropped mid-heartbeat
+// the moment the budget elapses. TestSSEExemptFromRequestTimeout pins
+// the exemption.
+func (o apiOptions) withRequestDeadlines(h http.Handler) http.Handler {
+	if o.RequestTimeout <= 0 {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if isSSERequest(r) {
+			h.ServeHTTP(w, r)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), o.RequestTimeout)
+		defer cancel()
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
 // api serves one store. Handlers are pure views over the store and the
 // query engine, so the differential tests can drive them through
 // httptest against the batch pipeline's answers.
@@ -239,6 +201,7 @@ type api struct {
 	st   *store.Store
 	eng  *query.Engine
 	opts apiOptions
+	q    *ingestQueue
 }
 
 // apiServer is the single-store handler plus the push tier behind it:
@@ -249,21 +212,32 @@ type apiServer struct {
 	st    *store.Store
 	reg   *query.Registry
 	miner *correlate.Miner
+	q     *ingestQueue
+	hub   *pushHub
 }
 
-// Close shuts the push tier down in warm-start-preserving order: seal
-// the tail while the miner still observes (so the persisted artifact's
-// fingerprint matches the store a reopen will see), detach the
-// observer, close the miner (final artifact save), then the registry.
-// The store stays open — the caller owns it, and its own Close's seal
-// finds an empty tail, a no-op that leaves the fingerprint stable.
+// Close shuts the push tier down in warm-start-preserving order: first
+// drain the ingest admission queue (every batch a client got a 200 for
+// must reach the wal before anything seals — the durability ordering
+// the loadgen kill test pins), then seal the tail while the miner still
+// observes (so the persisted artifact's fingerprint matches the store a
+// reopen will see), detach the observer, close the miner (final
+// artifact save), then the registry. The store stays open — the caller
+// owns it, and its own Close's seal finds an empty tail, a no-op that
+// leaves the fingerprint stable.
 func (a *apiServer) Close() error {
+	a.q.close()
 	err := a.st.Seal()
 	a.st.SetObserver(nil)
 	a.miner.Close()
 	a.reg.Close()
 	return err
 }
+
+// BeginShutdown tells long-lived push streams (SSE) to finish so the
+// HTTP server's graceful Shutdown can complete; request/response
+// traffic is unaffected.
+func (a *apiServer) BeginShutdown() { a.hub.beginShutdown() }
 
 // newAPI builds the HTTP handler for one open store, including the
 // standing-query subscription endpoints (a registry observes the
@@ -280,6 +254,9 @@ func newAPI(st *store.Store, opts apiOptions) (*apiServer, error) {
 		opts.MaxBody = defaultMaxBody
 	}
 	a := &api{st: st, eng: eng, opts: opts}
+	a.q = newIngestQueue(opts.IngestQueueDepth, 0, func(entries []store.Entry) error {
+		return st.Append(entries...)
+	}, opts.ingestApplyHook)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/query", instrument("/api/query", a.handleQuery))
 	mux.HandleFunc("/api/aggregate", instrument("/api/aggregate", a.handleAggregate))
@@ -317,7 +294,7 @@ func newAPI(st *store.Store, opts apiOptions) (*apiServer, error) {
 	sub.register(mux)
 	ca := &correlAPI{b: minerCorrelate{m: miner, live: correlate.NewLiveService(miner, opts.Predict)}}
 	ca.register(mux)
-	return &apiServer{Handler: mux, st: st, reg: reg, miner: miner}, nil
+	return &apiServer{Handler: opts.withRequestDeadlines(mux), st: st, reg: reg, miner: miner, q: a.q, hub: hub}, nil
 }
 
 // instrument wraps a handler with per-path request latency and count
@@ -606,15 +583,41 @@ func (a *api) handleIngest(w http.ResponseWriter, r *http.Request) {
 	tag.SortAlerts(alerts)
 	filtered := filter.Simultaneous{T: filter.DefaultThreshold}.Filter(alerts)
 	entries := store.FromAlerts(alerts, filtered)
-	if err := a.st.Append(entries...); err != nil {
-		httpError(w, http.StatusInternalServerError, "append: %v", err)
-		return
-	}
-	writeJSON(w, ingestResponse{
+	summary := ingestResponse{
 		Lines:       stats.Lines,
 		ParseErrors: stats.ParseErrors,
 		Alerts:      len(alerts),
 		Kept:        len(filtered),
-		Appended:    len(entries),
-	})
+	}
+	if len(entries) == 0 {
+		writeJSON(w, summary)
+		return
+	}
+	// Admission goes through the bounded queue so sustained overload
+	// surfaces as 429 + Retry-After with the same rejected_sources body
+	// the sharded tier sends (shard id 0) — one retry contract for every
+	// client. The 200 is written only after the worker applied the
+	// batch: an acked batch is in the wal.
+	done, retryAfter := a.q.offer(entries)
+	if done == nil {
+		if retryAfter <= 0 {
+			httpError(w, http.StatusServiceUnavailable, "ingest: shutting down")
+			return
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retryAfter.Seconds()))))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(shardIngestResponse{
+			ingestResponse:  summary,
+			Rejected:        map[int]int{0: len(entries)},
+			RejectedSources: map[int][]string{0: entrySources(entries)},
+		})
+		return
+	}
+	if err := <-done; err != nil {
+		httpError(w, http.StatusInternalServerError, "append: %v", err)
+		return
+	}
+	summary.Appended = len(entries)
+	writeJSON(w, summary)
 }

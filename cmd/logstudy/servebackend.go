@@ -1,0 +1,289 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"whatsupersay/internal/connectors/graphite"
+	"whatsupersay/internal/correlate"
+	"whatsupersay/internal/logrec"
+	"whatsupersay/internal/query"
+	"whatsupersay/internal/report"
+	"whatsupersay/internal/shard"
+	"whatsupersay/internal/store"
+)
+
+// defaultShutdownGrace bounds the graceful drain on SIGTERM. The SSE
+// shutdown broadcast means the drain normally completes in
+// milliseconds; the budget only matters when a request is legitimately
+// mid-flight.
+const defaultShutdownGrace = 10 * time.Second
+
+// serveBackendConfig names everything openServeBackend needs to open
+// (or create) the single store or sharded cluster behind the API.
+type serveBackendConfig struct {
+	Dir       string
+	SysName   string // non-empty: create for this system
+	Shards    int
+	StoreOpts store.Options
+	APIOpts   apiOptions
+	CacheSize int
+
+	// GraphiteAddr enables the connector pump (empty = disabled).
+	GraphiteAddr   string
+	GraphiteEvery  time.Duration
+	GraphitePrefix string
+}
+
+// serveBackend is an opened store-or-cluster plus the lifecycle hooks
+// the serve loop drives. runServe and `logstudy loadgen`'s self-hosted
+// mode share it, so the loadgen harness exercises the production
+// open/serve/drain path, not a test double.
+type serveBackend struct {
+	handler http.Handler
+	banner  string
+	// beginShutdown releases long-lived streams (SSE) so the HTTP
+	// server's graceful Shutdown is not held open by them.
+	beginShutdown func()
+	// closeStore tears the push tier and store down, in durability
+	// order. Must be called exactly once, after the server stops.
+	closeStore func() error
+	// pump is the graphite connector (nil when disabled); started by
+	// serveAndWait once the listener is up, closed before closeStore.
+	pump *graphite.Pump
+}
+
+// openServeBackend opens the backend and assembles its HTTP tier.
+func openServeBackend(cfg serveBackendConfig, w io.Writer) (*serveBackend, error) {
+	b := &serveBackend{}
+	var gather func() []graphite.Metric
+	if cfg.Shards > 0 {
+		var c *shard.Cluster
+		var crep *shard.OpenReport
+		var err error
+		sopts := shard.Options{Store: cfg.StoreOpts, CacheSize: cfg.CacheSize, Correlate: cfg.APIOpts.Correlate}
+		if cfg.SysName != "" {
+			sys, perr := logrec.ParseSystem(cfg.SysName)
+			if perr != nil {
+				return nil, perr
+			}
+			c, crep, err = shard.Create(cfg.Dir, sys, cfg.Shards, sopts)
+		} else {
+			c, crep, err = shard.Open(cfg.Dir, sopts)
+		}
+		if err != nil {
+			return nil, err
+		}
+		as := newShardAPI(c, cfg.APIOpts)
+		b.handler = as
+		b.beginShutdown = as.BeginShutdown
+		b.closeStore = c.Close
+		gather = clusterGather(c)
+		for id, reason := range crep.Quarantined {
+			fmt.Fprintf(w, "WARNING: shard %d quarantined: %s\n", id, reason)
+		}
+		b.banner = fmt.Sprintf("serving sharded alert store API on http://%%s/ (%d shards, %d quarantined, %s entries)\n",
+			c.NumShards(), len(crep.Quarantined), report.Comma(int64(c.Len())))
+	} else {
+		var st *store.Store
+		var rep *store.OpenReport
+		var err error
+		if cfg.SysName != "" {
+			sys, perr := logrec.ParseSystem(cfg.SysName)
+			if perr != nil {
+				return nil, perr
+			}
+			if st, err = store.Create(cfg.Dir, sys, cfg.StoreOpts); err != nil {
+				return nil, err
+			}
+		} else if st, rep, err = store.Open(cfg.Dir, cfg.StoreOpts); err != nil {
+			return nil, err
+		}
+		apiOpts := cfg.APIOpts
+		apiOpts.CorrelateArtifact = correlate.ArtifactPath(cfg.Dir)
+		as, err := newAPI(st, apiOpts)
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		b.handler = as
+		b.beginShutdown = as.BeginShutdown
+		// Close the push tier (drain ingest queue, seal, detach, final
+		// miner save) before the store, so acked batches are durable and
+		// the persisted correlation artifact warm-starts the next open.
+		b.closeStore = func() error {
+			err := as.Close()
+			if cerr := st.Close(); err == nil {
+				err = cerr
+			}
+			return err
+		}
+		gather = storeGather(st, as.reg)
+		reportOpen(w, st, rep)
+		b.banner = fmt.Sprintf("serving alert store API on http://%%s/ (%s entries)\n",
+			report.Comma(int64(st.Len())))
+	}
+	if cfg.GraphiteAddr != "" {
+		b.pump = graphite.New(graphite.Config{
+			Addr:     cfg.GraphiteAddr,
+			Prefix:   cfg.GraphitePrefix,
+			Interval: cfg.GraphiteEvery,
+		}, gather)
+	}
+	return b, nil
+}
+
+// serveAndWait owns the server lifecycle: listen, serve, and on ctx
+// cancellation (SIGTERM/Ctrl-C in production, a test's cancel in the
+// kill tests) drain gracefully and close the backend in durability
+// order. onReady, when set, receives the bound address once the
+// listener is accepting — the seam the loadgen self-host mode and the
+// kill tests use.
+func serveAndWait(ctx context.Context, b *serveBackend, addr string, reqTimeout, grace time.Duration, w io.Writer, onReady func(net.Addr)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		b.closeStore()
+		return err
+	}
+	if grace <= 0 {
+		grace = defaultShutdownGrace
+	}
+	srv := &http.Server{
+		Handler: b.handler,
+		// Slowloris defense: a client must finish its headers promptly
+		// and cannot park an idle keep-alive connection forever.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		// WriteTimeout backstops the per-request deadline: even a handler
+		// that ignores its context cannot hold a connection past the
+		// request budget plus response-writing headroom. (The SSE stream
+		// clears its own write deadline — see handleEvents.)
+		WriteTimeout: writeTimeout(reqTimeout),
+	}
+	fmt.Fprintf(w, b.banner, ln.Addr())
+	if b.pump != nil {
+		b.pump.Start()
+	}
+	if onReady != nil {
+		onReady(ln.Addr())
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	var serveErr error
+	select {
+	case serveErr = <-errc:
+	case <-ctx.Done():
+		// Release SSE streams first: they are request-scoped goroutines
+		// that by design never finish, and Shutdown waits for every
+		// in-flight request. Without the broadcast a single subscriber
+		// wedges the drain until the grace budget expires.
+		b.beginShutdown()
+		shutCtx, cancel := context.WithTimeout(context.Background(), grace)
+		serveErr = srv.Shutdown(shutCtx)
+		cancel()
+	}
+	if b.pump != nil {
+		b.pump.Close()
+	}
+	// closeStore drains the ingest queue before sealing: every batch a
+	// client got a 200 for is on disk when this returns.
+	if err := b.closeStore(); err != nil && serveErr == nil {
+		serveErr = err
+	}
+	if serveErr == nil {
+		fmt.Fprintln(w, "shut down; tail sealed on close")
+	}
+	return serveErr
+}
+
+// storeGather flattens the single store's live aggregate and standing
+// subscriptions into graphite samples. It runs on the pump's ticker
+// goroutine, never on a request path.
+func storeGather(st *store.Store, reg *query.Registry) func() []graphite.Metric {
+	eng := &query.Engine{Store: st}
+	return func() []graphite.Metric {
+		now := time.Now()
+		ms := []graphite.Metric{{Name: "store.entries", Value: float64(st.Len()), Time: now}}
+		if agg, _, err := eng.Aggregate(store.Filter{}, query.AggregateOptions{}); err == nil {
+			ms = append(ms, aggregateMetrics("aggregate", agg, now)...)
+		}
+		for _, info := range reg.List() {
+			base := "standing." + info.ID
+			fired := 0.0
+			if info.Fired {
+				fired = 1
+			}
+			ms = append(ms,
+				graphite.Metric{Name: base + ".total", Value: float64(info.Total), Time: now},
+				graphite.Metric{Name: base + ".fired", Value: fired, Time: now},
+				graphite.Metric{Name: base + ".events", Value: float64(info.Events), Time: now},
+			)
+		}
+		return ms
+	}
+}
+
+// clusterGather is storeGather's sharded twin, adding per-shard queue
+// and breaker health.
+func clusterGather(c *shard.Cluster) func() []graphite.Metric {
+	return func() []graphite.Metric {
+		now := time.Now()
+		ms := []graphite.Metric{{Name: "cluster.entries", Value: float64(c.Len()), Time: now}}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if agg, cov, _, err := c.Aggregate(ctx, store.Filter{}, query.AggregateOptions{}); err == nil {
+			ms = append(ms, aggregateMetrics("aggregate", agg, now)...)
+			ms = append(ms, graphite.Metric{Name: "cluster.shards_answered", Value: float64(cov.ShardsAnswered), Time: now})
+		}
+		for _, h := range c.Health() {
+			base := fmt.Sprintf("shard.%d", h.ID)
+			state := 0.0
+			switch h.State {
+			case "half-open":
+				state = 1
+			case "open":
+				state = 2
+			case "quarantined":
+				state = 3
+			}
+			ms = append(ms,
+				graphite.Metric{Name: base + ".queue_depth", Value: float64(h.QueueDepth + h.Inflight), Time: now},
+				graphite.Metric{Name: base + ".breaker_state", Value: state, Time: now},
+				graphite.Metric{Name: base + ".failures_total", Value: float64(h.TotalFailures), Time: now},
+			)
+		}
+		n := len(c.Subscriptions())
+		ms = append(ms, graphite.Metric{Name: "standing.subscriptions", Value: float64(n), Time: now})
+		return ms
+	}
+}
+
+// aggregateMetrics flattens one query.Aggregation into samples.
+func aggregateMetrics(base string, agg query.Aggregation, now time.Time) []graphite.Metric {
+	ms := []graphite.Metric{
+		{Name: base + ".total", Value: float64(agg.Total), Time: now},
+		{Name: base + ".kept", Value: float64(agg.Kept), Time: now},
+		{Name: base + ".removed", Value: float64(agg.Removed), Time: now},
+		{Name: base + ".reduction_ratio", Value: agg.ReductionRatio, Time: now},
+		{Name: base + ".categories", Value: float64(agg.Categories), Time: now},
+	}
+	for sev, n := range agg.BySeverity {
+		ms = append(ms, graphite.Metric{Name: base + ".by_severity." + sev, Value: float64(n), Time: now})
+	}
+	if ia := agg.Interarrival; ia != nil {
+		ms = append(ms,
+			graphite.Metric{Name: base + ".interarrival.mean_sec", Value: ia.MeanSec, Time: now},
+			graphite.Metric{Name: base + ".interarrival.max_sec", Value: ia.MaxSec, Time: now},
+		)
+		for _, qv := range ia.Quantiles {
+			name := fmt.Sprintf("%s.interarrival.p%g", base, qv.Q*100)
+			ms = append(ms, graphite.Metric{Name: name, Value: qv.Sec, Time: now})
+		}
+	}
+	return ms
+}

@@ -27,8 +27,19 @@ type shardAPI struct {
 	opts apiOptions
 }
 
+// shardServer is the sharded handler plus the hooks the serve loop
+// needs around it (SSE shutdown broadcast).
+type shardServer struct {
+	http.Handler
+	hub *pushHub
+}
+
+// BeginShutdown tells long-lived push streams (SSE) to finish so the
+// HTTP server's graceful Shutdown can complete.
+func (s *shardServer) BeginShutdown() { s.hub.beginShutdown() }
+
 // newShardAPI builds the HTTP handler for one open cluster.
-func newShardAPI(c *shard.Cluster, opts apiOptions) http.Handler {
+func newShardAPI(c *shard.Cluster, opts apiOptions) *shardServer {
 	if opts.MaxBody == 0 {
 		opts.MaxBody = defaultMaxBody
 	}
@@ -65,7 +76,7 @@ func newShardAPI(c *shard.Cluster, opts apiOptions) http.Handler {
 	// Correlation mining + live prediction over the merged cluster view.
 	ca := &correlAPI{b: clusterCorrelateBackend{c: c, opts: opts.Predict}}
 	ca.register(mux)
-	return mux
+	return &shardServer{Handler: opts.withRequestDeadlines(mux), hub: hub}
 }
 
 // handleQuery scatters the select across the cluster and returns the

@@ -159,6 +159,11 @@ type pushHub struct {
 	clients  map[string]map[chan subEvent]struct{}
 	webhooks map[string]string
 	client   *http.Client
+	// shutdown broadcasts "the server is draining": SSE streams select
+	// on it and finish, so a graceful Shutdown is not held hostage by
+	// connections that by design never end.
+	shutdown     chan struct{}
+	shutdownOnce sync.Once
 }
 
 func newPushHub() *pushHub {
@@ -166,7 +171,13 @@ func newPushHub() *pushHub {
 		clients:  map[string]map[chan subEvent]struct{}{},
 		webhooks: map[string]string{},
 		client:   &http.Client{Timeout: 5 * time.Second},
+		shutdown: make(chan struct{}),
 	}
+}
+
+// beginShutdown releases every attached SSE stream. Idempotent.
+func (h *pushHub) beginShutdown() {
+	h.shutdownOnce.Do(func() { close(h.shutdown) })
 }
 
 // sseBuffer is each SSE client's event buffer; a client this far behind
@@ -428,11 +439,17 @@ func (s *subAPI) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	fl.Flush()
 
-	hb := time.NewTicker(sseHeartbeat)
+	beat := sseHeartbeat
+	if s.opts.SSEHeartbeat > 0 {
+		beat = s.opts.SSEHeartbeat
+	}
+	hb := time.NewTicker(beat)
 	defer hb.Stop()
 	for {
 		select {
 		case <-r.Context().Done():
+			return
+		case <-s.hub.shutdown:
 			return
 		case ev := <-ch:
 			if err := writeSSE(w, "fire", ev); err != nil {

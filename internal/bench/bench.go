@@ -17,6 +17,7 @@ import (
 
 	"whatsupersay/internal/filter"
 	"whatsupersay/internal/ingest"
+	"whatsupersay/internal/loadgen"
 	"whatsupersay/internal/logrec"
 	"whatsupersay/internal/obs"
 	"whatsupersay/internal/parallel"
@@ -124,6 +125,11 @@ type Ledger struct {
 	// (incremental column/edge folds vs a from-scratch re-mine after
 	// every mutation batch) per system; see correlate.go.
 	CorrelateReports []CorrelateReport `json:"correlate_reports,omitempty"`
+	// LoadReports holds `logstudy loadgen` runs: closed/open-loop load
+	// against a live serve endpoint, with per-path latency quantiles and
+	// the saturation knee. Written by the loadgen subcommand (which
+	// upserts into an existing ledger), not by Run.
+	LoadReports []loadgen.Report `json:"load_reports,omitempty"`
 }
 
 // timeBest runs fn iters times and returns the best wall time. A
@@ -280,4 +286,19 @@ func (l *Ledger) WriteJSON(path string) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadJSON loads a ledger previously written by WriteJSON, so a later
+// run (e.g. `logstudy loadgen`) can upsert its section without
+// clobbering the others.
+func ReadJSON(path string) (*Ledger, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var l Ledger
+	if err := json.Unmarshal(data, &l); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return &l, nil
 }

@@ -1,0 +1,157 @@
+package graphite
+
+import (
+	"bufio"
+	"net"
+	"sync"
+)
+
+// FakeSink is an in-process graphite server for tests: a real TCP
+// listener that accepts connections, reads plaintext-protocol lines,
+// and records them. Pause makes it stop accepting and stop reading —
+// established connections stay open but their bytes pile up in the OS
+// socket buffers — which is exactly the failure mode the pump's
+// bounded buffer and write deadline must absorb without stalling the
+// caller.
+type FakeSink struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	lines  []string
+	conns  []net.Conn
+	closed bool
+
+	gateMu sync.Mutex
+	gate   chan struct{} // non-nil while paused; closed on Resume
+
+	wg sync.WaitGroup
+}
+
+// NewFakeSink starts the sink on an ephemeral loopback port.
+func NewFakeSink() (*FakeSink, error) {
+	return NewFakeSinkOn("127.0.0.1:0")
+}
+
+// NewFakeSinkOn starts the sink on a specific address — used by tests
+// that restart the sink on the port a pump is already configured for.
+func NewFakeSinkOn(addr string) (*FakeSink, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &FakeSink{ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr is the host:port to point a Pump at.
+func (s *FakeSink) Addr() string { return s.ln.Addr().String() }
+
+// Lines returns a copy of every protocol line received so far.
+func (s *FakeSink) Lines() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.lines))
+	copy(out, s.lines)
+	return out
+}
+
+// Pause stops the sink from accepting or reading until Resume. Safe to
+// call repeatedly.
+func (s *FakeSink) Pause() {
+	s.gateMu.Lock()
+	defer s.gateMu.Unlock()
+	if s.gate == nil {
+		s.gate = make(chan struct{})
+	}
+}
+
+// Resume lifts a Pause. Safe to call repeatedly.
+func (s *FakeSink) Resume() {
+	s.gateMu.Lock()
+	defer s.gateMu.Unlock()
+	if s.gate != nil {
+		close(s.gate)
+		s.gate = nil
+	}
+}
+
+// waitGate blocks while paused; returns false once the sink is closed.
+func (s *FakeSink) waitGate() bool {
+	for {
+		s.gateMu.Lock()
+		gate := s.gate
+		s.gateMu.Unlock()
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return false
+		}
+		if gate == nil {
+			return true
+		}
+		<-gate
+	}
+}
+
+// Close shuts the listener and every connection down and waits for the
+// reader goroutines.
+func (s *FakeSink) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := s.conns
+	s.conns = nil
+	s.mu.Unlock()
+	s.Resume() // release any reader parked at the gate
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *FakeSink) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		if !s.waitGate() {
+			return
+		}
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns = append(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.readLoop(conn)
+	}
+}
+
+func (s *FakeSink) readLoop(conn net.Conn) {
+	defer s.wg.Done()
+	sc := bufio.NewScanner(conn)
+	for {
+		if !s.waitGate() {
+			return
+		}
+		if !sc.Scan() {
+			return
+		}
+		s.mu.Lock()
+		s.lines = append(s.lines, sc.Text())
+		s.mu.Unlock()
+	}
+}

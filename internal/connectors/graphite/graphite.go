@@ -1,0 +1,311 @@
+// Package graphite pumps serve-tier aggregates to an external graphite
+// (carbon) sink over the plaintext line protocol: one "path value
+// timestamp\n" line per metric, batched per gather tick.
+//
+// The pump's contract is that a dead, slow, or paused sink can never
+// stall the process feeding it. Gathering runs on its own ticker
+// goroutine and hands each batch to the writer through a bounded
+// buffer; when the buffer is full the batch is dropped and counted,
+// never blocked on. The writer owns the TCP connection: it dials with
+// exponential backoff, bounds every dial and write with a deadline, and
+// on any error drops the in-hand batch, closes the connection, and
+// backs off before reconnecting. Delivery is therefore at-most-once —
+// the right trade for monitoring samples, where a stale gauge beats a
+// wedged server.
+package graphite
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metric is one sample: a dotted graphite path fragment (the pump
+// prepends Config.Prefix), a value, and its timestamp.
+type Metric struct {
+	Name  string
+	Value float64
+	Time  time.Time
+}
+
+// Config tunes a Pump. The zero value of every field but Addr gets a
+// sane default.
+type Config struct {
+	// Addr is the carbon plaintext endpoint, host:port. Required.
+	Addr string
+	// Prefix is prepended (dot-joined) to every metric path. Default
+	// "logstudy".
+	Prefix string
+	// Interval is the gather cadence (default 10s).
+	Interval time.Duration
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+	// WriteTimeout bounds each batch write; a sink that stops reading
+	// fails the write instead of parking the writer forever (default 5s).
+	WriteTimeout time.Duration
+	// Buffer is how many gathered batches may wait for the writer before
+	// new ones are dropped (default 64).
+	Buffer int
+	// BackoffMin and BackoffMax bound the reconnect backoff, which
+	// doubles on every consecutive failure (defaults 250ms and 30s).
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Prefix == "" {
+		c.Prefix = "logstudy"
+	}
+	if c.Interval <= 0 {
+		c.Interval = 10 * time.Second
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 5 * time.Second
+	}
+	if c.Buffer <= 0 {
+		c.Buffer = 64
+	}
+	if c.BackoffMin <= 0 {
+		c.BackoffMin = 250 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 30 * time.Second
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of the pump's delivery counters.
+type Stats struct {
+	// BatchesSent / MetricsSent count what reached the sink's socket.
+	BatchesSent int64 `json:"batches_sent"`
+	MetricsSent int64 `json:"metrics_sent"`
+	// BatchesDropped / MetricsDropped count what the bounded buffer or a
+	// failed write discarded — the price of never stalling the gatherer.
+	BatchesDropped int64 `json:"batches_dropped"`
+	MetricsDropped int64 `json:"metrics_dropped"`
+	// Dials counts successful connections; WriteErrors counts failed
+	// dials and writes (each also costs the in-hand batch).
+	Dials       int64 `json:"dials"`
+	WriteErrors int64 `json:"write_errors"`
+}
+
+// Pump gathers metrics on a ticker and ships them to a graphite sink.
+type Pump struct {
+	cfg    Config
+	gather func() []Metric
+
+	batches chan []Metric
+	done    chan struct{}
+	wg      sync.WaitGroup
+	started atomic.Bool
+
+	batchesSent, metricsSent       atomic.Int64
+	batchesDropped, metricsDropped atomic.Int64
+	dials, writeErrors             atomic.Int64
+}
+
+// New builds a pump over gather, which is called once per tick on the
+// pump's own goroutine and must return the batch to ship. gather may be
+// nil when the caller only uses Enqueue.
+func New(cfg Config, gather func() []Metric) *Pump {
+	cfg = cfg.withDefaults()
+	return &Pump{
+		cfg:     cfg,
+		gather:  gather,
+		batches: make(chan []Metric, cfg.Buffer),
+		done:    make(chan struct{}),
+	}
+}
+
+// Start launches the gather ticker and the writer. Idempotent.
+func (p *Pump) Start() {
+	if !p.started.CompareAndSwap(false, true) {
+		return
+	}
+	p.wg.Add(1)
+	go p.runWriter()
+	if p.gather != nil {
+		p.wg.Add(1)
+		go p.runGather()
+	}
+}
+
+// Enqueue offers one batch to the writer without ever blocking: a full
+// buffer drops the batch and returns false.
+func (p *Pump) Enqueue(ms []Metric) bool {
+	if len(ms) == 0 {
+		return true
+	}
+	select {
+	case p.batches <- ms:
+		return true
+	default:
+		p.batchesDropped.Add(1)
+		p.metricsDropped.Add(int64(len(ms)))
+		return false
+	}
+}
+
+// Close stops the ticker and the writer. Batches still buffered are
+// dropped (and counted): shutdown must not wait on a slow sink.
+func (p *Pump) Close() error {
+	if !p.started.Load() {
+		return nil
+	}
+	select {
+	case <-p.done:
+		return nil // already closed
+	default:
+	}
+	close(p.done)
+	p.wg.Wait()
+	for {
+		select {
+		case ms := <-p.batches:
+			p.batchesDropped.Add(1)
+			p.metricsDropped.Add(int64(len(ms)))
+		default:
+			return nil
+		}
+	}
+}
+
+// Stats snapshots the delivery counters.
+func (p *Pump) Stats() Stats {
+	return Stats{
+		BatchesSent:    p.batchesSent.Load(),
+		MetricsSent:    p.metricsSent.Load(),
+		BatchesDropped: p.batchesDropped.Load(),
+		MetricsDropped: p.metricsDropped.Load(),
+		Dials:          p.dials.Load(),
+		WriteErrors:    p.writeErrors.Load(),
+	}
+}
+
+// runGather ticks and enqueues. Gather runs here, off the serve path;
+// a slow gather only skips its own ticks.
+func (p *Pump) runGather() {
+	defer p.wg.Done()
+	tick := time.NewTicker(p.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.done:
+			return
+		case <-tick.C:
+			p.Enqueue(p.gather())
+		}
+	}
+}
+
+// runWriter owns the connection: dial with backoff, write batches,
+// drop-and-reconnect on any error.
+func (p *Pump) runWriter() {
+	defer p.wg.Done()
+	var conn net.Conn
+	backoff := p.cfg.BackoffMin
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for {
+		select {
+		case <-p.done:
+			return
+		case ms := <-p.batches:
+			if conn == nil {
+				c, err := net.DialTimeout("tcp", p.cfg.Addr, p.cfg.DialTimeout)
+				if err != nil {
+					// The batch in hand is lost; newer batches keep
+					// accumulating in (and overflowing) the bounded buffer
+					// while we back off, so the gatherer never notices.
+					p.writeErrors.Add(1)
+					p.batchesDropped.Add(1)
+					p.metricsDropped.Add(int64(len(ms)))
+					if !p.sleep(backoff) {
+						return
+					}
+					backoff = min(backoff*2, p.cfg.BackoffMax)
+					continue
+				}
+				conn = c
+				p.dials.Add(1)
+				backoff = p.cfg.BackoffMin
+			}
+			conn.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
+			if _, err := conn.Write(encode(p.cfg.Prefix, ms)); err != nil {
+				p.writeErrors.Add(1)
+				p.batchesDropped.Add(1)
+				p.metricsDropped.Add(int64(len(ms)))
+				conn.Close()
+				conn = nil
+				if !p.sleep(backoff) {
+					return
+				}
+				backoff = min(backoff*2, p.cfg.BackoffMax)
+				continue
+			}
+			p.batchesSent.Add(1)
+			p.metricsSent.Add(int64(len(ms)))
+		}
+	}
+}
+
+// sleep waits d or until Close, reporting whether the pump is still
+// open.
+func (p *Pump) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-p.done:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// encode renders one batch as plaintext-protocol lines.
+func encode(prefix string, ms []Metric) []byte {
+	var b strings.Builder
+	for _, m := range ms {
+		ts := m.Time
+		if ts.IsZero() {
+			ts = time.Now()
+		}
+		fmt.Fprintf(&b, "%s.%s %g %d\n", prefix, SanitizePath(m.Name), m.Value, ts.Unix())
+	}
+	return []byte(b.String())
+}
+
+// SanitizePath maps an arbitrary label onto graphite's path alphabet:
+// letters, digits, underscore, dash, and the dot separator survive;
+// everything else becomes an underscore. Consecutive dots collapse so a
+// hostile label cannot inject empty path components.
+func SanitizePath(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	lastDot := true // leading dots are dropped
+	for _, r := range s {
+		switch {
+		case r == '.':
+			if !lastDot {
+				b.WriteByte('.')
+				lastDot = true
+			}
+		case (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') || r == '_' || r == '-':
+			b.WriteRune(r)
+			lastDot = false
+		default:
+			b.WriteByte('_')
+			lastDot = false
+		}
+	}
+	return strings.TrimSuffix(b.String(), ".")
+}

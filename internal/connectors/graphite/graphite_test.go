@@ -1,0 +1,182 @@
+package graphite
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", msg)
+}
+
+func newTestPump(t *testing.T, addr string, gather func() []Metric) *Pump {
+	t.Helper()
+	p := New(Config{
+		Addr:         addr,
+		Prefix:       "test",
+		Interval:     10 * time.Millisecond,
+		DialTimeout:  time.Second,
+		WriteTimeout: 100 * time.Millisecond,
+		Buffer:       4,
+		BackoffMin:   5 * time.Millisecond,
+		BackoffMax:   50 * time.Millisecond,
+	}, gather)
+	p.Start()
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func TestPumpDeliversGatheredMetrics(t *testing.T) {
+	sink, err := NewFakeSink()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+
+	var n atomic.Int64
+	p := newTestPump(t, sink.Addr(), func() []Metric {
+		return []Metric{
+			{Name: "ingest.total", Value: float64(n.Add(1)), Time: time.Unix(1700000000, 0)},
+			{Name: "weird name/x", Value: 2.5, Time: time.Unix(1700000001, 0)},
+		}
+	})
+
+	waitFor(t, 5*time.Second, func() bool { return len(sink.Lines()) >= 4 }, "metric delivery")
+	p.Close()
+
+	lines := sink.Lines()
+	var sawTotal, sawSanitized bool
+	for _, ln := range lines {
+		fields := strings.Fields(ln)
+		if len(fields) != 3 {
+			t.Fatalf("malformed line %q", ln)
+		}
+		if strings.HasPrefix(fields[0], "test.ingest.total") && fields[2] == "1700000000" {
+			sawTotal = true
+		}
+		if fields[0] == "test.weird_name_x" && fields[1] == "2.5" {
+			sawSanitized = true
+		}
+	}
+	if !sawTotal || !sawSanitized {
+		t.Fatalf("missing expected metrics (total=%v sanitized=%v) in %v", sawTotal, sawSanitized, lines)
+	}
+	if st := p.Stats(); st.MetricsSent < 4 || st.Dials < 1 {
+		t.Fatalf("stats undercount delivery: %+v", st)
+	}
+}
+
+func TestPumpReconnectsAfterSinkRestart(t *testing.T) {
+	sink, err := NewFakeSink()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := sink.Addr()
+
+	p := newTestPump(t, addr, func() []Metric {
+		return []Metric{{Name: "up", Value: 1, Time: time.Unix(1700000000, 0)}}
+	})
+
+	waitFor(t, 5*time.Second, func() bool { return len(sink.Lines()) >= 1 }, "first delivery")
+	sink.Close()
+
+	// With the sink down every batch is dropped, never blocked on.
+	waitFor(t, 5*time.Second, func() bool { return p.Stats().WriteErrors >= 1 }, "write errors while sink down")
+
+	// A new sink cannot reuse the old port reliably, so the reconnect is
+	// proven by the dial counter rising once a fresh listener appears.
+	// Rebind on the same address: the listener was just closed by us, so
+	// the port is free.
+	ln2, err := NewFakeSinkOn(addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer ln2.Close()
+	waitFor(t, 5*time.Second, func() bool { return len(ln2.Lines()) >= 1 }, "delivery after reconnect")
+	if st := p.Stats(); st.Dials < 2 {
+		t.Fatalf("expected a reconnect dial, stats %+v", st)
+	}
+}
+
+// TestPausedSinkNeverBlocksEnqueue is the connector's core contract: a
+// sink that stops reading must cost drops, not caller latency.
+func TestPausedSinkNeverBlocksEnqueue(t *testing.T) {
+	sink, err := NewFakeSink()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+
+	p := newTestPump(t, sink.Addr(), nil)
+	waitFor(t, 5*time.Second, func() bool {
+		p.Enqueue([]Metric{{Name: "probe", Value: 1}})
+		return p.Stats().BatchesSent >= 1
+	}, "initial delivery")
+
+	sink.Pause()
+	// Large batches fill the OS socket buffer quickly, then the write
+	// deadline trips and subsequent batches overflow the bounded buffer.
+	big := make([]Metric, 4096)
+	for i := range big {
+		big[i] = Metric{Name: "flood.metric.with.a.long.path", Value: float64(i)}
+	}
+	start := time.Now()
+	for i := 0; i < 200; i++ {
+		p.Enqueue(big)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("Enqueue stalled for %v against a paused sink", d)
+	}
+	waitFor(t, 10*time.Second, func() bool { return p.Stats().BatchesDropped > 0 }, "drops counted")
+
+	sink.Resume()
+	before := p.Stats().BatchesSent
+	waitFor(t, 10*time.Second, func() bool {
+		p.Enqueue([]Metric{{Name: "after.resume", Value: 1}})
+		return p.Stats().BatchesSent > before
+	}, "delivery after resume")
+}
+
+func TestCloseDoesNotWaitOnDeadSink(t *testing.T) {
+	// An address nothing listens on: every dial fails.
+	p := New(Config{
+		Addr:       "127.0.0.1:1",
+		Interval:   5 * time.Millisecond,
+		BackoffMin: time.Hour, // a close must interrupt even a long backoff
+	}, func() []Metric { return []Metric{{Name: "x", Value: 1}} })
+	p.Start()
+	waitFor(t, 5*time.Second, func() bool { return p.Stats().WriteErrors >= 1 }, "dial failure")
+	done := make(chan struct{})
+	go func() { p.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close blocked on a dead sink")
+	}
+}
+
+func TestSanitizePath(t *testing.T) {
+	cases := map[string]string{
+		"a.b.c":        "a.b.c",
+		"R63-M0 node":  "R63-M0_node",
+		"..a...b..":    "a.b",
+		"sp@ces/slash": "sp_ces_slash",
+		"":             "",
+	}
+	for in, want := range cases {
+		if got := SanitizePath(in); got != want {
+			t.Errorf("SanitizePath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -60,6 +60,10 @@ type StoreFaults struct {
 	// channel is closed — the wedged disk that backs a shard's ingest
 	// queue up into backpressure.
 	AppendHold <-chan struct{}
+	// AppendDelay stalls every Append for this long before delegating —
+	// a slow (not wedged) disk, for tests that need the queue's drain
+	// rate measurably degraded rather than stopped.
+	AppendDelay time.Duration
 	// FailScans fails the next N Scan calls with ErrInjectedScan before
 	// touching the store (negative: fail forever).
 	FailScans int
@@ -114,8 +118,12 @@ func consume(n *int) bool {
 func (f *FaultyStore) Append(entries ...store.Entry) error {
 	f.mu.Lock()
 	hold := f.faults.AppendHold
+	delay := f.faults.AppendDelay
 	fail := consume(&f.faults.FailAppends)
 	f.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
 	if hold != nil {
 		<-hold
 	}

@@ -183,6 +183,10 @@ type shardState struct {
 	workerWG sync.WaitGroup
 	inflight atomic.Int32 // batches being applied right now (0 or 1)
 	depth    atomic.Int32 // batches enqueued and not yet picked up
+	// drain is an EWMA of how long one queued batch takes to apply,
+	// maintained by the worker. It turns a queue-full rejection into an
+	// honest Retry-After: (pending batches + 1) × drain time.
+	drain DrainEWMA
 
 	totalFailures atomic.Int64
 	lastErr       atomic.Value // string
@@ -371,9 +375,67 @@ func (c *Cluster) runWorker(sh *shardState) {
 		sh.depth.Add(-1)
 		sh.gQueue.Set(float64(sh.depth.Load()))
 		sh.inflight.Store(1)
+		t0 := time.Now()
 		b.done <- c.applyAppend(sh, b.entries)
+		sh.drain.Observe(time.Since(t0))
 		sh.inflight.Store(0)
 	}
+}
+
+// DrainEWMA tracks how long one queued batch takes to apply, as an
+// exponentially weighted moving average (weight 1/8 — smooth enough to
+// ride out one slow fsync, fresh enough to follow a real slowdown
+// within a few batches). It is the shared drain-rate estimator behind
+// every ingest queue's Retry-After: the sharded workers here and the
+// single-store admission queue in cmd/logstudy both feed one.
+type DrainEWMA struct {
+	nanos atomic.Int64
+}
+
+// Observe folds one batch's apply time into the average.
+func (e *DrainEWMA) Observe(d time.Duration) {
+	n := d.Nanoseconds()
+	if n <= 0 {
+		n = 1
+	}
+	for {
+		old := e.nanos.Load()
+		next := n
+		if old > 0 {
+			next = (7*old + n) / 8
+		}
+		if e.nanos.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current average (0 before any observation).
+func (e *DrainEWMA) Value() time.Duration { return time.Duration(e.nanos.Load()) }
+
+// RetryAfterEstimate converts queue state into a client backoff hint:
+// the pending batches ahead of the client plus its own, each paying the
+// observed drain time. A drain-derived estimate is clamped to [1s, 60s]
+// — never zero, since a zero Retry-After invites an instant retry
+// storm. With no drain observations yet it returns the configured
+// fallback verbatim (1s when unset): an operator-chosen sub-second hint
+// is honored internally, and the HTTP layer ceils it to "1" on the
+// wire.
+func RetryAfterEstimate(pending int, drain, fallback time.Duration) time.Duration {
+	if drain <= 0 {
+		if fallback > 0 {
+			return fallback
+		}
+		return time.Second
+	}
+	est := time.Duration(pending+1) * drain
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > time.Minute {
+		est = time.Minute
+	}
+	return est
 }
 
 // applyAppend runs one batch against the shard under its breaker.
@@ -468,6 +530,13 @@ func (c *Cluster) Append(entries []store.Entry) (AppendReport, error) {
 			sh.cRejects.Inc()
 			rep.Rejected[id] += len(batch)
 			rep.RejectedSources[id] = sourcesOf(batch)
+			// The slowest rejecting shard sets the report's hint: retrying
+			// sooner than its queue can drain would just bounce again.
+			pending := int(sh.depth.Load() + sh.inflight.Load())
+			est := RetryAfterEstimate(pending, sh.drain.Value(), c.opts.retryAfter())
+			if est > rep.RetryAfter {
+				rep.RetryAfter = est
+			}
 		}
 	}
 	for _, p := range waits {
